@@ -1,0 +1,47 @@
+"""Ablation: learning schemes — local vs global conflict clauses (§5).
+
+The paper's size dichotomy: 1UIP produces *local* clauses (few
+resolutions, more literals), the decision scheme produces *global*
+clauses (many resolutions, fewer literals), and BerkMin's mix sits in
+between.  The printed rows show how the scheme moves the
+conflict-literals vs resolution-nodes balance on the same instance.
+"""
+
+import pytest
+
+from repro.benchgen.registry import INSTANCES
+from repro.proofs.sizes import compare_proof_sizes
+from repro.solver.cdcl import SolverOptions, solve
+
+from benchmarks.conftest import TableCollector, register_collector
+
+# Instances where even pure decision learning converges quickly (the
+# scheme is dramatically weaker as a *search* strategy on some miters,
+# which is itself a finding — see EXPERIMENTS.md).
+ABLATION_INSTANCES = ("php6", "stack8_8")
+SCHEMES = ("1uip", "decision", "hybrid", "adaptive")
+MAX_CONFLICTS = 50_000
+
+_table = register_collector(TableCollector(
+    "Ablation: learning scheme vs proof shape",
+    f"{'Name':<10} {'scheme':<9} {'conflicts':>10} {'ConflLits':>10} "
+    f"{'ResNodes':>10} {'Ratio%':>7}"))
+
+
+@pytest.mark.parametrize("name", ABLATION_INSTANCES)
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_learning_scheme(benchmark, name, scheme):
+    formula = INSTANCES[name].build()
+    options = SolverOptions(learning=scheme, heuristic="berkmin",
+                            max_conflicts=MAX_CONFLICTS)
+
+    result = benchmark.pedantic(
+        solve, args=(formula, options), rounds=1, iterations=1)
+
+    assert result.is_unsat
+    sizes = compare_proof_sizes(result.log)
+    _table.add(
+        f"{name:<10} {scheme:<9} {result.stats.conflicts:>10,} "
+        f"{sizes.conflict_proof_literals:>10,} "
+        f"{sizes.resolution_graph_nodes:>10,} "
+        f"{sizes.ratio_percent:>7.1f}")

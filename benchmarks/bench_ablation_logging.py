@@ -1,0 +1,37 @@
+"""Ablation: proof logging overhead (§1).
+
+The paper reports that streaming conflict clauses to disk cost about 10%
+of BerkMin's runtime.  Our logger keeps full derivation chains in
+memory, so the overhead is larger but of the same flavor: this benchmark
+quantifies it by solving the same instance with and without logging.
+"""
+
+import pytest
+
+from repro.benchgen.registry import INSTANCES
+from repro.experiments.runner import berkmin_options
+from repro.solver.cdcl import solve
+
+from benchmarks.conftest import TableCollector, register_collector
+
+ABLATION_INSTANCES = ("eq_add8", "barrel5", "stack8_8", "w6_10")
+
+_table = register_collector(TableCollector(
+    "Ablation: proof logging overhead",
+    f"{'Name':<10} {'logging':<8} {'time(s)':>9} {'conflicts':>10}"))
+
+
+@pytest.mark.parametrize("name", ABLATION_INSTANCES)
+@pytest.mark.parametrize("logging", ["on", "off"])
+def test_logging_overhead(benchmark, name, logging):
+    formula = INSTANCES[name].build()
+    options = berkmin_options(log_proof=(logging == "on"))
+
+    result = benchmark.pedantic(
+        solve, args=(formula, options), rounds=1, iterations=1)
+
+    assert result.is_unsat
+    assert (result.log is not None) == (logging == "on")
+    _table.add(f"{name:<10} {logging:<8} "
+               f"{result.stats.solve_time:>9.3f} "
+               f"{result.stats.conflicts:>10,}")

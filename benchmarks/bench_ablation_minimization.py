@@ -1,0 +1,41 @@
+"""Ablation: learned-clause minimization (a post-2003 'future work').
+
+Minimization (Sörensson/Biere 2009) shortens learned clauses at the
+price of extra resolutions — i.e. it pushes every clause in the
+direction the paper calls "global".  This bench quantifies the effect on
+both proof representations.
+"""
+
+import pytest
+
+from repro.benchgen.registry import INSTANCES
+from repro.proofs.sizes import compare_proof_sizes
+from repro.solver.cdcl import SolverOptions, solve
+
+from benchmarks.conftest import TableCollector, register_collector
+
+ABLATION_INSTANCES = ("php6", "eq_add8", "stack8_8")
+
+_table = register_collector(TableCollector(
+    "Ablation: learned clause minimization",
+    f"{'Name':<10} {'minimize':<9} {'conflicts':>10} {'ConflLits':>10} "
+    f"{'ResNodes':>10} {'Ratio%':>7}"))
+
+
+@pytest.mark.parametrize("name", ABLATION_INSTANCES)
+@pytest.mark.parametrize("minimize", [False, True])
+def test_minimization(benchmark, name, minimize):
+    formula = INSTANCES[name].build()
+    options = SolverOptions(heuristic="berkmin",
+                            minimize_clauses=minimize)
+
+    result = benchmark.pedantic(
+        solve, args=(formula, options), rounds=1, iterations=1)
+
+    assert result.is_unsat
+    sizes = compare_proof_sizes(result.log)
+    _table.add(
+        f"{name:<10} {str(minimize):<9} {result.stats.conflicts:>10,} "
+        f"{sizes.conflict_proof_literals:>10,} "
+        f"{sizes.resolution_graph_nodes:>10,} "
+        f"{sizes.ratio_percent:>7.1f}")

@@ -1,0 +1,42 @@
+"""Ablation: the adaptive learning threshold (DESIGN.md design choice).
+
+Sweeps the length threshold at which the solver switches from the local
+(1UIP) clause to the global (decision) clause.  Lower thresholds push
+the proof-shape toward the paper's BerkMin behaviour: fewer conflict
+proof literals, many more resolution nodes — i.e. a smaller ratio.
+"""
+
+import pytest
+
+from repro.benchgen.registry import INSTANCES
+from repro.proofs.sizes import compare_proof_sizes
+from repro.solver.cdcl import SolverOptions, solve
+
+from benchmarks.conftest import TableCollector, register_collector
+
+THRESHOLDS = (8, 20, 50, 10_000)  # 10k ~= pure 1UIP
+INSTANCE = "stack8_8"
+
+_table = register_collector(TableCollector(
+    "Ablation: adaptive threshold sweep (stack8_8)",
+    f"{'threshold':>9} {'conflicts':>10} {'ConflLits':>10} "
+    f"{'ResNodes':>10} {'Ratio%':>7}"))
+
+
+@pytest.mark.parametrize("threshold", THRESHOLDS)
+def test_threshold(benchmark, threshold):
+    formula = INSTANCES[INSTANCE].build()
+    options = SolverOptions(learning="adaptive",
+                            adaptive_threshold=threshold,
+                            heuristic="berkmin")
+
+    result = benchmark.pedantic(
+        solve, args=(formula, options), rounds=1, iterations=1)
+
+    assert result.is_unsat
+    sizes = compare_proof_sizes(result.log)
+    _table.add(
+        f"{threshold:>9} {result.stats.conflicts:>10,} "
+        f"{sizes.conflict_proof_literals:>10,} "
+        f"{sizes.resolution_graph_nodes:>10,} "
+        f"{sizes.ratio_percent:>7.1f}")

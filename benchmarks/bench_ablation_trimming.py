@@ -1,0 +1,37 @@
+"""Ablation: proof trimming (the Section 4 corollary).
+
+Measures verify-and-trim and reports how much of each proof was
+redundant — the same numbers drat-trim reports today, produced by the
+paper's own marking machinery.
+"""
+
+import pytest
+
+from repro.verify.trimming import trim_proof
+
+from benchmarks.conftest import (
+    TableCollector,
+    register_collector,
+    solved_instance,
+)
+
+ABLATION_INSTANCES = ("eq_add8", "barrel5", "stack8_8", "w6_10")
+
+_table = register_collector(TableCollector(
+    "Ablation: proof trimming",
+    f"{'Name':<10} {'|F*|':>8} {'kept':>8} {'removed':>8} "
+    f"{'lits removed':>13}"))
+
+
+@pytest.mark.parametrize("name", ABLATION_INSTANCES)
+def test_trimming(benchmark, name):
+    data = solved_instance(name)
+
+    result = benchmark.pedantic(
+        trim_proof, args=(data.formula, data.proof),
+        rounds=1, iterations=1)
+
+    assert result.report.ok
+    _table.add(
+        f"{name:<10} {len(data.proof):>8,} {len(result.trimmed):>8,} "
+        f"{result.clauses_removed:>8,} {result.literals_removed:>13,}")

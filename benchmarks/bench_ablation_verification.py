@@ -1,0 +1,41 @@
+"""Ablation: Proof_verification1 vs Proof_verification2 (paper §3 vs §4).
+
+The paper's claim: skipping unmarked (redundant) conflict clauses makes
+verification cheaper while returning the same verdict — plus a core.
+"""
+
+import pytest
+
+from repro.verify.verification import verify_proof_v1, verify_proof_v2
+
+from benchmarks.conftest import (
+    TableCollector,
+    register_collector,
+    solved_instance,
+)
+
+ABLATION_INSTANCES = ("eq_add8", "barrel5", "stack8_8", "w6_10",
+                      "pipe_2")
+
+_table = register_collector(TableCollector(
+    "Ablation: verification1 vs verification2",
+    f"{'Name':<10} {'procedure':<14} {'checked':>8} {'skipped':>8} "
+    f"{'time(s)':>8}"))
+
+
+@pytest.mark.parametrize("name", ABLATION_INSTANCES)
+@pytest.mark.parametrize("procedure", ["verification1", "verification2"])
+def test_verification_procedures(benchmark, name, procedure):
+    data = solved_instance(name)
+    verify = (verify_proof_v1 if procedure == "verification1"
+              else verify_proof_v2)
+
+    report = benchmark.pedantic(
+        verify, args=(data.formula, data.proof), rounds=1, iterations=1)
+
+    assert report.ok
+    if procedure == "verification2":
+        assert report.num_checked <= len(data.proof)
+    _table.add(
+        f"{name:<10} {procedure:<14} {report.num_checked:>8,} "
+        f"{report.num_skipped:>8,} {report.verification_time:>8.3f}")

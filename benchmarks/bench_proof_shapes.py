@@ -1,0 +1,41 @@
+"""Benchmark: per-instance proof shape analysis (paper §5).
+
+Classifies the conflict clauses of each instance's proof as local vs
+global and reports, per clause, which proof representation would store
+it more compactly — the quantitative form of the paper's "the two kinds
+of proofs are complementary".
+"""
+
+import pytest
+
+from repro.proofs.stats import analyze_log
+
+from benchmarks.conftest import (
+    TableCollector,
+    register_collector,
+    solved_instance,
+)
+
+SHAPE_INSTANCES = ("eq_add8", "barrel5", "stack8_8", "longmult_4",
+                   "w6_10", "pipe_2")
+
+_table = register_collector(TableCollector(
+    "Proof shape analysis (local vs global clauses)",
+    f"{'Name':<10} {'|F*|':>7} {'meanLen':>8} {'meanRes':>8} "
+    f"{'global%':>8} {'conflWins%':>11}"))
+
+
+@pytest.mark.parametrize("name", SHAPE_INSTANCES)
+def test_proof_shape(benchmark, name):
+    data = solved_instance(name)
+
+    stats = benchmark.pedantic(analyze_log, args=(data.log,),
+                               rounds=1, iterations=1)
+
+    assert stats.num_clauses == data.log.num_deduced
+    _table.add(
+        f"{name:<10} {stats.num_clauses:>7,} "
+        f"{stats.mean_clause_length:>8.1f} "
+        f"{stats.mean_resolutions:>8.1f} "
+        f"{100 * stats.global_fraction:>8.1f} "
+        f"{100 * stats.conflict_format_wins / stats.num_clauses:>11.1f}")

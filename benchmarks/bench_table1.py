@@ -1,0 +1,39 @@
+"""Benchmark: Table 1 — unsatisfiable core extraction.
+
+One benchmark per instance of the paper's Table 1.  The measured phase
+is ``Proof_verification2`` (marking + core extraction); the printed rows
+mirror the paper's columns: |F*|, tested %, initial clauses, core %.
+"""
+
+import pytest
+
+from repro.benchgen.registry import INSTANCES, TABLE1_INSTANCES
+from repro.verify.verification import verify_proof_v2
+
+from benchmarks.conftest import (
+    TableCollector,
+    register_collector,
+    solved_instance,
+)
+
+_table = register_collector(TableCollector(
+    "Table 1. Unsatisfiable core extraction",
+    f"{'Name':<12} {'|F*|':>9} {'Tested%':>8} {'Clauses':>9} "
+    f"{'Core%':>7}  paper-analog"))
+
+
+@pytest.mark.parametrize("name", TABLE1_INSTANCES)
+def test_core_extraction(benchmark, name):
+    data = solved_instance(name)
+
+    report = benchmark.pedantic(
+        verify_proof_v2, args=(data.formula, data.proof),
+        rounds=1, iterations=1)
+
+    assert report.ok
+    _table.add(
+        f"{name:<12} {len(data.proof):>9,} "
+        f"{100 * report.tested_fraction:>8.1f} "
+        f"{data.formula.num_clauses:>9,} "
+        f"{100 * report.core.fraction:>7.1f}  "
+        f"{INSTANCES[name].paper_analog}")

@@ -1,0 +1,40 @@
+"""Benchmark: Table 2 — proof verification and proof size comparison.
+
+Measures verification time per instance (the paper's column) and prints
+the resolution-graph node count vs the conflict-clause literal count
+with their ratio — the paper's central size comparison.
+"""
+
+import pytest
+
+from repro.benchgen.registry import INSTANCES, TABLE2_INSTANCES
+from repro.proofs.sizes import compare_proof_sizes
+from repro.verify.verification import verify_proof_v2
+
+from benchmarks.conftest import (
+    TableCollector,
+    register_collector,
+    solved_instance,
+)
+
+_table = register_collector(TableCollector(
+    "Table 2. Proof verification",
+    f"{'Name':<12} {'Verif(s)':>9} {'ResNodes':>11} {'ConflLits':>11} "
+    f"{'Ratio%':>7}  paper-analog"))
+
+
+@pytest.mark.parametrize("name", TABLE2_INSTANCES)
+def test_proof_verification(benchmark, name):
+    data = solved_instance(name)
+
+    report = benchmark.pedantic(
+        verify_proof_v2, args=(data.formula, data.proof),
+        rounds=1, iterations=1)
+
+    assert report.ok
+    sizes = compare_proof_sizes(data.log)
+    _table.add(
+        f"{name:<12} {report.verification_time:>9.2f} "
+        f"{sizes.resolution_graph_nodes:>11,} "
+        f"{sizes.conflict_proof_literals:>11,} "
+        f"{sizes.ratio_percent:>7.1f}  {INSTANCES[name].paper_analog}")

@@ -1,0 +1,42 @@
+"""Benchmark: Table 3 — growth of resolution proof size (fifo family).
+
+The paper's scaling study: as the fifo8 BMC bound grows, the ratio of
+conflict-clause proof size to resolution-graph proof size decreases —
+conflict clause proofs win by more on bigger instances.  The measured
+phase here is the *resolution graph check*, whose cost (and materialized
+literal count) is exactly the growth the paper warns about.
+"""
+
+import pytest
+
+from repro.benchgen.registry import INSTANCES, TABLE3_INSTANCES
+from repro.proofs.resolution import ResolutionGraphProof
+from repro.proofs.sizes import compare_proof_sizes
+
+from benchmarks.conftest import (
+    TableCollector,
+    register_collector,
+    solved_instance,
+)
+
+_table = register_collector(TableCollector(
+    "Table 3. Growth of resolution proof size (fifo family)",
+    f"{'Name':<10} {'ResNodes':>11} {'ConflLits':>11} {'Ratio%':>7} "
+    f"{'GraphPeakLits':>14}  paper-analog"))
+
+
+@pytest.mark.parametrize("name", TABLE3_INSTANCES)
+def test_resolution_growth(benchmark, name):
+    data = solved_instance(name)
+    graph = ResolutionGraphProof.from_log(data.log)
+
+    check = benchmark.pedantic(graph.check, rounds=1, iterations=1)
+
+    assert check.ok
+    sizes = compare_proof_sizes(data.log)
+    _table.add(
+        f"{name:<10} {sizes.resolution_graph_nodes:>11,} "
+        f"{sizes.conflict_proof_literals:>11,} "
+        f"{sizes.ratio_percent:>7.1f} "
+        f"{check.peak_stored_literals:>14,}  "
+        f"{INSTANCES[name].paper_analog}")

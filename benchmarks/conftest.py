@@ -1,0 +1,88 @@
+"""Shared infrastructure for the benchmark suite.
+
+Each named instance is generated and solved exactly once per session
+(module-level cache); the benchmarks then measure the phases the paper's
+tables report — proof verification above all — with
+``benchmark.pedantic(rounds=1)`` because a full verification run is
+already seconds long and deterministic.
+
+Table rows are accumulated as benchmarks run and printed at the end of
+the session, so ``pytest benchmarks/ --benchmark-only`` reproduces the
+paper's tables inline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.benchgen.registry import INSTANCES
+from repro.core.formula import CnfFormula
+from repro.experiments.runner import berkmin_options
+from repro.proofs.conflict_clause import ConflictClauseProof
+from repro.proofs.log import ProofLog
+from repro.solver.cdcl import solve
+from repro.solver.result import SolveResult
+
+
+@dataclass
+class SolvedInstance:
+    """A solved-and-logged instance shared by the benchmarks."""
+
+    name: str
+    formula: CnfFormula
+    result: SolveResult
+    proof: ConflictClauseProof
+
+    @property
+    def log(self) -> ProofLog:
+        return self.result.log
+
+
+_solved: dict[str, SolvedInstance] = {}
+
+
+def solved_instance(name: str) -> SolvedInstance:
+    """Build + solve an instance once; reuse across benchmarks."""
+    if name not in _solved:
+        formula = INSTANCES[name].build()
+        result = solve(formula, berkmin_options())
+        assert result.is_unsat, f"{name} must be UNSAT"
+        proof = ConflictClauseProof.from_log(result.log)
+        _solved[name] = SolvedInstance(name, formula, result, proof)
+    return _solved[name]
+
+
+class TableCollector:
+    """Accumulates printed rows and emits them after the session."""
+
+    def __init__(self, title: str, header: str):
+        self.title = title
+        self.header = header
+        self.rows: list[str] = []
+
+    def add(self, row: str) -> None:
+        self.rows.append(row)
+
+    def render(self) -> str:
+        width = max([len(self.header)] + [len(r) for r in self.rows]) \
+            if self.rows else len(self.header)
+        return "\n".join([self.title, self.header, "-" * width]
+                         + self.rows)
+
+
+_collectors: list[TableCollector] = []
+
+
+def register_collector(collector: TableCollector) -> TableCollector:
+    _collectors.append(collector)
+    return collector
+
+
+@pytest.hookimpl(trylast=True)
+def pytest_terminal_summary(terminalreporter):
+    for collector in _collectors:
+        if collector.rows:
+            terminalreporter.write_line("")
+            terminalreporter.write_line(collector.render())

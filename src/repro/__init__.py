@@ -1,0 +1,117 @@
+"""repro — conflict clause proofs of unsatisfiability.
+
+A full reproduction of E. Goldberg & Y. Novikov, *"Verification of Proofs
+of Unsatisfiability for CNF Formulas"* (DATE 2003): a proof-logging CDCL
+SAT solver, the conflict-clause proof format, the two BCP-based
+verification procedures with unsatisfiable-core extraction, the
+resolution-graph baseline, and the verification-domain benchmark
+generators the paper evaluates on.
+
+Quickstart::
+
+    from repro import CnfFormula, solve, ConflictClauseProof, verify_proof
+
+    formula = CnfFormula([[1, 2], [1, -2], [-1, 2], [-1, -2]])
+    result = solve(formula)                       # status == "UNSAT"
+    proof = ConflictClauseProof.from_log(result.log)
+    report = verify_proof(formula, proof)         # Proof_verification2
+    assert report.ok
+    core = report.core                            # unsat core, for free
+"""
+
+from repro.core import (
+    Clause,
+    CnfFormula,
+    DimacsParseError,
+    ProofFormatError,
+    ReproError,
+    ResolutionError,
+    format_dimacs,
+    parse_dimacs,
+    read_dimacs,
+    write_dimacs,
+)
+from repro.preprocess import (
+    PreprocessResult,
+    lift_model,
+    lift_proof,
+    preprocess,
+    solve_with_preprocessing,
+)
+from repro.proofs import (
+    ConflictClauseProof,
+    ProofLog,
+    ProofSizeComparison,
+    ProofStatistics,
+    ResolutionGraphProof,
+    analyze_log,
+    compare_proof_sizes,
+    read_proof,
+    write_proof,
+)
+from repro.solver import (
+    CdclSolver,
+    SolveResult,
+    SolverOptions,
+    dpll_solve,
+    solve,
+)
+from repro.verify import (
+    ReconstructionResult,
+    TrimResult,
+    UnsatCore,
+    VerificationReport,
+    extract_core,
+    reconstruct_resolution_graph,
+    trim_proof,
+    validate_core,
+    verify_proof,
+    verify_proof_v1,
+    verify_proof_v2,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Clause",
+    "CnfFormula",
+    "parse_dimacs",
+    "read_dimacs",
+    "format_dimacs",
+    "write_dimacs",
+    "solve",
+    "CdclSolver",
+    "SolverOptions",
+    "SolveResult",
+    "dpll_solve",
+    "ProofLog",
+    "ConflictClauseProof",
+    "ResolutionGraphProof",
+    "ProofSizeComparison",
+    "compare_proof_sizes",
+    "read_proof",
+    "write_proof",
+    "verify_proof",
+    "verify_proof_v1",
+    "verify_proof_v2",
+    "extract_core",
+    "validate_core",
+    "VerificationReport",
+    "UnsatCore",
+    "trim_proof",
+    "TrimResult",
+    "reconstruct_resolution_graph",
+    "ReconstructionResult",
+    "preprocess",
+    "PreprocessResult",
+    "lift_proof",
+    "lift_model",
+    "solve_with_preprocessing",
+    "ProofStatistics",
+    "analyze_log",
+    "ReproError",
+    "DimacsParseError",
+    "ResolutionError",
+    "ProofFormatError",
+    "__version__",
+]

@@ -1,0 +1,33 @@
+"""And-Inverter Graphs: structural hashing, CNF encoding, miters."""
+
+from repro.aig.aig import FALSE_LIT, TRUE_LIT, Aig
+from repro.aig.aiger import (
+    format_aiger,
+    parse_aiger,
+    read_aiger,
+    write_aiger,
+)
+from repro.aig.cnf import AigCnf, aig_to_cnf
+from repro.aig.convert import circuit_to_aig, encode_circuit_into
+from repro.aig.equivalence import (
+    aig_equivalence_formula,
+    build_aig_miter,
+    structurally_equivalent,
+)
+
+__all__ = [
+    "Aig",
+    "FALSE_LIT",
+    "TRUE_LIT",
+    "circuit_to_aig",
+    "encode_circuit_into",
+    "AigCnf",
+    "aig_to_cnf",
+    "build_aig_miter",
+    "aig_equivalence_formula",
+    "structurally_equivalent",
+    "format_aiger",
+    "parse_aiger",
+    "read_aiger",
+    "write_aiger",
+]

@@ -1,0 +1,167 @@
+"""And-Inverter Graphs with structural hashing.
+
+The workhorse representation of combinational equivalence checking
+(Kuehlmann et al., and the basis of the later resolution-proof work on
+CEC [Chatterjee et al.]): every function is a DAG of two-input AND
+nodes with optional inverters on edges.  Building two circuits into
+*one* AIG makes shared logic literally shared — which is why miters
+built this way are much easier to refute than plain Tseitin miters, an
+effect the bench suite measures.
+
+Conventions follow AIGER: node 0 is constant false; literal = 2*node
+(+1 for inversion), so ``lit ^ 1`` negates.  Inputs are declared before
+AND nodes are created.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.core.exceptions import CircuitError
+
+FALSE_LIT = 0
+TRUE_LIT = 1
+
+
+class Aig:
+    """A structurally hashed And-Inverter Graph."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.inputs: list[str] = []
+        self._input_lit: dict[str, int] = {}
+        # AND node k (node id = 1 + num_inputs + k) has operands
+        # ands[k] = (lit0, lit1) with lit0 <= lit1.
+        self.ands: list[tuple[int, int]] = []
+        self._hash: dict[tuple[int, int], int] = {}
+        self.outputs: dict[str, int] = {}
+        self._frozen_inputs = False
+
+    # -- construction ------------------------------------------------------
+
+    @property
+    def num_inputs(self) -> int:
+        return len(self.inputs)
+
+    @property
+    def num_ands(self) -> int:
+        return len(self.ands)
+
+    @property
+    def num_nodes(self) -> int:
+        return 1 + self.num_inputs + self.num_ands
+
+    def add_input(self, name: str) -> int:
+        """Declare an input; returns its (positive) literal."""
+        if self._frozen_inputs:
+            raise CircuitError(
+                "inputs must be declared before AND nodes")
+        if name in self._input_lit:
+            raise CircuitError(f"duplicate input {name!r}")
+        node = 1 + len(self.inputs)
+        self.inputs.append(name)
+        self._input_lit[name] = node << 1
+        return node << 1
+
+    def input_literal(self, name: str) -> int:
+        return self._input_lit[name]
+
+    def const(self, value: bool) -> int:
+        return TRUE_LIT if value else FALSE_LIT
+
+    def NOT(self, lit: int) -> int:
+        return lit ^ 1
+
+    def AND(self, a: int, b: int) -> int:
+        """Hashed, folding AND of two literals."""
+        self._frozen_inputs = True
+        if a > b:
+            a, b = b, a
+        # Constant and trivial folds.
+        if a == FALSE_LIT:
+            return FALSE_LIT
+        if a == TRUE_LIT:
+            return b
+        if a == b:
+            return a
+        if a == (b ^ 1):
+            return FALSE_LIT
+        key = (a, b)
+        existing = self._hash.get(key)
+        if existing is not None:
+            return existing
+        node = 1 + self.num_inputs + len(self.ands)
+        self.ands.append(key)
+        lit = node << 1
+        self._hash[key] = lit
+        return lit
+
+    def OR(self, a: int, b: int) -> int:
+        return self.AND(a ^ 1, b ^ 1) ^ 1
+
+    def XOR(self, a: int, b: int) -> int:
+        return self.OR(self.AND(a, b ^ 1), self.AND(a ^ 1, b))
+
+    def XNOR(self, a: int, b: int) -> int:
+        return self.XOR(a, b) ^ 1
+
+    def MUX(self, sel: int, if0: int, if1: int) -> int:
+        """``if1`` when ``sel`` else ``if0``."""
+        return self.OR(self.AND(sel, if1), self.AND(sel ^ 1, if0))
+
+    def and_many(self, lits: list[int]) -> int:
+        result = TRUE_LIT
+        for lit in lits:
+            result = self.AND(result, lit)
+        return result
+
+    def or_many(self, lits: list[int]) -> int:
+        result = FALSE_LIT
+        for lit in lits:
+            result = self.OR(result, lit)
+        return result
+
+    def set_output(self, name: str, lit: int) -> None:
+        if name in self.outputs:
+            raise CircuitError(f"duplicate output {name!r}")
+        self.outputs[name] = lit
+
+    # -- evaluation --------------------------------------------------------
+
+    def simulate(self, assignment: Mapping[str, bool]) -> dict[str, bool]:
+        """Evaluate all outputs under a complete input assignment."""
+        values = [False] * self.num_nodes
+        for index, name in enumerate(self.inputs):
+            if name not in assignment:
+                raise CircuitError(f"missing value for input {name!r}")
+            values[1 + index] = bool(assignment[name])
+
+        def lit_value(lit: int) -> bool:
+            value = values[lit >> 1]
+            return not value if lit & 1 else value
+
+        base = 1 + self.num_inputs
+        for k, (a, b) in enumerate(self.ands):
+            values[base + k] = lit_value(a) and lit_value(b)
+        return {name: lit_value(lit)
+                for name, lit in self.outputs.items()}
+
+    def cone(self, lits: list[int]) -> set[int]:
+        """Node ids in the transitive fanin of the given literals."""
+        base = 1 + self.num_inputs
+        reachable: set[int] = set()
+        stack = [lit >> 1 for lit in lits]
+        while stack:
+            node = stack.pop()
+            if node in reachable:
+                continue
+            reachable.add(node)
+            if node >= base:
+                a, b = self.ands[node - base]
+                stack.append(a >> 1)
+                stack.append(b >> 1)
+        return reachable
+
+    def __repr__(self) -> str:
+        return (f"Aig({self.name!r}, inputs={self.num_inputs}, "
+                f"ands={self.num_ands}, outputs={len(self.outputs)})")

@@ -1,0 +1,156 @@
+"""ASCII AIGER (.aag) reading and writing.
+
+AIGER is the interchange format of the hardware model checking
+community; the ASCII variant is::
+
+    aag M I L O A
+    <input literal>          (I lines)
+    <output literal>         (O lines)
+    <lhs> <rhs0> <rhs1>      (A lines, lhs = 2 * and-node id)
+    i0 name / o0 name ...    (optional symbol table)
+    c comment ...
+
+Latches (L > 0) are rejected — sequential designs go through
+:mod:`repro.bmc`.  Our :class:`~repro.aig.aig.Aig` literals follow AIGER
+numbering exactly, so conversion is direct; the only wrinkle is that
+AIGER permits arbitrary input numbering while ``Aig`` requires inputs to
+be nodes ``1..I`` — the reader remaps when needed.
+"""
+
+from __future__ import annotations
+
+import io
+from os import PathLike
+
+from repro.aig.aig import Aig
+from repro.core.exceptions import CircuitError
+
+
+def format_aiger(aig: Aig, comment: str | None = None) -> str:
+    """Render an AIG as ASCII AIGER with a symbol table."""
+    out = io.StringIO()
+    num_nodes = aig.num_nodes - 1  # AIGER's M excludes the constant
+    out.write(f"aag {num_nodes} {aig.num_inputs} 0 "
+              f"{len(aig.outputs)} {aig.num_ands}\n")
+    for index in range(aig.num_inputs):
+        out.write(f"{(1 + index) << 1}\n")
+    for literal in aig.outputs.values():
+        out.write(f"{literal}\n")
+    base = 1 + aig.num_inputs
+    for offset, (rhs0, rhs1) in enumerate(aig.ands):
+        lhs = (base + offset) << 1
+        # AIGER convention: rhs0 >= rhs1.
+        high, low = max(rhs0, rhs1), min(rhs0, rhs1)
+        out.write(f"{lhs} {high} {low}\n")
+    for index, name in enumerate(aig.inputs):
+        out.write(f"i{index} {name}\n")
+    for index, name in enumerate(aig.outputs):
+        out.write(f"o{index} {name}\n")
+    if comment:
+        out.write("c\n")
+        for line in comment.splitlines():
+            out.write(f"{line}\n")
+    return out.getvalue()
+
+
+def parse_aiger(text: str) -> Aig:
+    """Parse ASCII AIGER into an :class:`Aig`."""
+    lines = text.splitlines()
+    if not lines or not lines[0].startswith("aag"):
+        raise CircuitError("not an ASCII AIGER file (missing 'aag')")
+    fields = lines[0].split()
+    if len(fields) != 6:
+        raise CircuitError(f"malformed header {lines[0]!r}")
+    try:
+        _, num_inputs, num_latches, num_outputs, num_ands = (
+            int(f) for f in fields[1:])
+    except ValueError as exc:
+        raise CircuitError(f"non-integer header field in {lines[0]!r}"
+                           ) from exc
+    if num_latches:
+        raise CircuitError(
+            "latches are not supported (model sequential designs as "
+            "repro.bmc transition systems)")
+
+    body = lines[1:]
+    expected = num_inputs + num_outputs + num_ands
+    if len(body) < expected:
+        raise CircuitError(f"truncated file: expected {expected} body "
+                           f"lines, found {len(body)}")
+
+    def ints(line: str, count: int) -> list[int]:
+        parts = line.split()
+        if len(parts) != count:
+            raise CircuitError(f"malformed line {line!r}")
+        try:
+            return [int(p) for p in parts]
+        except ValueError as exc:
+            raise CircuitError(f"malformed line {line!r}") from exc
+
+    input_literals = [ints(body[i], 1)[0] for i in range(num_inputs)]
+    output_literals = [ints(body[num_inputs + i], 1)[0]
+                       for i in range(num_outputs)]
+    and_rows = [ints(body[num_inputs + num_outputs + i], 3)
+                for i in range(num_ands)]
+
+    # Symbol table (optional).
+    input_names = {i: f"i{i}" for i in range(num_inputs)}
+    output_names = {i: f"o{i}" for i in range(num_outputs)}
+    for line in body[expected:]:
+        if line.startswith("c"):
+            break
+        if not line or line[0] not in "io":
+            continue
+        prefix, _, name = line.partition(" ")
+        if not name:
+            continue
+        try:
+            index = int(prefix[1:])
+        except ValueError:
+            continue
+        if prefix[0] == "i" and index in input_names:
+            input_names[index] = name
+        elif prefix[0] == "o" and index in output_names:
+            output_names[index] = name
+
+    aig = Aig("aiger")
+    # Map AIGER literals to Aig literals (identity when inputs are the
+    # canonical nodes 1..I, remapped otherwise).
+    lit_map: dict[int, int] = {0: 0, 1: 1}
+    for index, literal in enumerate(input_literals):
+        if literal & 1 or literal == 0:
+            raise CircuitError(f"invalid input literal {literal}")
+        our = aig.add_input(input_names[index])
+        lit_map[literal] = our
+        lit_map[literal ^ 1] = our ^ 1
+
+    def mapped(literal: int) -> int:
+        try:
+            return lit_map[literal]
+        except KeyError:
+            raise CircuitError(
+                f"literal {literal} used before definition") from None
+
+    for lhs, rhs0, rhs1 in and_rows:
+        if lhs & 1:
+            raise CircuitError(f"AND lhs must be even, got {lhs}")
+        our = aig.AND(mapped(rhs0), mapped(rhs1))
+        lit_map[lhs] = our
+        lit_map[lhs ^ 1] = our ^ 1
+
+    for index, literal in enumerate(output_literals):
+        aig.set_output(output_names[index], mapped(literal))
+    return aig
+
+
+def write_aiger(aig: Aig, path: str | PathLike,
+                comment: str | None = None) -> None:
+    """Write an AIG to an .aag file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(format_aiger(aig, comment=comment))
+
+
+def read_aiger(path: str | PathLike) -> Aig:
+    """Read an AIG from an .aag file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_aiger(handle.read())

@@ -1,0 +1,92 @@
+"""Tseitin encoding of AIGs into CNF (cone-of-influence aware)."""
+
+from __future__ import annotations
+
+from repro.aig.aig import FALSE_LIT, TRUE_LIT, Aig
+from repro.core.formula import CnfFormula
+
+
+class AigCnf:
+    """CNF of (the relevant cone of) an AIG.
+
+    ``literal_of(aig_lit)`` maps AIG literals to DIMACS literals; nodes
+    outside the encoded cone have no variable.
+    """
+
+    def __init__(self, aig: Aig, roots: list[int] | None = None):
+        self.aig = aig
+        self.formula = CnfFormula()
+        self._node_var: dict[int, int] = {}
+        self._next_var = 0
+        self._true_var: int | None = None
+        if roots is None:
+            roots = list(aig.outputs.values())
+        self._encode(roots)
+
+    def _fresh(self) -> int:
+        self._next_var += 1
+        self.formula.declare_vars(self._next_var)
+        return self._next_var
+
+    def _constant_var(self) -> int:
+        if self._true_var is None:
+            self._true_var = self._fresh()
+            self.formula.add_clause([self._true_var])
+        return self._true_var
+
+    def _encode(self, roots: list[int]) -> None:
+        aig = self.aig
+        base = 1 + aig.num_inputs
+        cone = sorted(aig.cone(roots))
+        for node in cone:
+            if node == 0:
+                self._node_var[0] = self._constant_var()
+                # node 0 is constant FALSE: its literal is the negation.
+            elif node < base:
+                self._node_var[node] = self._fresh()
+        for node in cone:
+            if node < base:
+                continue
+            a, b = aig.ands[node - base]
+            out = self._fresh()
+            self._node_var[node] = out
+            lit_a = self.literal_of(a)
+            lit_b = self.literal_of(b)
+            self.formula.add_clause([-out, lit_a])
+            self.formula.add_clause([-out, lit_b])
+            self.formula.add_clause([out, -lit_a, -lit_b])
+
+    def literal_of(self, aig_lit: int) -> int:
+        """DIMACS literal for an AIG literal inside the encoded cone."""
+        if aig_lit in (FALSE_LIT, TRUE_LIT):
+            var = self._node_var.get(0)
+            if var is None:
+                var = self._constant_var()
+                self._node_var[0] = var
+            # node 0 is FALSE: literal 0 -> -var, literal 1 -> var,
+            # where var is constrained true... invert accordingly.
+            return -var if aig_lit == FALSE_LIT else var
+        var = self._node_var[aig_lit >> 1]
+        return -var if aig_lit & 1 else var
+
+    def input_literal(self, name: str) -> int:
+        return self.literal_of(self.aig.input_literal(name))
+
+    def assert_true(self, aig_lit: int) -> None:
+        """Constrain an AIG literal to 1.
+
+        Asserting constant false adds the empty clause (immediately
+        unsatisfiable), which is the honest encoding.
+        """
+        if aig_lit == FALSE_LIT:
+            self.formula.add_clause([])
+        elif aig_lit == TRUE_LIT:
+            pass
+        else:
+            self.formula.add_clause([self.literal_of(aig_lit)])
+
+
+def aig_to_cnf(aig: Aig) -> tuple[CnfFormula, AigCnf]:
+    """Encode the cone of all outputs; returns (formula, mapping)."""
+    encoding = AigCnf(aig)
+    return encoding.formula, encoding

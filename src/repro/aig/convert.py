@@ -1,0 +1,62 @@
+"""Conversions between gate-level netlists and AIGs."""
+
+from __future__ import annotations
+
+from repro.aig.aig import Aig
+from repro.circuits.netlist import Circuit
+from repro.core.exceptions import CircuitError
+
+
+def encode_circuit_into(aig: Aig, circuit: Circuit,
+                        binding: dict[str, int]) -> dict[str, int]:
+    """Instantiate a circuit's gates inside an existing AIG.
+
+    ``binding`` maps every input net of the circuit to an AIG literal
+    (typically shared primary inputs).  Returns the net → literal map.
+    Structural hashing applies across instantiations: identical logic
+    collapses to the same nodes.
+    """
+    literal = dict(binding)
+    missing = [net for net in circuit.inputs if net not in literal]
+    if missing:
+        raise CircuitError(f"unbound inputs: {missing}")
+    for gate in circuit.gates:
+        ins = [literal[net] for net in gate.inputs]
+        literal[gate.output] = _encode_gate(aig, gate.op, ins)
+    return literal
+
+
+def _encode_gate(aig: Aig, op: str, ins: list[int]) -> int:
+    if op == "CONST0":
+        return aig.const(False)
+    if op == "CONST1":
+        return aig.const(True)
+    if op == "BUF":
+        return ins[0]
+    if op == "NOT":
+        return ins[0] ^ 1
+    if op == "AND":
+        return aig.and_many(ins)
+    if op == "NAND":
+        return aig.and_many(ins) ^ 1
+    if op == "OR":
+        return aig.or_many(ins)
+    if op == "NOR":
+        return aig.or_many(ins) ^ 1
+    if op == "XOR":
+        return aig.XOR(ins[0], ins[1])
+    if op == "XNOR":
+        return aig.XNOR(ins[0], ins[1])
+    if op == "MUX":
+        return aig.MUX(ins[0], ins[1], ins[2])
+    raise CircuitError(f"cannot encode gate op {op!r}")
+
+
+def circuit_to_aig(circuit: Circuit) -> Aig:
+    """Convert a netlist to a fresh AIG (inputs keep their names)."""
+    aig = Aig(circuit.name)
+    binding = {net: aig.add_input(net) for net in circuit.inputs}
+    literal = encode_circuit_into(aig, circuit, binding)
+    for net in circuit.outputs:
+        aig.set_output(net, literal[net])
+    return aig

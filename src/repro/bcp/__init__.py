@@ -1,0 +1,23 @@
+"""Boolean Constraint Propagation engines.
+
+Two interchangeable implementations of the paper's only algorithmic
+prerequisite (Section 2):
+
+* :class:`WatchedPropagator` — two-watched-literal scheme (the one the
+  paper's verifier uses, Section 6);
+* :class:`CountingPropagator` — classic counter-based scheme, used as a
+  differential-testing oracle and ablation baseline.
+"""
+
+from repro.bcp.counting import CountingPropagator
+from repro.bcp.engine import FALSE, TRUE, UNDEF, PropagatorBase
+from repro.bcp.watched import WatchedPropagator
+
+__all__ = [
+    "PropagatorBase",
+    "WatchedPropagator",
+    "CountingPropagator",
+    "TRUE",
+    "FALSE",
+    "UNDEF",
+]

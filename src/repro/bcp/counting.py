@@ -1,0 +1,111 @@
+"""Counter-based BCP engine (GRASP/SATO style).
+
+The pre-watched-literals propagation scheme: every clause keeps a count of
+its falsified and satisfied literals, updated on each assignment through
+full occurrence lists.  It visits every clause containing the assigned
+variable, which is exactly the overhead watched literals avoid.
+
+Kept for two purposes:
+
+* a differential-testing oracle for :class:`repro.bcp.WatchedPropagator`
+  (the engines must deduce the same assignments and agree on conflicts);
+* the baseline of the watched-vs-counting ablation benchmark (paper
+  Section 6 argues watched literals are especially effective on conflict
+  clause proofs, which contain many long clauses).
+
+Counters are maintained at *enqueue* time, so they always agree with the
+``values`` array.  Limitation: clause removal is unsupported (counters
+would need a rebuild), so a solver using this engine must disable
+learned-clause deletion.
+"""
+
+from __future__ import annotations
+
+from repro.bcp.engine import FALSE, TRUE, UNDEF, PropagatorBase
+
+
+class CountingPropagator(PropagatorBase):
+    """BCP engine using per-clause falsified/satisfied literal counters."""
+
+    def __init__(self, num_vars: int = 0):
+        self.occurrences: list[list[int]] = [[], []]
+        self.n_false: list[int] = []
+        self.n_true: list[int] = []
+        super().__init__(num_vars)
+
+    def _on_new_var(self) -> None:
+        self.occurrences.append([])
+        self.occurrences.append([])
+
+    def _attach(self, cid: int) -> None:
+        values = self.values
+        false_count = 0
+        true_count = 0
+        for enc in self.clauses[cid]:
+            self.occurrences[enc].append(cid)
+            value = values[enc]
+            if value == FALSE:
+                false_count += 1
+            elif value == TRUE:
+                true_count += 1
+        while len(self.n_false) <= cid:
+            self.n_false.append(0)
+            self.n_true.append(0)
+        self.n_false[cid] = false_count
+        self.n_true[cid] = true_count
+
+    def _detach(self, cid: int) -> None:
+        raise NotImplementedError(
+            "CountingPropagator does not support clause removal")
+
+    def enqueue(self, enc: int, reason: int | None) -> bool:
+        current = self.values[enc]
+        if current == TRUE:
+            return True
+        if current == FALSE:
+            return False
+        super().enqueue(enc, reason)
+        n_true = self.n_true
+        n_false = self.n_false
+        for cid in self.occurrences[enc]:
+            n_true[cid] += 1
+        for cid in self.occurrences[enc ^ 1]:
+            n_false[cid] += 1
+        return True
+
+    def _on_unassign(self, enc: int, pos: int) -> None:
+        n_true = self.n_true
+        n_false = self.n_false
+        for cid in self.occurrences[enc]:
+            n_true[cid] -= 1
+        for cid in self.occurrences[enc ^ 1]:
+            n_false[cid] -= 1
+
+    def propagate(self, ceiling: int | None = None) -> int | None:
+        standing = self._standing_conflict(ceiling)
+        if standing is not None:
+            return standing
+        values = self.values
+        clauses = self.clauses
+        n_false = self.n_false
+        n_true = self.n_true
+        while self.qhead < len(self.trail):
+            enc = self.trail[self.qhead]
+            self.qhead += 1
+            # Clauses containing ¬enc just lost a literal; find the ones
+            # that became unit or empty.
+            for cid in self.occurrences[enc ^ 1]:
+                if ceiling is not None and cid >= ceiling:
+                    continue
+                if n_true[cid]:
+                    continue
+                clause = clauses[cid]
+                remaining = len(clause) - n_false[cid]
+                if remaining == 0:
+                    return cid
+                if remaining == 1:
+                    for lit in clause:
+                        if values[lit] == UNDEF:
+                            self.enqueue(lit, cid)
+                            break
+        return None

@@ -1,0 +1,201 @@
+"""Shared machinery of the BCP engines: trail, values, reasons, levels.
+
+The paper's verification procedure needs exactly one nontrivial component —
+Boolean Constraint Propagation (Section 2) — and the same component drives
+the CDCL solver.  Both the two-watched-literal engine (Section 6 of the
+paper: "an optimized version of the BCP procedure that employs the
+machinery of watched literals") and the reference counting engine derive
+from :class:`PropagatorBase`.
+
+Conventions
+-----------
+* Literals are *encoded* (see :mod:`repro.core.literals`).
+* ``values`` is indexed by encoded literal: ``TRUE``/``FALSE``/``UNDEF``.
+* Clause ids (*cids*) are dense indices into ``clauses`` and are never
+  reused; removed clauses leave a tombstone (empty list).
+* ``propagate(ceiling=cid)`` ignores clauses with id ``>= cid`` — this is
+  how the verifier checks proof clause *i* against only the clauses deduced
+  before it without rebuilding the engine (Section 3: BCP over
+  ``F ∪ F*``-prefix).
+"""
+
+from __future__ import annotations
+
+TRUE = 1
+FALSE = -1
+UNDEF = 0
+
+
+class PropagatorBase:
+    """Trail, assignment and clause bookkeeping shared by all BCP engines."""
+
+    def __init__(self, num_vars: int = 0):
+        self.num_vars = 0
+        # Indexed by encoded literal (size 2 * (num_vars + 1)).
+        self.values: list[int] = [UNDEF, UNDEF]
+        # Indexed by variable.
+        self.levels: list[int] = [-1]
+        self.reasons: list[int | None] = [None]
+        self.trail: list[int] = []
+        self.trail_lim: list[int] = []
+        self.qhead = 0
+        self.clauses: list[list[int]] = []
+        self.empty_clause_cid: int | None = None
+        # Set when a unit clause added at level 0 contradicts the current
+        # level-0 assignment; propagate() then reports it as the conflict
+        # (unit clauses carry no watches, so this cannot be detected by
+        # the watch machinery).
+        self.conflict_unit_cid: int | None = None
+        self.ensure_vars(num_vars)
+
+    # -- variable / clause management ------------------------------------
+
+    def ensure_vars(self, num_vars: int) -> None:
+        """Grow internal arrays to accommodate variables ``1..num_vars``."""
+        while self.num_vars < num_vars:
+            self.num_vars += 1
+            self.values.extend((UNDEF, UNDEF))
+            self.levels.append(-1)
+            self.reasons.append(None)
+            self._on_new_var()
+
+    def _on_new_var(self) -> None:
+        """Subclass hook: grow per-literal structures (watches, occs)."""
+
+    def add_clause(self, enc_lits: list[int],
+                   propagate_units: bool = True) -> int:
+        """Add a clause of encoded literals; return its clause id.
+
+        Duplicate literals are removed (order otherwise preserved).  A unit
+        clause added at decision level 0 is enqueued immediately unless
+        ``propagate_units`` is False (the verifier manages units itself so
+        it can exclude clauses beyond its ceiling).  An empty clause is
+        recorded and makes every subsequent :meth:`propagate` report it.
+        """
+        seen: set[int] = set()
+        lits = []
+        max_var = 0
+        for enc in enc_lits:
+            if enc in seen:
+                continue
+            seen.add(enc)
+            lits.append(enc)
+            var = enc >> 1
+            if var > max_var:
+                max_var = var
+        self.ensure_vars(max_var)
+        cid = len(self.clauses)
+        self.clauses.append(lits)
+        if not lits:
+            if self.empty_clause_cid is None:
+                self.empty_clause_cid = cid
+            return cid
+        self._attach(cid)
+        if len(lits) == 1 and propagate_units and not self.trail_lim:
+            if not self.enqueue(lits[0], cid):
+                if self.conflict_unit_cid is None:
+                    self.conflict_unit_cid = cid
+        return cid
+
+    def _standing_conflict(self, ceiling: int | None) -> int | None:
+        """A conflict that exists independently of the propagation queue:
+        an empty clause, or a level-0-falsified unit clause."""
+        for cid in (self.empty_clause_cid, self.conflict_unit_cid):
+            if cid is not None and (ceiling is None or cid < ceiling):
+                return cid
+        return None
+
+    def _attach(self, cid: int) -> None:
+        """Subclass hook: register the clause with the propagation index."""
+        raise NotImplementedError
+
+    def remove_clause(self, cid: int) -> None:
+        """Detach and tombstone a clause (used by learned-clause deletion).
+
+        The caller must guarantee the clause is not the reason of any
+        current assignment.
+        """
+        lits = self.clauses[cid]
+        if lits:
+            self._detach(cid)
+        self.clauses[cid] = []
+
+    def _detach(self, cid: int) -> None:
+        raise NotImplementedError
+
+    # -- assignment ------------------------------------------------------
+
+    @property
+    def decision_level(self) -> int:
+        return len(self.trail_lim)
+
+    def value(self, enc: int) -> int:
+        """Current truth value of an encoded literal."""
+        return self.values[enc]
+
+    def enqueue(self, enc: int, reason: int | None) -> bool:
+        """Assign an encoded literal true with the given reason clause.
+
+        Returns False if the literal is already false (a conflict the
+        caller must handle); True otherwise (including the already-true
+        no-op case).
+        """
+        current = self.values[enc]
+        if current == TRUE:
+            return True
+        if current == FALSE:
+            return False
+        self.values[enc] = TRUE
+        self.values[enc ^ 1] = FALSE
+        var = enc >> 1
+        self.levels[var] = len(self.trail_lim)
+        self.reasons[var] = reason
+        self.trail.append(enc)
+        return True
+
+    def assume(self, enc: int) -> bool:
+        """Open a new decision level and assign the literal (no reason)."""
+        self.trail_lim.append(len(self.trail))
+        return self.enqueue(enc, None)
+
+    def new_level(self) -> None:
+        """Open a new decision level without assigning anything yet."""
+        self.trail_lim.append(len(self.trail))
+
+    def backtrack(self, level: int) -> None:
+        """Undo all assignments above the given decision level."""
+        if level >= len(self.trail_lim):
+            return
+        limit = self.trail_lim[level]
+        values = self.values
+        for pos in range(len(self.trail) - 1, limit - 1, -1):
+            enc = self.trail[pos]
+            values[enc] = UNDEF
+            values[enc ^ 1] = UNDEF
+            var = enc >> 1
+            self.levels[var] = -1
+            self.reasons[var] = None
+            self._on_unassign(enc, pos)
+        del self.trail[limit:]
+        del self.trail_lim[level:]
+        self.qhead = limit
+
+    def _on_unassign(self, enc: int, pos: int) -> None:
+        """Subclass hook: undo per-assignment state (counters).
+
+        ``pos`` is the trail position; hooks can compare it against
+        ``qhead`` to tell whether the assignment was ever dequeued.
+        """
+
+    def propagate(self, ceiling: int | None = None) -> int | None:
+        """Run BCP to fixpoint; return the conflicting clause id, if any.
+
+        With a ``ceiling``, clauses with id ``>= ceiling`` neither
+        propagate nor conflict (they are "not yet deduced" from the
+        verifier's point of view).
+        """
+        raise NotImplementedError
+
+    def assignment(self) -> dict[int, bool]:
+        """The current assignment as a variable → bool mapping."""
+        return {enc >> 1: not enc & 1 for enc in self.trail}

@@ -1,0 +1,28 @@
+"""Benchmark instance generators and the named-instance registry."""
+
+from repro.benchgen.php import pigeonhole
+from repro.benchgen.random_unsat import random_ksat, random_unsat
+from repro.benchgen.registry import (
+    INSTANCES,
+    TABLE1_INSTANCES,
+    TABLE2_INSTANCES,
+    TABLE3_INSTANCES,
+    InstanceSpec,
+    build_instance,
+    instance_names,
+)
+from repro.benchgen.xor_chains import parity_contradiction
+
+__all__ = [
+    "pigeonhole",
+    "parity_contradiction",
+    "random_ksat",
+    "random_unsat",
+    "INSTANCES",
+    "InstanceSpec",
+    "build_instance",
+    "instance_names",
+    "TABLE1_INSTANCES",
+    "TABLE2_INSTANCES",
+    "TABLE3_INSTANCES",
+]

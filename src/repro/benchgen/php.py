@@ -1,0 +1,33 @@
+"""Pigeonhole formulas — the classic resolution-hard UNSAT family.
+
+``PHP(n)``: n+1 pigeons into n holes.  Not part of the paper's benchmark
+tables, but the canonical stress test for everything in this library:
+resolution proofs of PHP are exponential, so proof sizes blow up in a
+predictable, well-studied way.
+"""
+
+from __future__ import annotations
+
+from repro.core.exceptions import ModelError
+from repro.core.formula import CnfFormula
+
+
+def pigeonhole(holes: int) -> CnfFormula:
+    """``holes + 1`` pigeons into ``holes`` holes (UNSAT for holes >= 1).
+
+    Variable ``p * holes + h + 1`` means pigeon ``p`` sits in hole ``h``.
+    """
+    if holes < 1:
+        raise ModelError("need at least one hole")
+
+    def var(pigeon: int, hole: int) -> int:
+        return pigeon * holes + hole + 1
+
+    formula = CnfFormula(num_vars=(holes + 1) * holes)
+    for pigeon in range(holes + 1):
+        formula.add_clause([var(pigeon, hole) for hole in range(holes)])
+    for hole in range(holes):
+        for first in range(holes + 1):
+            for second in range(first + 1, holes + 1):
+                formula.add_clause([-var(first, hole), -var(second, hole)])
+    return formula

@@ -1,0 +1,46 @@
+"""Random k-SAT generators (with UNSAT certification for test workloads)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.exceptions import ModelError, ReproError
+from repro.core.formula import CnfFormula
+
+
+def random_ksat(num_vars: int, num_clauses: int, k: int = 3,
+                seed: int = 0) -> CnfFormula:
+    """Uniform random k-SAT: ``num_clauses`` clauses of ``k`` distinct
+    variables with random polarities."""
+    if k > num_vars:
+        raise ModelError(f"k={k} exceeds num_vars={num_vars}")
+    rng = random.Random(seed)
+    formula = CnfFormula(num_vars=num_vars)
+    for _ in range(num_clauses):
+        variables = rng.sample(range(1, num_vars + 1), k)
+        formula.add_clause(
+            [var if rng.random() < 0.5 else -var for var in variables])
+    return formula
+
+
+def random_unsat(num_vars: int = 30, ratio: float = 5.5, k: int = 3,
+                 seed: int = 0, max_attempts: int = 50) -> CnfFormula:
+    """A random k-SAT formula certified unsatisfiable.
+
+    Draws formulas above the satisfiability threshold until the solver
+    (with proof logging off) confirms UNSAT.  Deterministic for a given
+    seed.  Intended for tests and noise workloads, not for the paper's
+    tables.
+    """
+    from repro.solver.cdcl import solve  # local import: avoid cycle
+
+    num_clauses = int(num_vars * ratio)
+    for attempt in range(max_attempts):
+        formula = random_ksat(num_vars, num_clauses, k,
+                              seed=seed * max_attempts + attempt)
+        result = solve(formula, log_proof=False, max_conflicts=200_000)
+        if result.is_unsat:
+            return formula
+    raise ReproError(
+        f"no UNSAT formula found in {max_attempts} attempts "
+        f"(n={num_vars}, ratio={ratio}); raise the ratio")

@@ -1,0 +1,195 @@
+"""The named benchmark instances of the paper's Tables 1-3, scaled.
+
+Every instance is generated from a substrate in this repository (pipeline
+correspondence, BMC model, or equivalence miter) — the same *kind* of
+formula the paper used, at parameters a pure-Python solver completes in
+seconds (the originals are 10^5-10^6-clause industrial CNFs; see
+DESIGN.md for the substitution rationale).
+
+``paper_analog`` records which original instance each one stands in for.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.benchgen.php import pigeonhole
+from repro.benchgen.xor_chains import parity_contradiction
+from repro.bmc.models import (
+    arbiter_instance,
+    barrel_instance,
+    fifo_instance,
+    longmult_instance,
+    stack_instance,
+)
+from repro.circuits.library import (
+    alu,
+    barrel_rotator,
+    carry_select_adder,
+    decoded_rotator,
+    ripple_carry_adder,
+    shift_add_multiplier,
+    wallace_multiplier,
+)
+from repro.circuits.miter import equivalence_formula
+from repro.core.formula import CnfFormula
+from repro.pipelines.correctness import pipe_instance, vliw_instance
+from repro.pipelines.memory import dlx_instance as _dlx
+
+
+@dataclass(frozen=True)
+class InstanceSpec:
+    """A named UNSAT benchmark instance."""
+
+    name: str
+    family: str
+    paper_analog: str
+    description: str
+    builder: Callable[[], CnfFormula]
+
+    def build(self) -> CnfFormula:
+        return self.builder()
+
+
+def _spec(name: str, family: str, paper_analog: str, description: str,
+          builder: Callable[[], CnfFormula]) -> InstanceSpec:
+    return InstanceSpec(name, family, paper_analog, description, builder)
+
+
+INSTANCES: dict[str, InstanceSpec] = {
+    spec.name: spec for spec in [
+        # -- pipelined microprocessor verification (Velev family) --------
+        _spec("pipe_2", "pipe", "5pipe",
+              "2-stage pipeline vs ISA, 4 instrs, 2 regs x 2 bits",
+              lambda: pipe_instance(2, 4, num_regs=2, width=2)),
+        _spec("pipe_3", "pipe", "5pipe_1",
+              "3-stage pipeline vs ISA, 4 instrs, 2 regs x 2 bits",
+              lambda: pipe_instance(3, 4, num_regs=2, width=2)),
+        _spec("pipe_4", "pipe", "6pipe_5",
+              "4-stage pipeline vs ISA, 5 instrs, 2 regs x 2 bits",
+              lambda: pipe_instance(4, 5, num_regs=2, width=2)),
+        _spec("pipe_5", "pipe", "7pipe",
+              "5-stage pipeline vs ISA, 6 instrs, 2 regs x 2 bits",
+              lambda: pipe_instance(5, 6, num_regs=2, width=2)),
+        _spec("vliw", "pipe", "vliw",
+              "2-issue VLIW pipeline vs ISA, 4 instrs",
+              lambda: vliw_instance(2, 4, num_regs=2, width=2)),
+        _spec("dlx_2", "pipe", "8pipe_6",
+              "2-stage load-store pipeline vs ISA, 3 instrs, memory "
+              "aliasing",
+              lambda: _dlx(2, 3, width=1)),
+        _spec("dlx_3", "pipe", "9pipe",
+              "3-stage load-store pipeline vs ISA, 4 instrs, memory "
+              "aliasing",
+              lambda: _dlx(3, 4, width=1)),
+        # -- PicoJava-style control property checks ----------------------
+        _spec("stack8_8", "stack", "exmp72",
+              "stack pointer control, depth 8, bound 8",
+              lambda: stack_instance(8, 8)),
+        _spec("stack8_12", "stack", "exmp73",
+              "stack pointer control, depth 8, bound 12",
+              lambda: stack_instance(8, 12)),
+        _spec("stack12_10", "stack", "exmp74",
+              "stack pointer control, depth 12, bound 10",
+              lambda: stack_instance(12, 10)),
+        _spec("stack16_10", "stack", "exmp75",
+              "stack pointer control, depth 16, bound 10",
+              lambda: stack_instance(16, 10)),
+        # -- bounded model checking (barrel / longmult) ------------------
+        _spec("barrel5", "barrel", "barrel7",
+              "input-controlled barrel rotator, 5 regs, bound 7",
+              lambda: barrel_instance(5, 7)),
+        _spec("barrel6", "barrel", "barrel8",
+              "input-controlled barrel rotator, 6 regs, bound 8",
+              lambda: barrel_instance(6, 8)),
+        _spec("barrel7", "barrel", "barrel9",
+              "input-controlled barrel rotator, 7 regs, bound 9",
+              lambda: barrel_instance(7, 9)),
+        _spec("longmult_4", "longmult", "longmult12",
+              "sequential vs Wallace multiplier, width 6, bit 4",
+              lambda: longmult_instance(6, 4)),
+        _spec("longmult_6", "longmult", "longmult13",
+              "sequential vs Wallace multiplier, width 6, bit 6",
+              lambda: longmult_instance(6, 6)),
+        _spec("longmult_8", "longmult", "longmult14",
+              "sequential vs Wallace multiplier, width 6, bit 8",
+              lambda: longmult_instance(6, 8)),
+        _spec("longmult_10", "longmult", "longmult15",
+              "sequential vs Wallace multiplier, width 6, bit 10",
+              lambda: longmult_instance(6, 10)),
+        # -- combinational equivalence checking ---------------------------
+        _spec("eq_alu4", "equiv", "c2670",
+              "4-bit ALU: ripple vs carry-select adder core",
+              lambda: equivalence_formula(alu(4, "ripple"),
+                                          alu(4, "select"))),
+        _spec("eq_add8", "equiv", "c3540",
+              "8-bit adder: ripple-carry vs carry-select",
+              lambda: equivalence_formula(ripple_carry_adder(8),
+                                          carry_select_adder(8))),
+        _spec("eq_mult4", "equiv", "c5315",
+              "4-bit multiplier: shift-add vs Wallace tree",
+              lambda: equivalence_formula(shift_add_multiplier(4),
+                                          wallace_multiplier(4))),
+        # -- SAT-2002 BMC (w family) ---------------------------------------
+        _spec("w6_10", "arbiter", "w10_45",
+              "round-robin arbiter, 6 clients, bound 10",
+              lambda: arbiter_instance(6, 10)),
+        _spec("w6_14", "arbiter", "w10_60",
+              "round-robin arbiter, 6 clients, bound 14",
+              lambda: arbiter_instance(6, 14)),
+        _spec("w8_14", "arbiter", "w10_70",
+              "round-robin arbiter, 8 clients, bound 14",
+              lambda: arbiter_instance(8, 14)),
+        # -- SAT-2002 BMC (fifo family, Table 3 scaling study) -------------
+        _spec("fifo8_6", "fifo", "fifo8_300",
+              "shift vs ring FIFO, depth 8, bound 6",
+              lambda: fifo_instance(8, 6)),
+        _spec("fifo8_8", "fifo", "fifo8_350",
+              "shift vs ring FIFO, depth 8, bound 8",
+              lambda: fifo_instance(8, 8)),
+        _spec("fifo8_10", "fifo", "fifo8_400",
+              "shift vs ring FIFO, depth 8, bound 10",
+              lambda: fifo_instance(8, 10)),
+        # -- classic extras (not in the paper's tables) --------------------
+        _spec("php6", "php", "-",
+              "pigeonhole: 7 pigeons, 6 holes",
+              lambda: pigeonhole(6)),
+        _spec("parity24", "parity", "-",
+              "two 24-bit parity chains forced to disagree",
+              lambda: parity_contradiction(24)),
+        _spec("eq_rot8", "equiv", "-",
+              "8-bit rotator: log shifter vs decoded",
+              lambda: equivalence_formula(barrel_rotator(8),
+                                          decoded_rotator(8))),
+    ]
+}
+
+# The instance groups of the paper's tables, in table order.
+TABLE1_INSTANCES: tuple[str, ...] = (
+    "pipe_2", "pipe_3", "pipe_4", "pipe_5", "vliw", "dlx_2", "dlx_3",
+    "stack8_8", "stack8_12", "stack12_10", "stack16_10",
+    "barrel5", "barrel6", "barrel7",
+    "longmult_4", "longmult_6", "longmult_8", "longmult_10",
+    "eq_alu4", "eq_add8", "eq_mult4",
+    "w6_10", "w6_14", "w8_14",
+)
+TABLE2_INSTANCES: tuple[str, ...] = TABLE1_INSTANCES
+TABLE3_INSTANCES: tuple[str, ...] = ("fifo8_6", "fifo8_8", "fifo8_10")
+
+
+def instance_names(family: str | None = None) -> list[str]:
+    """All registered instance names, optionally filtered by family."""
+    return [name for name, spec in INSTANCES.items()
+            if family is None or spec.family == family]
+
+
+def build_instance(name: str) -> CnfFormula:
+    """Build a registered instance by name."""
+    try:
+        spec = INSTANCES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown instance {name!r}; known: "
+            f"{', '.join(sorted(INSTANCES))}") from None
+    return spec.build()

@@ -1,0 +1,51 @@
+"""Parity-contradiction formulas (XOR chains).
+
+Two Tseitin-encoded parity chains over the same variables are constrained
+to opposite values — UNSAT, and hard for resolution in proportion to the
+chain length.  A CNF-level cousin of the classic Dubois family.
+"""
+
+from __future__ import annotations
+
+from repro.core.exceptions import ModelError
+from repro.core.formula import CnfFormula
+
+
+def _xor_clauses(formula: CnfFormula, a: int, b: int, out: int) -> None:
+    """Clauses for ``out = a XOR b``."""
+    formula.add_clause([-out, a, b])
+    formula.add_clause([-out, -a, -b])
+    formula.add_clause([out, -a, b])
+    formula.add_clause([out, a, -b])
+
+
+def parity_contradiction(width: int) -> CnfFormula:
+    """Two parity chains over ``width`` shared inputs forced to disagree.
+
+    Chain one runs left-to-right, chain two right-to-left; both compute
+    the same parity, and the formula asserts chain one's result is true
+    while chain two's is false — UNSAT.
+    """
+    if width < 2:
+        raise ModelError("width must be at least 2")
+    formula = CnfFormula(num_vars=width)
+    next_var = width
+
+    def fresh() -> int:
+        nonlocal next_var
+        next_var += 1
+        return next_var
+
+    forward = 1
+    for x in range(2, width + 1):
+        out = fresh()
+        _xor_clauses(formula, forward, x, out)
+        forward = out
+    backward = width
+    for x in range(width - 1, 0, -1):
+        out = fresh()
+        _xor_clauses(formula, backward, x, out)
+        backward = out
+    formula.add_clause([forward])
+    formula.add_clause([-backward])
+    return formula

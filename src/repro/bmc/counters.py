@@ -1,0 +1,118 @@
+"""Counter models for sequential equivalence checking demos.
+
+A binary up-counter and a Gray-code up-counter observed through a
+Gray-encoding of their state: the two implementations count in totally
+different encodings, yet their observable behavior is identical — the
+textbook sequential-equivalence workload for
+:func:`repro.bmc.product.product_system`.
+"""
+
+from __future__ import annotations
+
+from repro.bmc.transition import TransitionSystem
+from repro.circuits.netlist import Circuit
+from repro.core.exceptions import ModelError
+
+
+def binary_counter_system(width: int,
+                          buggy: bool = False) -> TransitionSystem:
+    """Binary up-counter; observations are the Gray encoding of the
+    count (``gray[i] = n[i] XOR n[i+1]``).
+
+    ``buggy=True`` drops the carry into the top bit — a real bug the
+    product machine must expose.
+    """
+    if width < 2:
+        raise ModelError("width must be at least 2")
+    c = Circuit(f"bin{width}_step")
+    bits = c.add_input_bus("n", width)
+    carry = c.CONST1()
+    for i in range(width):
+        total = c.add_gate("XOR", (bits[i], carry))
+        carry = c.AND(bits[i], carry)
+        if buggy and i == width - 2:
+            carry = c.CONST0()
+        c.set_output(c.BUF(total, name=f"next_n[{i}]"))
+    observations = []
+    for i in range(width):
+        if i + 1 < width:
+            net = c.add_gate("XOR", (bits[i], bits[i + 1]),
+                             name=f"gray[{i}]")
+        else:
+            net = c.BUF(bits[i], name=f"gray[{i}]")
+        observations.append(net)
+    c.set_output(c.CONST0(name="bad"))
+    init = {f"n[{i}]": False for i in range(width)}
+    return TransitionSystem(
+        f"bin{width}{'_buggy' if buggy else ''}", c,
+        [f"n[{i}]" for i in range(width)], (), init,
+        observations=observations)
+
+
+def gray_counter_system(width: int) -> TransitionSystem:
+    """Gray-code up-counter; observations are its state bits directly.
+
+    Transition (standard Gray increment): toggle bit 0 when parity of
+    the word is even; otherwise toggle the bit above the lowest set bit
+    (the top bit toggles when the lowest set bit is the top bit).
+    """
+    if width < 2:
+        raise ModelError("width must be at least 2")
+    c = Circuit(f"gray{width}_step")
+    bits = c.add_input_bus("g", width)
+    parity = bits[0]
+    for bit in bits[1:]:
+        parity = c.add_gate("XOR", (parity, bit))
+    even_parity = c.NOT(parity)
+
+    # lowest_set[i]: bit i is the lowest set bit.
+    none_below = c.CONST1()
+    toggles = []
+    lowest_flags = []
+    for i in range(width):
+        lowest_flags.append(c.AND(bits[i], none_below))
+        none_below = c.AND(none_below, c.NOT(bits[i]))
+    for i in range(width):
+        if i == 0:
+            toggle = even_parity
+        elif i < width - 1:
+            toggle = c.AND(parity, lowest_flags[i - 1])
+        else:
+            # Top bit toggles when parity is odd and the lowest set bit
+            # is either just below the top or the top itself (the
+            # wraparound step of the Gray sequence).
+            toggle = c.AND(parity, c.OR(lowest_flags[width - 2],
+                                        lowest_flags[width - 1]))
+        toggles.append(toggle)
+    observations = []
+    for i in range(width):
+        c.set_output(c.MUX(toggles[i], bits[i], c.NOT(bits[i]),
+                           name=f"next_g[{i}]"))
+        observations.append(bits[i])
+    c.set_output(c.CONST0(name="bad"))
+    init = {f"g[{i}]": False for i in range(width)}
+    return TransitionSystem(
+        f"gray{width}", c, [f"g[{i}]" for i in range(width)], (), init,
+        observations=observations)
+
+
+def counters_joint_init(width: int) -> Circuit:
+    """Cross-side initial-state predicate for the counter product:
+    the Gray counter's state equals the Gray encoding of the binary
+    counter's state.  Used with
+    ``product_system(gray, binary, joint_init=..., free_init=True)`` to
+    prove equivalence over *all* consistent state pairs, not just the
+    all-zeros start."""
+    c = Circuit("gray_bin_correspondence")
+    gray_bits = [c.add_input(f"L.g[{i}]") for i in range(width)]
+    bin_bits = [c.add_input(f"R.n[{i}]") for i in range(width)]
+    matches = []
+    for i in range(width):
+        if i + 1 < width:
+            encoded = c.add_gate("XOR", (bin_bits[i], bin_bits[i + 1]))
+        else:
+            encoded = bin_bits[i]
+        matches.append(c.XNOR(gray_bits[i], encoded))
+    c.set_output(c.AND(*matches, name="ok") if width > 1
+                 else c.BUF(matches[0], name="ok"))
+    return c

@@ -1,0 +1,126 @@
+"""k-induction: unbounded safety proofs from two UNSAT queries.
+
+Bounded model checking (the paper's workload) only refutes violations up
+to a bound; k-induction (Sheeran/Singh/Stålmarck 2000) upgrades it to an
+*unbounded* proof with two UNSAT formulas:
+
+* **base case** — no bad state is reachable within ``k`` steps from an
+  initial state (an ordinary BMC query);
+* **inductive step** — ``k`` consecutive good states are never followed
+  by a bad one, starting from *any* state.
+
+Both verdicts come from the proof-logging solver, so an unbounded safety
+claim here is backed by two independently verifiable conflict clause
+proofs — certified model checking, on exactly the machinery the paper
+introduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bmc.transition import BAD_NET, NEXT_PREFIX, TransitionSystem
+from repro.bmc.unroll import unroll
+from repro.circuits.tseitin import TseitinEncoder
+from repro.core.exceptions import ModelError
+from repro.core.formula import CnfFormula
+from repro.proofs.conflict_clause import ConflictClauseProof
+from repro.solver.cdcl import SolverOptions, solve
+from repro.verify.verification import verify_proof_v2
+
+
+def base_case_formula(system: TransitionSystem, k: int) -> CnfFormula:
+    """SAT iff some initial path of length <= k reaches a bad state."""
+    return unroll(system, k).formula
+
+
+def inductive_step_formula(system: TransitionSystem,
+                           k: int) -> CnfFormula:
+    """SAT iff k consecutive good states can be followed by a bad one.
+
+    Frames 0..k carry no initial-state constraint; ``bad`` is asserted
+    false in frames 0..k-1 and true in frame k.
+    """
+    if k < 1:
+        raise ModelError("k must be at least 1")
+    encoder = TseitinEncoder()
+    current = {var: encoder.new_var(f"{var}@0")
+               for var in system.state_vars}
+    bad_literals = []
+    for frame in range(k + 1):
+        binding = dict(current)
+        for var in system.input_vars:
+            binding[var] = encoder.new_var(f"{var}@{frame}")
+        nets = encoder.encode(system.step, binding, prefix=f"f{frame}.")
+        bad_literals.append(nets[BAD_NET])
+        current = {var: nets[NEXT_PREFIX + var]
+                   for var in system.state_vars}
+    for lit in bad_literals[:-1]:
+        encoder.assert_false(lit)
+    encoder.assert_true(bad_literals[-1])
+    return encoder.formula
+
+
+@dataclass
+class InductionResult:
+    """Outcome of a k-induction attempt."""
+
+    system_name: str
+    k: int
+    proved: bool
+    failure: str | None
+    base_proof: ConflictClauseProof | None = None
+    step_proof: ConflictClauseProof | None = None
+    base_formula: CnfFormula | None = None
+    step_formula: CnfFormula | None = None
+
+    def verify_certificates(self) -> bool:
+        """Independently re-check both proofs (the paper's procedure)."""
+        if not self.proved:
+            return False
+        return (verify_proof_v2(self.base_formula, self.base_proof).ok
+                and verify_proof_v2(self.step_formula,
+                                    self.step_proof).ok)
+
+
+def prove_by_induction(system: TransitionSystem, k: int,
+                       options: SolverOptions | None = None,
+                       ) -> InductionResult:
+    """Attempt a k-induction proof of the system's safety property.
+
+    ``proved=False`` with ``failure="base"`` means the property is
+    actually violated within ``k`` steps; ``failure="step"`` means the
+    property is not k-inductive (try a larger ``k`` — the classic
+    k-induction workflow).
+    """
+    base = base_case_formula(system, k)
+    base_result = solve(base, options)
+    if base_result.is_sat:
+        return InductionResult(system.name, k, proved=False,
+                               failure="base")
+    step = inductive_step_formula(system, k)
+    step_result = solve(step, options)
+    if step_result.is_sat:
+        return InductionResult(system.name, k, proved=False,
+                               failure="step")
+    return InductionResult(
+        system.name, k, proved=True, failure=None,
+        base_proof=ConflictClauseProof.from_log(base_result.log),
+        step_proof=ConflictClauseProof.from_log(step_result.log),
+        base_formula=base, step_formula=step)
+
+
+def find_induction_depth(system: TransitionSystem, max_k: int,
+                         options: SolverOptions | None = None,
+                         ) -> InductionResult:
+    """Increase ``k`` until the property proves (or the budget runs out).
+
+    Returns the first successful result, or the last failing one.
+    """
+    result = None
+    for k in range(1, max_k + 1):
+        result = prove_by_induction(system, k, options)
+        if result.proved or result.failure == "base":
+            return result
+    assert result is not None
+    return result

@@ -1,0 +1,389 @@
+"""BMC model families mirroring the paper's benchmark suites.
+
+=============  =====================================================
+paper family   model here
+=============  =====================================================
+barrel7..9     :func:`barrel_system` — rotating one-hot token ring;
+               property: exactly one token survives rotation
+longmult12..15 :func:`longmult_system` / :func:`longmult_instance` —
+               sequential shift-add multiplier checked per output bit
+               against a combinational reference multiplier
+fifo8_300..400 :func:`fifo_pair_system` — shift-register FIFO vs
+               ring-buffer FIFO running the same push/pop stream;
+               property: equal occupancy and equal head element
+w10_45..70     :func:`arbiter_system` — round-robin token arbiter;
+               property: the token stays one-hot / grants exclusive
+exmp72..75     :func:`stack_system` — stack-machine pointer control
+               (binary vs one-hot stack pointer); property: the two
+               representations agree (PicoJava-style control check)
+=============  =====================================================
+
+All instances are UNSAT by construction (the properties hold), which is
+what the paper's proof pipeline consumes.
+"""
+
+from __future__ import annotations
+
+from repro.bmc.transition import TransitionSystem
+from repro.bmc.unroll import BmcInstance, unroll
+from repro.circuits.library import wallace_multiplier
+from repro.circuits.netlist import Circuit
+from repro.core.exceptions import ModelError
+from repro.core.formula import CnfFormula
+
+
+# -- in-circuit helpers ------------------------------------------------------
+
+def _pairwise_two(c: Circuit, bits: list[str]) -> str:
+    """Net that is true iff at least two of ``bits`` are true."""
+    pairs = [c.AND(bits[i], bits[j])
+             for i in range(len(bits)) for j in range(i + 1, len(bits))]
+    return pairs[0] if len(pairs) == 1 else c.OR(*pairs)
+
+
+def _eq_const(c: Circuit, bits: list[str], value: int) -> str:
+    """Net that is true iff the little-endian bus equals ``value``."""
+    terms = [bit if (value >> i) & 1 else c.NOT(bit)
+             for i, bit in enumerate(bits)]
+    return terms[0] if len(terms) == 1 else c.AND(*terms)
+
+
+def _increment(c: Circuit, bits: list[str]) -> list[str]:
+    """``bits + 1`` modulo ``2 ** len(bits)``."""
+    carry = c.CONST1()
+    out = []
+    for bit in bits:
+        out.append(c.add_gate("XOR", (bit, carry)))
+        carry = c.AND(bit, carry)
+    return out
+
+
+def _decrement(c: Circuit, bits: list[str]) -> list[str]:
+    """``bits - 1`` modulo ``2 ** len(bits)``."""
+    borrow = c.CONST1()
+    out = []
+    for bit in bits:
+        out.append(c.add_gate("XOR", (bit, borrow)))
+        borrow = c.AND(c.NOT(bit), borrow)
+    return out
+
+
+def _mux_word(c: Circuit, sel: str, if0: list[str],
+              if1: list[str]) -> list[str]:
+    return [c.MUX(sel, x0, x1) for x0, x1 in zip(if0, if1)]
+
+
+def _select(c: Circuit, index_bits: list[str], words: list[str]) -> str:
+    """``words[index]`` via a mux tree (len(words) a power of two)."""
+    layer = words
+    for bit in index_bits:
+        layer = [c.MUX(bit, layer[2 * i], layer[2 * i + 1])
+                 for i in range(len(layer) // 2)]
+    return layer[0]
+
+
+def _bus_neq(c: Circuit, xs: list[str], ys: list[str]) -> str:
+    diffs = [c.add_gate("XOR", (x, y)) for x, y in zip(xs, ys)]
+    return diffs[0] if len(diffs) == 1 else c.OR(*diffs)
+
+
+def _exactly_one_init(nets: list[str], name: str) -> Circuit:
+    """Init predicate: exactly one of the given state bits is true."""
+    c = Circuit(name)
+    ins = [c.add_input(net) for net in nets]
+    some = c.OR(*ins)
+    c.set_output(c.AND(some, c.NOT(_pairwise_two(c, ins)), name="ok"))
+    return c
+
+
+# -- barrel ------------------------------------------------------------------
+
+def barrel_system(num_regs: int) -> TransitionSystem:
+    """Barrel shifter over a one-hot token: ``num_regs`` registers rotate
+    each cycle by an input-controlled amount (a log-shifter inside the
+    transition relation, like the BMC'99 ``barrel`` family of [20]).
+
+    The token starts at an arbitrary position (symbolic one-hot init);
+    ``bad`` fires when the token vanishes or duplicates — rotation by any
+    amount preserves one-hotness, so every bound is UNSAT.
+    """
+    if num_regs < 2:
+        raise ModelError("barrel needs at least two registers")
+    shift_bits = (num_regs - 1).bit_length()
+    c = Circuit(f"barrel{num_regs}_step")
+    regs = [c.add_input(f"r{i}") for i in range(num_regs)]
+    shift = [c.add_input(f"sh{s}") for s in range(shift_bits)]
+    current = regs
+    for stage in range(shift_bits):
+        amount = (1 << stage) % num_regs
+        current = [
+            c.MUX(shift[stage], current[i],
+                  current[(i - amount) % num_regs])
+            for i in range(num_regs)
+        ]
+    for i in range(num_regs):
+        c.set_output(c.BUF(current[i], name=f"next_r{i}"))
+    none = c.NOR(*regs)
+    c.set_output(c.OR(none, _pairwise_two(c, regs), name="bad"))
+    names = [f"r{i}" for i in range(num_regs)]
+    return TransitionSystem(
+        f"barrel{num_regs}", c, names,
+        [f"sh{s}" for s in range(shift_bits)], init={},
+        init_circuit=_exactly_one_init(names, f"barrel{num_regs}_init"))
+
+
+def barrel_instance(num_regs: int, bound: int) -> CnfFormula:
+    return unroll(barrel_system(num_regs), bound).formula
+
+
+# -- longmult ----------------------------------------------------------------
+
+def longmult_system(width: int) -> TransitionSystem:
+    """Sequential shift-add multiplier: ``width`` cycles compute
+    ``mc * mq`` into a ``2 * width``-bit accumulator."""
+    if width < 1:
+        raise ModelError("width must be positive")
+    c = Circuit(f"longmult{width}_step")
+    acc = c.add_input_bus("acc", 2 * width)
+    mc = c.add_input_bus("mc", 2 * width)
+    mq = c.add_input_bus("mq", width)
+    zero = c.CONST0()
+    carry = zero
+    for i in range(2 * width):
+        addend = c.AND(mq[0], mc[i])
+        partial = c.add_gate("XOR", (acc[i], addend))
+        total = c.add_gate("XOR", (partial, carry))
+        carry = c.OR(c.AND(acc[i], addend), c.AND(partial, carry))
+        c.set_output(c.BUF(total, name=f"next_acc[{i}]"))
+    for i in range(2 * width):
+        source = zero if i == 0 else mc[i - 1]
+        c.set_output(c.BUF(source, name=f"next_mc[{i}]"))
+    for i in range(width):
+        source = zero if i == width - 1 else mq[i + 1]
+        c.set_output(c.BUF(source, name=f"next_mq[{i}]"))
+    c.set_output(c.BUF(zero, name="bad"))
+    state = ([f"acc[{i}]" for i in range(2 * width)]
+             + [f"mc[{i}]" for i in range(2 * width)]
+             + [f"mq[{i}]" for i in range(width)])
+    init = {f"acc[{i}]": False for i in range(2 * width)}
+    # Multiplicand occupies the low half initially; high half is zero.
+    init.update({f"mc[{i}]": False for i in range(width, 2 * width)})
+    return TransitionSystem(f"longmult{width}", c, state, (), init)
+
+
+def longmult_instance(width: int, bit: int) -> CnfFormula:
+    """The paper's ``longmult<bit>`` construction at word size ``width``:
+    after ``width`` cycles, output bit ``bit`` of the sequential
+    multiplier must equal the same bit of a combinational (Wallace)
+    reference multiplier of the initial operands.  Asserting the
+    disagreement yields an UNSAT formula whose hardness grows with
+    ``bit``."""
+    if not 0 <= bit < 2 * width:
+        raise ModelError(f"bit must be in [0, {2 * width}), got {bit}")
+    instance = unroll(longmult_system(width), width, assert_bad=False)
+    encoder = instance.encoder
+    frame0 = instance.state_literals[0]
+    binding = {}
+    for i in range(width):
+        binding[f"a[{i}]"] = frame0[f"mc[{i}]"]
+        binding[f"b[{i}]"] = frame0[f"mq[{i}]"]
+    reference = encoder.encode(wallace_multiplier(width), binding,
+                               prefix="ref.")
+    sequential_bit = instance.state_literals[width][f"acc[{bit}]"]
+    reference_bit = reference[f"p[{bit}]"]
+    # Assert the bits differ: (x ∨ y) ∧ (¬x ∨ ¬y).
+    encoder.add_clause([sequential_bit, reference_bit])
+    encoder.add_clause([-sequential_bit, -reference_bit])
+    return instance.formula
+
+
+# -- fifo pair (Table 3 family) -----------------------------------------------
+
+def fifo_pair_system(depth: int) -> TransitionSystem:
+    """Two FIFO implementations (shift register vs ring buffer) fed the
+    same push/pop/data stream; ``bad`` fires if their occupancy counters
+    or head elements (when non-empty) ever disagree."""
+    if depth < 2 or depth & (depth - 1):
+        raise ModelError("depth must be a power of two >= 2")
+    pointer_bits = depth.bit_length() - 1
+    count_bits = pointer_bits + 1
+    c = Circuit(f"fifo{depth}_step")
+
+    slots_a = c.add_input_bus("a", depth)
+    count_a = c.add_input_bus("ca", count_bits)
+    slots_b = c.add_input_bus("m", depth)
+    read_ptr = c.add_input_bus("rd", pointer_bits)
+    write_ptr = c.add_input_bus("wr", pointer_bits)
+    count_b = c.add_input_bus("cb", count_bits)
+    push = c.add_input("push")
+    pop = c.add_input("pop")
+    data = c.add_input("din")
+    zero = c.CONST0()
+
+    def fifo_control(count: list[str]) -> tuple[str, str, list[str],
+                                                list[str]]:
+        """Shared control idiom, computed from an implementation's own
+        counter: returns (pop_eff, push_eff, count_after_pop,
+        next_count)."""
+        empty = _eq_const(c, count, 0)
+        pop_eff = c.AND(pop, c.NOT(empty))
+        after_pop = _mux_word(c, pop_eff, count, _decrement(c, count))
+        full = _eq_const(c, after_pop, depth)
+        push_eff = c.AND(push, c.NOT(full))
+        next_count = _mux_word(c, push_eff, after_pop,
+                               _increment(c, after_pop))
+        return pop_eff, push_eff, after_pop, next_count
+
+    # Implementation A: shift register, oldest element at index 0.
+    pop_a, push_a, after_pop_a, next_count_a = fifo_control(count_a)
+    shifted = [
+        c.MUX(pop_a, slots_a[i],
+              slots_a[i + 1] if i + 1 < depth else zero)
+        for i in range(depth)
+    ]
+    for i in range(depth):
+        write_here = c.AND(push_a, _eq_const(c, after_pop_a, i))
+        c.set_output(c.MUX(write_here, shifted[i], data,
+                           name=f"next_a[{i}]"))
+    for i, bit in enumerate(next_count_a):
+        c.set_output(c.BUF(bit, name=f"next_ca[{i}]"))
+    head_a = slots_a[0]
+
+    # Implementation B: ring buffer with read/write pointers.
+    pop_b, push_b, _, next_count_b = fifo_control(count_b)
+    next_rd = _mux_word(c, pop_b, read_ptr, _increment(c, read_ptr))
+    next_wr = _mux_word(c, push_b, write_ptr, _increment(c, write_ptr))
+    for i in range(depth):
+        write_here = c.AND(push_b, _eq_const(c, write_ptr, i))
+        c.set_output(c.MUX(write_here, slots_b[i], data,
+                           name=f"next_m[{i}]"))
+    for i, bit in enumerate(next_rd):
+        c.set_output(c.BUF(bit, name=f"next_rd[{i}]"))
+    for i, bit in enumerate(next_wr):
+        c.set_output(c.BUF(bit, name=f"next_wr[{i}]"))
+    for i, bit in enumerate(next_count_b):
+        c.set_output(c.BUF(bit, name=f"next_cb[{i}]"))
+    head_b = _select(c, read_ptr, slots_b)
+
+    counts_differ = _bus_neq(c, count_a, count_b)
+    not_empty = c.NOT(_eq_const(c, count_a, 0))
+    heads_differ = c.AND(not_empty, c.add_gate("XOR", (head_a, head_b)))
+    c.set_output(c.OR(counts_differ, heads_differ, name="bad"))
+
+    state = ([f"a[{i}]" for i in range(depth)]
+             + [f"ca[{i}]" for i in range(count_bits)]
+             + [f"m[{i}]" for i in range(depth)]
+             + [f"rd[{i}]" for i in range(pointer_bits)]
+             + [f"wr[{i}]" for i in range(pointer_bits)]
+             + [f"cb[{i}]" for i in range(count_bits)])
+    init = {f"ca[{i}]": False for i in range(count_bits)}
+    init.update({f"cb[{i}]": False for i in range(count_bits)})
+    init.update({f"rd[{i}]": False for i in range(pointer_bits)})
+    init.update({f"wr[{i}]": False for i in range(pointer_bits)})
+    return TransitionSystem(f"fifo{depth}", c, state,
+                            ["push", "pop", "din"], init)
+
+
+def fifo_instance(depth: int, bound: int) -> CnfFormula:
+    return unroll(fifo_pair_system(depth), bound).formula
+
+
+# -- arbiter (w-family) --------------------------------------------------------
+
+def arbiter_system(num_clients: int) -> TransitionSystem:
+    """Round-robin token arbiter: the token holder is granted while it
+    requests, then the token advances.  ``bad`` fires on lost/duplicated
+    tokens or simultaneous grants — unreachable, hence UNSAT."""
+    if num_clients < 2:
+        raise ModelError("arbiter needs at least two clients")
+    c = Circuit(f"arbiter{num_clients}_step")
+    token = [c.add_input(f"t{i}") for i in range(num_clients)]
+    requests = [c.add_input(f"req{i}") for i in range(num_clients)]
+    grants = [c.AND(token[i], requests[i]) for i in range(num_clients)]
+    hold = c.OR(*grants)
+    for i in range(num_clients):
+        c.set_output(c.MUX(hold, token[(i - 1) % num_clients], token[i],
+                           name=f"next_t{i}"))
+    no_token = c.NOR(*token)
+    c.set_output(c.OR(no_token, _pairwise_two(c, token),
+                      _pairwise_two(c, grants), name="bad"))
+    names = [f"t{i}" for i in range(num_clients)]
+    # The token starts with an arbitrary client: symbolic one-hot init.
+    return TransitionSystem(
+        f"arbiter{num_clients}", c, names,
+        [f"req{i}" for i in range(num_clients)], init={},
+        init_circuit=_exactly_one_init(
+            names, f"arbiter{num_clients}_init"))
+
+
+def arbiter_instance(num_clients: int, bound: int) -> CnfFormula:
+    return unroll(arbiter_system(num_clients), bound).formula
+
+
+# -- stack controller (PicoJava-style exmp family) ------------------------------
+
+def stack_system(depth: int) -> TransitionSystem:
+    """Stack-machine pointer control checked across two encodings.
+
+    Opcode inputs (``op1 op0``): 00 nop, 01 push, 10 pop, 11 alu (pop two,
+    push one).  The stack pointer is tracked twice — as a binary counter
+    and as a one-hot register over positions ``0 .. depth`` — with guard
+    conditions computed independently from each encoding; ``bad`` fires
+    when the encodings disagree.  This mirrors the control-logic property
+    checks run on the PicoJava II design [21 in the paper]."""
+    if depth < 2:
+        raise ModelError("depth must be at least 2")
+    binary_bits = depth.bit_length()
+    c = Circuit(f"stack{depth}_step")
+    sp_bin = c.add_input_bus("sp", binary_bits)
+    sp_hot = [c.add_input(f"h{i}") for i in range(depth + 1)]
+    op0 = c.add_input("op0")
+    op1 = c.add_input("op1")
+
+    is_push = c.AND(c.NOT(op1), op0)
+    is_pop = c.AND(op1, c.NOT(op0))
+    is_alu = c.AND(op1, op0)
+
+    # Binary-encoded pointer with guards from the binary value.
+    can_push_bin = c.NOT(_eq_const(c, sp_bin, depth))
+    at_zero_bin = _eq_const(c, sp_bin, 0)
+    can_pop_bin = c.NOT(at_zero_bin)
+    can_alu_bin = c.NOT(c.OR(at_zero_bin, _eq_const(c, sp_bin, 1)))
+    inc_bin = c.AND(is_push, can_push_bin)
+    dec_bin = c.OR(c.AND(is_pop, can_pop_bin), c.AND(is_alu, can_alu_bin))
+    incremented = _mux_word(c, inc_bin, sp_bin, _increment(c, sp_bin))
+    next_bin = _mux_word(c, dec_bin, incremented, _decrement(c, sp_bin))
+    for i, bit in enumerate(next_bin):
+        c.set_output(c.BUF(bit, name=f"next_sp[{i}]"))
+
+    # One-hot pointer with guards from the one-hot encoding.
+    can_push_hot = c.NOT(sp_hot[depth])
+    can_pop_hot = c.NOT(sp_hot[0])
+    can_alu_hot = c.NOR(sp_hot[0], sp_hot[1])
+    inc_hot = c.AND(is_push, can_push_hot)
+    dec_hot = c.OR(c.AND(is_pop, can_pop_hot), c.AND(is_alu, can_alu_hot))
+    zero = c.CONST0()
+    for i in range(depth + 1):
+        shifted_up = sp_hot[i - 1] if i > 0 else zero
+        shifted_down = sp_hot[i + 1] if i < depth else zero
+        after_inc = c.MUX(inc_hot, sp_hot[i], shifted_up)
+        # inc and dec are mutually exclusive (distinct opcodes).
+        c.set_output(c.MUX(dec_hot, after_inc, shifted_down,
+                           name=f"next_h{i}"))
+
+    mismatches = [
+        c.add_gate("XOR", (sp_hot[i], _eq_const(c, sp_bin, i)))
+        for i in range(depth + 1)
+    ]
+    c.set_output(c.OR(*mismatches, name="bad"))
+
+    state = ([f"sp[{i}]" for i in range(binary_bits)]
+             + [f"h{i}" for i in range(depth + 1)])
+    init = {f"sp[{i}]": False for i in range(binary_bits)}
+    init.update({f"h{i}": i == 0 for i in range(depth + 1)})
+    return TransitionSystem(f"stack{depth}", c, state, ["op0", "op1"],
+                            init)
+
+
+def stack_instance(depth: int, bound: int) -> CnfFormula:
+    return unroll(stack_system(depth), bound).formula

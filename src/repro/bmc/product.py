@@ -1,0 +1,124 @@
+"""Product machines: sequential equivalence checking for free.
+
+Given two transition systems over the *same inputs* that expose the same
+list of observable nets, the product machine runs both in lockstep and
+flags ``bad`` when either side's own property fails or the observations
+diverge.  Unrolling the product (or k-inducting on it) then proves the
+two designs behave identically on every input sequence up to the bound —
+the generalization of the hand-built FIFO pair of
+:func:`repro.bmc.models.fifo_pair_system`.
+"""
+
+from __future__ import annotations
+
+from repro.bmc.transition import BAD_NET, NEXT_PREFIX, TransitionSystem
+from repro.circuits.miter import copy_into
+from repro.circuits.netlist import Circuit
+from repro.core.exceptions import ModelError
+
+
+def product_system(left: TransitionSystem, right: TransitionSystem,
+                   name: str | None = None,
+                   joint_init: Circuit | None = None,
+                   free_init: bool = False) -> TransitionSystem:
+    """Compose two systems into an observation-comparing product.
+
+    Requirements: identical ``input_vars`` and equally long
+    ``observations`` lists (compared positionally).  State variables are
+    namespaced ``L.<var>`` / ``R.<var>``; initial-state constraints of
+    both sides carry over unless ``free_init=True`` (then the per-side
+    fixed inits are dropped — useful for inductive-style equivalence
+    over all *consistent* state pairs).
+
+    ``joint_init`` may add a cross-side initial-state predicate: a
+    circuit over namespaced state vars (``L.x``, ``R.y``) with one
+    output that must hold in frame 0 — e.g. "the two encodings start in
+    corresponding states".
+    """
+    if left.input_vars != right.input_vars:
+        raise ModelError(
+            "product requires identical input variables; got "
+            f"{left.input_vars} vs {right.input_vars}")
+    if len(left.observations) != len(right.observations):
+        raise ModelError(
+            f"observation count mismatch: {len(left.observations)} vs "
+            f"{len(right.observations)}")
+    if not left.observations:
+        raise ModelError("product needs at least one observation to "
+                         "compare")
+
+    c = Circuit(name or f"product({left.name},{right.name})")
+    state_vars: list[str] = []
+    init: dict[str, bool] = {}
+    for tag, system in (("L", left), ("R", right)):
+        for var in system.state_vars:
+            c.add_input(f"{tag}.{var}")
+            state_vars.append(f"{tag}.{var}")
+        if not free_init:
+            for var, value in system.init.items():
+                init[f"{tag}.{var}"] = value
+    for var in left.input_vars:
+        c.add_input(var)
+
+    maps = {}
+    for tag, system in (("L", left), ("R", right)):
+        binding = {var: f"{tag}.{var}" for var in system.state_vars}
+        binding.update({var: var for var in system.input_vars})
+        maps[tag] = copy_into(c, system.step, binding, f"{tag}.")
+        for var in system.state_vars:
+            c.add_gate("BUF", (maps[tag][NEXT_PREFIX + var],),
+                       name=f"{NEXT_PREFIX}{tag}.{var}")
+
+    mismatches = [
+        c.add_gate("XOR", (maps["L"][lo], maps["R"][ro]))
+        for lo, ro in zip(left.observations, right.observations)
+    ]
+    c.set_output(c.OR(maps["L"][BAD_NET], maps["R"][BAD_NET],
+                      *mismatches, name=BAD_NET))
+    for var in state_vars:
+        c.set_output(f"{NEXT_PREFIX}{var}")
+
+    init_circuit = _merge_init_circuits(left, right, joint_init,
+                                        free_init)
+    return TransitionSystem(
+        c.name, c, state_vars, list(left.input_vars), init,
+        init_circuit=init_circuit)
+
+
+def _merge_init_circuits(left: TransitionSystem,
+                         right: TransitionSystem,
+                         joint_init: Circuit | None,
+                         free_init: bool) -> Circuit | None:
+    pieces = [(tag, system) for tag, system in (("L", left), ("R", right))
+              if system.init_circuit is not None and not free_init]
+    if not pieces and joint_init is None:
+        return None
+    c = Circuit("product_init")
+    declared: set[str] = set()
+    ok_nets = []
+    for tag, system in pieces:
+        binding = {}
+        for var in system.init_circuit.inputs:
+            namespaced = f"{tag}.{var}"
+            if namespaced not in declared:
+                c.add_input(namespaced)
+                declared.add(namespaced)
+            binding[var] = namespaced
+        mapping = copy_into(c, system.init_circuit, binding, f"{tag}i.")
+        ok_nets.append(mapping[system.init_circuit.outputs[0]])
+    if joint_init is not None:
+        if len(joint_init.outputs) != 1:
+            raise ModelError(
+                "joint_init must have exactly one output")
+        binding = {}
+        for var in joint_init.inputs:
+            if var not in declared:
+                c.add_input(var)
+                declared.add(var)
+            binding[var] = var
+        mapping = copy_into(c, joint_init, binding, "J.")
+        ok_nets.append(mapping[joint_init.outputs[0]])
+    combined = (ok_nets[0] if len(ok_nets) == 1
+                else c.AND(*ok_nets))
+    c.set_output(c.BUF(combined, name="ok"))
+    return c

@@ -1,0 +1,84 @@
+"""BMC unrolling: transition system × bound → CNF.
+
+The standard Biere-et-al. construction [2 in the paper]: stamp the
+transition relation once per time frame over a shared variable pool,
+constrain frame 0 to the initial states, and assert that the ``bad``
+output fires in at least one frame.  The result is satisfiable iff the
+property can be violated within the bound — so every instance built from
+a correct design is UNSAT, which is precisely what the paper's proof
+machinery consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bmc.transition import BAD_NET, NEXT_PREFIX, TransitionSystem
+from repro.circuits.tseitin import TseitinEncoder
+from repro.core.exceptions import ModelError
+from repro.core.formula import CnfFormula
+
+
+@dataclass
+class BmcInstance:
+    """An unrolled BMC problem.
+
+    ``state_literals[t]`` maps state var names to their literal in frame
+    ``t`` (0 .. bound); ``input_literals[t]`` and ``bad_literals[t]``
+    cover frames 0 .. bound-1.  ``encoder`` stays open, so callers (e.g.
+    the longmult reference-model construction) can add further
+    constraints before reading ``formula``.
+    """
+
+    system: TransitionSystem
+    bound: int
+    encoder: TseitinEncoder
+    state_literals: list[dict[str, int]] = field(default_factory=list)
+    input_literals: list[dict[str, int]] = field(default_factory=list)
+    bad_literals: list[int] = field(default_factory=list)
+
+    @property
+    def formula(self) -> CnfFormula:
+        return self.encoder.formula
+
+
+def unroll(system: TransitionSystem, bound: int,
+           assert_bad: bool = True) -> BmcInstance:
+    """Unroll ``bound`` steps; optionally assert some frame is bad.
+
+    With ``assert_bad=False`` the caller owns the property (used by
+    models whose specification is a reference circuit rather than the
+    per-frame ``bad`` flag).
+    """
+    if bound < 1:
+        raise ModelError("bound must be at least 1")
+    encoder = TseitinEncoder()
+    instance = BmcInstance(system, bound, encoder)
+
+    frame0 = {
+        var: encoder.new_var(f"{var}@0") for var in system.state_vars}
+    for var, value in system.init.items():
+        encoder.assert_true(frame0[var] if value else -frame0[var])
+    if system.init_circuit is not None:
+        nets = encoder.encode(system.init_circuit, frame0, prefix="init.")
+        encoder.assert_true(nets[system.init_circuit.outputs[0]])
+    instance.state_literals.append(frame0)
+
+    current = frame0
+    for frame in range(bound):
+        binding: dict[str, int] = dict(current)
+        inputs = {
+            var: encoder.new_var(f"{var}@{frame}")
+            for var in system.input_vars}
+        binding.update(inputs)
+        instance.input_literals.append(inputs)
+        nets = encoder.encode(system.step, binding,
+                              prefix=f"f{frame}.")
+        instance.bad_literals.append(nets[BAD_NET])
+        current = {var: nets[NEXT_PREFIX + var]
+                   for var in system.state_vars}
+        instance.state_literals.append(current)
+
+    if assert_bad:
+        encoder.add_clause(instance.bad_literals)
+    return instance

@@ -1,0 +1,161 @@
+"""ISCAS BENCH netlist format.
+
+The paper's equivalence-checking instances come from the ISCAS-85
+benchmark suite (c2670, c3540, c5315), which is distributed in the
+``.bench`` format::
+
+    # comment
+    INPUT(G1)
+    OUTPUT(G17)
+    G10 = NAND(G1, G3)
+    G17 = NOT(G10)
+
+This module reads and writes that format so users who *do* have the
+original netlists can run them through this library.  Gates may appear
+in any order (the parser topologically sorts them).  Two non-standard
+extensions are accepted and emitted — ``CONST0()``/``CONST1()`` and
+``MUX(sel, if0, if1)`` — so every :class:`repro.circuits.Circuit`
+roundtrips; writers targeting strict ISCAS tools should avoid those ops.
+Sequential elements (``DFF``) are rejected: this library's sequential
+flow goes through :mod:`repro.bmc` instead.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+from os import PathLike
+
+from repro.circuits.netlist import Circuit
+from repro.core.exceptions import CircuitError
+
+_LINE = re.compile(
+    r"^\s*(?P<out>[^\s=()]+)\s*=\s*(?P<op>[A-Za-z01]+)\s*"
+    r"\((?P<args>[^)]*)\)\s*$")
+_DECL = re.compile(r"^\s*(?P<kind>INPUT|OUTPUT)\s*\((?P<net>[^)]+)\)\s*$",
+                   re.IGNORECASE)
+
+_OP_ALIASES = {
+    "BUFF": "BUF",
+    "BUF": "BUF",
+    "NOT": "NOT",
+    "AND": "AND",
+    "NAND": "NAND",
+    "OR": "OR",
+    "NOR": "NOR",
+    "XOR": "XOR",
+    "XNOR": "XNOR",
+    "MUX": "MUX",
+    "CONST0": "CONST0",
+    "CONST1": "CONST1",
+}
+
+
+def parse_bench(text: str, name: str = "bench") -> Circuit:
+    """Parse BENCH text into a :class:`Circuit`."""
+    inputs: list[str] = []
+    outputs: list[str] = []
+    definitions: dict[str, tuple[str, tuple[str, ...]]] = {}
+
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        declaration = _DECL.match(line)
+        if declaration:
+            net = declaration.group("net").strip()
+            if declaration.group("kind").upper() == "INPUT":
+                inputs.append(net)
+            else:
+                outputs.append(net)
+            continue
+        gate = _LINE.match(line)
+        if not gate:
+            raise CircuitError(
+                f"line {line_number}: cannot parse {line!r}")
+        op_name = gate.group("op").upper()
+        if op_name == "DFF":
+            raise CircuitError(
+                f"line {line_number}: sequential element DFF is not "
+                "supported (model it as a repro.bmc transition system)")
+        op = _OP_ALIASES.get(op_name)
+        if op is None:
+            raise CircuitError(
+                f"line {line_number}: unknown gate type {op_name!r}")
+        out = gate.group("out").strip()
+        if out in definitions:
+            raise CircuitError(
+                f"line {line_number}: net {out!r} defined twice")
+        args = tuple(arg.strip() for arg in gate.group("args").split(",")
+                     if arg.strip())
+        # XOR/XNOR in BENCH may be wide; Circuit.XOR handles chaining,
+        # but XNOR needs explicit reduction for arity > 2.
+        definitions[out] = (op, args)
+
+    circuit = Circuit(name)
+    for net in inputs:
+        circuit.add_input(net)
+
+    # Topological emission (BENCH allows any definition order).
+    emitted: set[str] = set(inputs)
+    pending = dict(definitions)
+    while pending:
+        progress = False
+        for out in list(pending):
+            op, args = pending[out]
+            if all(arg in emitted for arg in args):
+                _emit(circuit, op, args, out)
+                emitted.add(out)
+                del pending[out]
+                progress = True
+        if not progress:
+            unresolved = sorted(pending)
+            raise CircuitError(
+                "combinational cycle or undefined nets involving: "
+                f"{unresolved[:5]}")
+
+    for net in outputs:
+        if net not in emitted:
+            raise CircuitError(f"OUTPUT({net}) is never defined")
+        circuit.set_output(net)
+    return circuit
+
+
+def _emit(circuit: Circuit, op: str, args: tuple[str, ...],
+          out: str) -> None:
+    if op in ("XOR", "XNOR") and len(args) > 2:
+        acc = args[0]
+        for arg in args[1:-1]:
+            acc = circuit.add_gate("XOR", (acc, arg))
+        circuit.add_gate(op, (acc, args[-1]), name=out)
+        return
+    circuit.add_gate(op, args, name=out)
+
+
+def format_bench(circuit: Circuit, comment: str | None = None) -> str:
+    """Render a circuit as BENCH text."""
+    out = io.StringIO()
+    if comment:
+        for line in comment.splitlines():
+            out.write(f"# {line}\n")
+    for net in circuit.inputs:
+        out.write(f"INPUT({net})\n")
+    for net in circuit.outputs:
+        out.write(f"OUTPUT({net})\n")
+    for gate in circuit.gates:
+        op = "BUFF" if gate.op == "BUF" else gate.op
+        args = ", ".join(gate.inputs)
+        out.write(f"{gate.output} = {op}({args})\n")
+    return out.getvalue()
+
+
+def read_bench(path: str | PathLike, name: str | None = None) -> Circuit:
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_bench(handle.read(),
+                           name=name or str(path))
+
+
+def write_bench(circuit: Circuit, path: str | PathLike,
+                comment: str | None = None) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(format_bench(circuit, comment=comment))

@@ -1,0 +1,91 @@
+"""Gate primitives for combinational netlists.
+
+The verification-domain CNFs the paper evaluates on (equivalence-checking
+miters, BMC unrollings, pipeline-correspondence formulas) are all Tseitin
+encodings of gate-level circuits, so the substrate starts here.
+
+Supported operators, with their evaluation semantics:
+
+========  =======  =============================================
+op        arity    semantics
+========  =======  =============================================
+CONST0    0        constant false
+CONST1    0        constant true
+BUF       1        identity
+NOT       1        negation
+AND       >= 1     conjunction
+OR        >= 1     disjunction
+NAND      >= 1     negated conjunction
+NOR       >= 1     negated disjunction
+XOR       2        parity (binary only; wider XORs are chained)
+XNOR      2        negated parity
+MUX       3        inputs (sel, if0, if1): if1 when sel else if0
+========  =======  =============================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.exceptions import CircuitError
+
+VARIADIC_OPS = frozenset({"AND", "OR", "NAND", "NOR"})
+FIXED_ARITY = {
+    "CONST0": 0,
+    "CONST1": 0,
+    "BUF": 1,
+    "NOT": 1,
+    "XOR": 2,
+    "XNOR": 2,
+    "MUX": 3,
+}
+ALL_OPS = VARIADIC_OPS | frozenset(FIXED_ARITY)
+
+
+@dataclass(frozen=True)
+class Gate:
+    """A single gate: ``output = op(inputs)``."""
+
+    op: str
+    output: str
+    inputs: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.op not in ALL_OPS:
+            raise CircuitError(f"unknown gate op {self.op!r}")
+        arity = FIXED_ARITY.get(self.op)
+        if arity is not None:
+            if len(self.inputs) != arity:
+                raise CircuitError(
+                    f"{self.op} expects {arity} inputs, "
+                    f"got {len(self.inputs)}")
+        elif not self.inputs:
+            raise CircuitError(f"{self.op} needs at least one input")
+
+
+def evaluate_gate(op: str, values: list[bool]) -> bool:
+    """Evaluate one gate over concrete input values."""
+    if op == "CONST0":
+        return False
+    if op == "CONST1":
+        return True
+    if op == "BUF":
+        return values[0]
+    if op == "NOT":
+        return not values[0]
+    if op == "AND":
+        return all(values)
+    if op == "OR":
+        return any(values)
+    if op == "NAND":
+        return not all(values)
+    if op == "NOR":
+        return not any(values)
+    if op == "XOR":
+        return values[0] != values[1]
+    if op == "XNOR":
+        return values[0] == values[1]
+    if op == "MUX":
+        sel, if0, if1 = values
+        return if1 if sel else if0
+    raise CircuitError(f"unknown gate op {op!r}")

@@ -1,0 +1,341 @@
+"""A library of arithmetic and datapath circuits.
+
+Each function returns a :class:`Circuit`; functions come in pairs of
+*structurally different but functionally equivalent* implementations
+(ripple-carry vs carry-select adders, shift-add vs Wallace-tree
+multipliers, log-shifter vs decoder-based rotators, ...), because the
+paper's equivalence-checking instances are miters of exactly such pairs.
+
+Conventions: buses are little-endian (``a[0]`` is the LSB); adders expose
+a ``cin`` input and a ``cout`` output; every circuit over the same
+interface uses the same input net names, so any pair can be mitered
+directly.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.circuits.netlist import Circuit, bus
+from repro.core.exceptions import CircuitError
+
+
+def _half_adder(c: Circuit, a: str, b: str) -> tuple[str, str]:
+    return c.add_gate("XOR", (a, b)), c.AND(a, b)
+
+
+def _full_adder(c: Circuit, a: str, b: str, cin: str) -> tuple[str, str]:
+    ab = c.add_gate("XOR", (a, b))
+    total = c.add_gate("XOR", (ab, cin))
+    carry = c.OR(c.AND(a, b), c.AND(ab, cin))
+    return total, carry
+
+
+def ripple_carry_adder(width: int, name: str = "rca") -> Circuit:
+    """Classic ripple-carry adder: a + b + cin -> s, cout."""
+    c = Circuit(f"{name}{width}")
+    a = c.add_input_bus("a", width)
+    b = c.add_input_bus("b", width)
+    carry = c.add_input("cin")
+    for i in range(width):
+        total, carry = _full_adder(c, a[i], b[i], carry)
+        c.set_output(c.BUF(total, name=f"s[{i}]"))
+    c.set_output(c.BUF(carry, name="cout"))
+    return c
+
+
+def carry_select_adder(width: int, block: int = 4,
+                       name: str = "csa") -> Circuit:
+    """Carry-select adder: per block, both carry assumptions are computed
+    and the incoming carry selects — same function as the ripple adder,
+    very different structure."""
+    if block < 1:
+        raise CircuitError("block size must be >= 1")
+    c = Circuit(f"{name}{width}")
+    a = c.add_input_bus("a", width)
+    b = c.add_input_bus("b", width)
+    carry = c.add_input("cin")
+    zero = c.CONST0()
+    one = c.CONST1()
+    position = 0
+    while position < width:
+        size = min(block, width - position)
+        sums = {}
+        carries = {}
+        for assumed, const in ((0, zero), (1, one)):
+            chain = const
+            block_sums = []
+            for i in range(position, position + size):
+                total, chain = _full_adder(c, a[i], b[i], chain)
+                block_sums.append(total)
+            sums[assumed] = block_sums
+            carries[assumed] = chain
+        for offset in range(size):
+            selected = c.MUX(carry, sums[0][offset], sums[1][offset])
+            c.set_output(c.BUF(selected, name=f"s[{position + offset}]"))
+        carry = c.MUX(carry, carries[0], carries[1])
+        position += size
+    c.set_output(c.BUF(carry, name="cout"))
+    return c
+
+
+def _ripple_add_nets(c: Circuit, xs: list[str], ys: list[str],
+                     cin: str) -> list[str]:
+    """Internal ripple addition over existing nets; returns sum bits plus
+    the final carry as the extra most-significant bit."""
+    carry = cin
+    out = []
+    for x, y in zip(xs, ys):
+        total, carry = _full_adder(c, x, y, carry)
+        out.append(total)
+    out.append(carry)
+    return out
+
+
+def shift_add_multiplier(width: int, name: str = "sam") -> Circuit:
+    """Multiplier as a chain of ripple-carry additions of shifted partial
+    products — the "long multiplication" structure."""
+    c = Circuit(f"{name}{width}")
+    a = c.add_input_bus("a", width)
+    b = c.add_input_bus("b", width)
+    zero = c.CONST0()
+    # accumulator of 2*width bits, initialized with partial product row 0
+    acc = [c.AND(a[j], b[0]) for j in range(width)]
+    acc += [zero] * width
+    for i in range(1, width):
+        row = [zero] * i + [c.AND(a[j], b[i]) for j in range(width)]
+        row += [zero] * (2 * width - len(row))
+        acc = _ripple_add_nets(c, acc, row, zero)[:2 * width]
+    for j in range(2 * width):
+        c.set_output(c.BUF(acc[j], name=f"p[{j}]"))
+    return c
+
+
+def wallace_multiplier(width: int, name: str = "wal") -> Circuit:
+    """Multiplier with carry-save (Wallace) reduction and a final ripple
+    stage — functionally identical to :func:`shift_add_multiplier`."""
+    c = Circuit(f"{name}{width}")
+    a = c.add_input_bus("a", width)
+    b = c.add_input_bus("b", width)
+    zero = c.CONST0()
+    columns: dict[int, list[str]] = defaultdict(list)
+    for i in range(width):
+        for j in range(width):
+            columns[i + j].append(c.AND(a[i], b[j]))
+    while any(len(bits) > 2 for bits in columns.values()):
+        reduced: dict[int, list[str]] = defaultdict(list)
+        for col in sorted(columns):
+            bits = columns[col]
+            index = 0
+            while len(bits) - index >= 3:
+                total, carry = _full_adder(c, bits[index], bits[index + 1],
+                                           bits[index + 2])
+                reduced[col].append(total)
+                reduced[col + 1].append(carry)
+                index += 3
+            if len(bits) - index == 2:
+                total, carry = _half_adder(c, bits[index], bits[index + 1])
+                reduced[col].append(total)
+                reduced[col + 1].append(carry)
+            elif len(bits) - index == 1:
+                reduced[col].append(bits[index])
+        columns = reduced
+    row_x = []
+    row_y = []
+    for col in range(2 * width):
+        bits = columns.get(col, [])
+        row_x.append(bits[0] if bits else zero)
+        row_y.append(bits[1] if len(bits) > 1 else zero)
+    total = _ripple_add_nets(c, row_x, row_y, zero)[:2 * width]
+    for j in range(2 * width):
+        c.set_output(c.BUF(total[j], name=f"p[{j}]"))
+    return c
+
+
+def _check_power_of_two(width: int) -> int:
+    bits = (width - 1).bit_length()
+    if width <= 0 or 1 << bits != width:
+        raise CircuitError(f"rotator width must be a power of two: {width}")
+    return bits
+
+
+def barrel_rotator(width: int, name: str = "rotl") -> Circuit:
+    """Left-rotator as a log-shifter: one mux layer per shift bit."""
+    shift_bits = _check_power_of_two(width)
+    c = Circuit(f"{name}{width}")
+    data = c.add_input_bus("d", width)
+    shift = c.add_input_bus("sh", shift_bits)
+    current = data
+    for stage in range(shift_bits):
+        amount = 1 << stage
+        current = [
+            c.MUX(shift[stage], current[i],
+                  current[(i - amount) % width])
+            for i in range(width)
+        ]
+    for i in range(width):
+        c.set_output(c.BUF(current[i], name=f"q[{i}]"))
+    return c
+
+
+def decoded_rotator(width: int, name: str = "rotd") -> Circuit:
+    """Left-rotator via a one-hot shift decoder and per-output OR-AND
+    selection — same function as :func:`barrel_rotator`."""
+    shift_bits = _check_power_of_two(width)
+    c = Circuit(f"{name}{width}")
+    data = c.add_input_bus("d", width)
+    shift = c.add_input_bus("sh", shift_bits)
+    inverted = [c.NOT(s) for s in shift]
+    one_hot = []
+    for k in range(width):
+        terms = [shift[bit] if (k >> bit) & 1 else inverted[bit]
+                 for bit in range(shift_bits)]
+        one_hot.append(c.AND(*terms) if len(terms) > 1 else terms[0])
+    for i in range(width):
+        selected = [c.AND(one_hot[k], data[(i - k) % width])
+                    for k in range(width)]
+        c.set_output(c.OR(*selected, name=f"q[{i}]"))
+    return c
+
+
+def parity_chain(width: int, name: str = "parc") -> Circuit:
+    """Parity as a linear XOR chain."""
+    if width < 2:
+        raise CircuitError("parity needs at least two inputs")
+    c = Circuit(f"{name}{width}")
+    xs = c.add_input_bus("x", width)
+    acc = xs[0]
+    for x in xs[1:]:
+        acc = c.add_gate("XOR", (acc, x))
+    c.set_output(c.BUF(acc, name="p"))
+    return c
+
+
+def parity_tree(width: int, name: str = "part") -> Circuit:
+    """Parity as a balanced XOR tree."""
+    if width < 2:
+        raise CircuitError("parity needs at least two inputs")
+    c = Circuit(f"{name}{width}")
+    layer = c.add_input_bus("x", width)
+    while len(layer) > 1:
+        nxt = []
+        for i in range(0, len(layer) - 1, 2):
+            nxt.append(c.add_gate("XOR", (layer[i], layer[i + 1])))
+        if len(layer) % 2:
+            nxt.append(layer[-1])
+        layer = nxt
+    c.set_output(c.BUF(layer[0], name="p"))
+    return c
+
+
+def equality_and_of_xnor(width: int, name: str = "eqa") -> Circuit:
+    """Bus equality as AND of per-bit XNORs."""
+    c = Circuit(f"{name}{width}")
+    a = c.add_input_bus("a", width)
+    b = c.add_input_bus("b", width)
+    bits = [c.XNOR(a[i], b[i]) for i in range(width)]
+    c.set_output(c.AND(*bits, name="eq") if width > 1
+                 else c.BUF(bits[0], name="eq"))
+    return c
+
+
+def equality_nor_of_xor(width: int, name: str = "eqn") -> Circuit:
+    """Bus equality as NOR of per-bit XORs (same function)."""
+    c = Circuit(f"{name}{width}")
+    a = c.add_input_bus("a", width)
+    b = c.add_input_bus("b", width)
+    bits = [c.add_gate("XOR", (a[i], b[i])) for i in range(width)]
+    c.set_output(c.NOR(*bits, name="eq") if width > 1
+                 else c.NOT(bits[0], name="eq"))
+    return c
+
+
+_ALU_OPS = ("ADD", "AND", "OR", "XOR")
+
+
+def alu(width: int, adder: str = "ripple", name: str = "alu") -> Circuit:
+    """A small ALU: op bits select ADD / AND / OR / XOR of two buses.
+
+    ``adder`` chooses the internal adder structure (``"ripple"`` or
+    ``"select"``) — two ALUs with different adders are equivalent and
+    make natural equivalence-checking instances.
+    """
+    c = Circuit(f"{name}{width}_{adder}")
+    a = c.add_input_bus("a", width)
+    b = c.add_input_bus("b", width)
+    op = c.add_input_bus("op", 2)
+    zero = c.CONST0()
+
+    if adder == "ripple":
+        carry = zero
+        add_bits = []
+        for i in range(width):
+            total, carry = _full_adder(c, a[i], b[i], carry)
+            add_bits.append(total)
+    elif adder == "select":
+        one = c.CONST1()
+        add_bits = []
+        carry = zero
+        block = max(2, width // 2)
+        position = 0
+        while position < width:
+            size = min(block, width - position)
+            variants = {}
+            outs = {}
+            for assumed, const in ((0, zero), (1, one)):
+                chain = const
+                sums = []
+                for i in range(position, position + size):
+                    total, chain = _full_adder(c, a[i], b[i], chain)
+                    sums.append(total)
+                variants[assumed] = chain
+                outs[assumed] = sums
+            for offset in range(size):
+                add_bits.append(
+                    c.MUX(carry, outs[0][offset], outs[1][offset]))
+            carry = c.MUX(carry, variants[0], variants[1])
+            position += size
+    else:
+        raise CircuitError(f"unknown adder kind {adder!r}")
+
+    for i in range(width):
+        and_bit = c.AND(a[i], b[i])
+        or_bit = c.OR(a[i], b[i])
+        xor_bit = c.add_gate("XOR", (a[i], b[i]))
+        low = c.MUX(op[0], add_bits[i], and_bit)   # op=00 ADD, 01 AND
+        high = c.MUX(op[0], or_bit, xor_bit)       # op=10 OR,  11 XOR
+        c.set_output(c.MUX(op[1], low, high, name=f"y[{i}]"))
+    return c
+
+
+def mux_tree_selector(width: int, name: str = "sel") -> Circuit:
+    """``width``-way one-bit selector via a balanced mux tree
+    (``width`` must be a power of two); inputs ``d[*]``, ``sh[*]``."""
+    select_bits = _check_power_of_two(width)
+    c = Circuit(f"{name}{width}")
+    data = c.add_input_bus("d", width)
+    select = c.add_input_bus("sh", select_bits)
+    layer = data
+    for bit in range(select_bits):
+        layer = [c.MUX(select[bit], layer[2 * i], layer[2 * i + 1])
+                 for i in range(len(layer) // 2)]
+    c.set_output(c.BUF(layer[0], name="q"))
+    return c
+
+
+def onehot_selector(width: int, name: str = "selo") -> Circuit:
+    """``width``-way one-bit selector via decode-and-OR — equivalent to
+    :func:`mux_tree_selector`."""
+    select_bits = _check_power_of_two(width)
+    c = Circuit(f"{name}{width}")
+    data = c.add_input_bus("d", width)
+    select = c.add_input_bus("sh", select_bits)
+    inverted = [c.NOT(s) for s in select]
+    terms = []
+    for k in range(width):
+        cond = [select[bit] if (k >> bit) & 1 else inverted[bit]
+                for bit in range(select_bits)]
+        hot = c.AND(*cond) if len(cond) > 1 else cond[0]
+        terms.append(c.AND(hot, data[k]))
+    c.set_output(c.OR(*terms, name="q"))
+    return c

@@ -1,0 +1,99 @@
+"""Miter construction for combinational equivalence checking.
+
+The equivalence-checking CNFs of the paper's Table 1/2 (``c2670``,
+``c3540``, ``c5315`` [19]) are miters: two implementations over shared
+inputs, outputs XORed pairwise and ORed into a single net that is
+asserted true.  The CNF is unsatisfiable exactly when the circuits are
+equivalent, and the proof of unsatisfiability is what the verification
+procedure checks.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.netlist import Circuit
+from repro.circuits.tseitin import TseitinEncoder
+from repro.core.exceptions import CircuitError
+from repro.core.formula import CnfFormula
+
+
+def copy_into(dest: Circuit, src: Circuit, input_map: dict[str, str],
+              prefix: str) -> dict[str, str]:
+    """Instantiate ``src``'s gates inside ``dest``.
+
+    ``input_map`` maps each input net of ``src`` to an existing net of
+    ``dest``; internal nets are renamed with ``prefix``.  Returns the full
+    src-net → dest-net mapping.
+    """
+    mapping = dict(input_map)
+    missing = [net for net in src.inputs if net not in mapping]
+    if missing:
+        raise CircuitError(f"unbound inputs when instantiating: {missing}")
+    for gate in src.gates:
+        new_inputs = tuple(mapping[net] for net in gate.inputs)
+        mapping[gate.output] = dest.add_gate(
+            gate.op, new_inputs, name=prefix + gate.output)
+    return mapping
+
+
+def build_miter(left: Circuit, right: Circuit,
+                name: str | None = None) -> Circuit:
+    """Build the miter of two circuits with identical input names.
+
+    Outputs are paired positionally; the single miter output is true iff
+    the implementations disagree on some output for the given inputs.
+    """
+    if set(left.inputs) != set(right.inputs):
+        raise CircuitError(
+            "miter requires identical input names; got "
+            f"{sorted(set(left.inputs) ^ set(right.inputs))} unmatched")
+    if len(left.outputs) != len(right.outputs):
+        raise CircuitError(
+            f"output count mismatch: {len(left.outputs)} vs "
+            f"{len(right.outputs)}")
+    if not left.outputs:
+        raise CircuitError("miter needs at least one output pair")
+    miter = Circuit(name or f"miter({left.name},{right.name})")
+    for net in left.inputs:
+        miter.add_input(net)
+    left_map = copy_into(miter, left, {n: n for n in left.inputs}, "L.")
+    right_map = copy_into(miter, right, {n: n for n in right.inputs}, "R.")
+    diffs = [
+        miter.add_gate("XOR", (left_map[lo], right_map[ro]),
+                       name=f"_diff{i}")
+        for i, (lo, ro) in enumerate(zip(left.outputs, right.outputs))
+    ]
+    if len(diffs) == 1:
+        out = miter.BUF(diffs[0], name="miter")
+    else:
+        out = miter.OR(*diffs, name="miter")
+    miter.set_output(out)
+    return miter
+
+
+def equivalence_formula(left: Circuit, right: Circuit) -> CnfFormula:
+    """CNF that is UNSAT iff the two circuits are equivalent."""
+    miter = build_miter(left, right)
+    encoder = TseitinEncoder()
+    literal = encoder.encode(miter)
+    encoder.assert_true(literal["miter"])
+    return encoder.formula
+
+
+def check_equivalence(left: Circuit, right: Circuit):
+    """Solve the miter; returns (equivalent, counterexample_or_None).
+
+    The counterexample maps input net names to boolean values on which
+    the circuits disagree.
+    """
+    from repro.solver.cdcl import solve  # local import: avoid cycle
+
+    miter = build_miter(left, right)
+    encoder = TseitinEncoder()
+    literal = encoder.encode(miter)
+    encoder.assert_true(literal["miter"])
+    result = solve(encoder.formula, log_proof=False)
+    if result.is_unsat:
+        return True, None
+    counterexample = {
+        net: result.model[literal[net]] for net in miter.inputs}
+    return False, counterexample

@@ -1,0 +1,169 @@
+"""Combinational netlists: named nets, gates, simulation.
+
+A :class:`Circuit` is a DAG of gates over string-named nets.  Builder
+helpers (``AND``, ``XOR``, ``MUX``, ...) return the output net name so
+circuits compose functionally::
+
+    c = Circuit("half_adder")
+    a, b = c.add_input("a"), c.add_input("b")
+    c.set_output(c.XOR(a, b, name="sum"))
+    c.set_output(c.AND(a, b, name="carry"))
+
+Wide XORs are chained into binary gates at build time, so the Tseitin
+encoder only ever sees the fixed-arity primitives of
+:mod:`repro.circuits.gates`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+from repro.circuits.gates import Gate, evaluate_gate
+from repro.core.exceptions import CircuitError
+
+
+def bus(name: str, width: int) -> list[str]:
+    """Net names of a ``width``-bit bus: ``name[0] .. name[width-1]``
+    (index 0 is the least significant bit by library convention)."""
+    return [f"{name}[{i}]" for i in range(width)]
+
+
+class Circuit:
+    """A combinational gate-level netlist."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.inputs: list[str] = []
+        self.outputs: list[str] = []
+        self.gates: list[Gate] = []
+        self._driver: dict[str, Gate] = {}
+        self._input_set: set[str] = set()
+        self._auto_index = 0
+
+    # -- construction ---------------------------------------------------
+
+    def add_input(self, net: str) -> str:
+        if net in self._input_set or net in self._driver:
+            raise CircuitError(f"net {net!r} is already defined")
+        self.inputs.append(net)
+        self._input_set.add(net)
+        return net
+
+    def add_inputs(self, nets: Iterable[str]) -> list[str]:
+        return [self.add_input(net) for net in nets]
+
+    def add_input_bus(self, name: str, width: int) -> list[str]:
+        return self.add_inputs(bus(name, width))
+
+    def set_output(self, net: str) -> str:
+        if net not in self._input_set and net not in self._driver:
+            raise CircuitError(f"cannot output undefined net {net!r}")
+        self.outputs.append(net)
+        return net
+
+    def set_outputs(self, nets: Iterable[str]) -> list[str]:
+        return [self.set_output(net) for net in nets]
+
+    def _fresh_name(self, op: str) -> str:
+        self._auto_index += 1
+        return f"_{op.lower()}{self._auto_index}"
+
+    def add_gate(self, op: str, inputs: Sequence[str],
+                 name: str | None = None) -> str:
+        """Add one gate; returns the output net name."""
+        for net in inputs:
+            if net not in self._input_set and net not in self._driver:
+                raise CircuitError(
+                    f"gate input {net!r} is undefined (define nets before "
+                    "use; netlists are built in topological order)")
+        output = name if name is not None else self._fresh_name(op)
+        if output in self._input_set or output in self._driver:
+            raise CircuitError(f"net {output!r} is already driven")
+        gate = Gate(op, output, tuple(inputs))
+        self.gates.append(gate)
+        self._driver[output] = gate
+        return output
+
+    # Functional helpers.  Upper-case to mirror netlist notation.
+
+    def CONST0(self, name: str | None = None) -> str:
+        return self.add_gate("CONST0", (), name)
+
+    def CONST1(self, name: str | None = None) -> str:
+        return self.add_gate("CONST1", (), name)
+
+    def BUF(self, a: str, name: str | None = None) -> str:
+        return self.add_gate("BUF", (a,), name)
+
+    def NOT(self, a: str, name: str | None = None) -> str:
+        return self.add_gate("NOT", (a,), name)
+
+    def AND(self, *inputs: str, name: str | None = None) -> str:
+        return self.add_gate("AND", inputs, name)
+
+    def OR(self, *inputs: str, name: str | None = None) -> str:
+        return self.add_gate("OR", inputs, name)
+
+    def NAND(self, *inputs: str, name: str | None = None) -> str:
+        return self.add_gate("NAND", inputs, name)
+
+    def NOR(self, *inputs: str, name: str | None = None) -> str:
+        return self.add_gate("NOR", inputs, name)
+
+    def XOR(self, *inputs: str, name: str | None = None) -> str:
+        """Parity of any number of inputs (chained into binary gates)."""
+        if len(inputs) < 2:
+            raise CircuitError("XOR needs at least two inputs")
+        acc = inputs[0]
+        for i, net in enumerate(inputs[1:]):
+            last = i == len(inputs) - 2
+            acc = self.add_gate("XOR", (acc, net),
+                                name if (name and last) else None)
+        return acc
+
+    def XNOR(self, a: str, b: str, name: str | None = None) -> str:
+        return self.add_gate("XNOR", (a, b), name)
+
+    def MUX(self, sel: str, if0: str, if1: str,
+            name: str | None = None) -> str:
+        """``if1`` when ``sel`` is true, else ``if0``."""
+        return self.add_gate("MUX", (sel, if0, if1), name)
+
+    # -- analysis ---------------------------------------------------------
+
+    @property
+    def nets(self) -> list[str]:
+        """All nets in definition order (inputs, then gate outputs)."""
+        return self.inputs + [gate.output for gate in self.gates]
+
+    @property
+    def num_gates(self) -> int:
+        return len(self.gates)
+
+    def driver_of(self, net: str) -> Gate | None:
+        return self._driver.get(net)
+
+    def simulate(self, assignment: Mapping[str, bool]) -> dict[str, bool]:
+        """Evaluate every net given values for all inputs.
+
+        Gates were necessarily added in topological order (inputs must be
+        defined before use), so a single forward pass suffices.
+        """
+        values: dict[str, bool] = {}
+        for net in self.inputs:
+            if net not in assignment:
+                raise CircuitError(f"missing value for input {net!r}")
+            values[net] = bool(assignment[net])
+        for gate in self.gates:
+            values[gate.output] = evaluate_gate(
+                gate.op, [values[net] for net in gate.inputs])
+        return values
+
+    def output_values(self,
+                      assignment: Mapping[str, bool]) -> dict[str, bool]:
+        values = self.simulate(assignment)
+        return {net: values[net] for net in self.outputs}
+
+    def __repr__(self) -> str:
+        return (f"Circuit({self.name!r}, inputs={len(self.inputs)}, "
+                f"gates={len(self.gates)}, outputs={len(self.outputs)})")

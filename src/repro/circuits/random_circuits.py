@@ -1,0 +1,81 @@
+"""Random combinational circuits (ISCAS-flavoured workloads).
+
+The paper's c2670/c3540/c5315 are ISCAS-85 netlists; with no access to
+the originals we generate random gate-level DAGs of similar flavour
+(mixed gate types, reconvergent fanout, redundant structure) and pair
+each with its :func:`repro.circuits.rewrite.rewrite_circuit` optimized
+version to build equivalence-checking miters.
+
+Generation is seeded and deliberately *redundancy-friendly* — a slice of
+gates reuse earlier nets, feed constants, or double-negate — so the
+rewriting pass has real work to do and the miter proof is non-trivial.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.circuits.netlist import Circuit
+from repro.core.exceptions import CircuitError
+
+_BINARY_OPS = ("AND", "OR", "XOR", "NAND", "NOR", "XNOR")
+
+
+def random_circuit(num_inputs: int, num_gates: int,
+                   num_outputs: int | None = None,
+                   seed: int = 0, redundancy: float = 0.2) -> Circuit:
+    """A random combinational DAG.
+
+    ``redundancy`` is the probability that a gate is built in a
+    deliberately simplifiable form (constant input, duplicate input,
+    double negation) rather than a plain random gate.
+    """
+    if num_inputs < 2 or num_gates < 1:
+        raise CircuitError("need at least 2 inputs and 1 gate")
+    rng = random.Random(seed)
+    c = Circuit(f"rand_i{num_inputs}_g{num_gates}_s{seed}")
+    nets = [c.add_input(f"x{i}") for i in range(num_inputs)]
+    zero = c.CONST0()
+    one = c.CONST1()
+
+    for _ in range(num_gates):
+        roll = rng.random()
+        if roll < redundancy / 3:
+            # Double negation chain.
+            net = c.NOT(c.NOT(rng.choice(nets)))
+        elif roll < 2 * redundancy / 3:
+            # Constant operand.
+            op = rng.choice(("AND", "OR", "XOR"))
+            net = c.add_gate(op, (rng.choice(nets),
+                                  rng.choice((zero, one))))
+        elif roll < redundancy:
+            # Duplicate operand.
+            operand = rng.choice(nets)
+            net = c.add_gate(rng.choice(("AND", "OR")),
+                             (operand, operand, rng.choice(nets)))
+        elif roll < redundancy + 0.08:
+            net = c.MUX(rng.choice(nets), rng.choice(nets),
+                        rng.choice(nets))
+        else:
+            op = rng.choice(_BINARY_OPS)
+            net = c.add_gate(op, (rng.choice(nets), rng.choice(nets)))
+        nets.append(net)
+
+    if num_outputs is None:
+        num_outputs = max(1, num_inputs // 2)
+    # Prefer late (deep) nets as outputs so the whole DAG matters.
+    candidates = nets[len(nets) // 2:]
+    chosen = rng.sample(candidates, min(num_outputs, len(candidates)))
+    for index, net in enumerate(chosen):
+        c.set_output(c.BUF(net, name=f"y{index}"))
+    return c
+
+
+def random_equivalence_pair(num_inputs: int, num_gates: int,
+                            seed: int = 0) -> tuple[Circuit, Circuit]:
+    """A random circuit and its rewritten (optimized) version — a ready
+    equivalence-checking workload."""
+    from repro.circuits.rewrite import rewrite_circuit
+
+    original = random_circuit(num_inputs, num_gates, seed=seed)
+    return original, rewrite_circuit(original)

@@ -1,0 +1,248 @@
+"""Local logic rewriting — a miniature synthesis pass.
+
+The paper's equivalence-checking instances (c2670/c3540/c5315 [19]) are
+miters of a circuit against an independently optimized version of
+itself.  This module provides the "optimizer": a set of local,
+semantics-preserving rewrite rules applied to a netlist —
+
+* constant folding (``AND(x, 0) → 0``, ``XOR(x, 0) → x``, ...);
+* double-negation elimination (``NOT(NOT(x)) → x``);
+* De Morgan normalization (``NOT(AND(...)) → NOR-free NAND``, etc.);
+* duplicate-input collapsing (``AND(x, x, y) → AND(x, y)``);
+* common-subexpression elimination (structural hashing);
+* mux simplification (``MUX(s, x, x) → x``, constant selects).
+
+The output circuit computes the same function over the same inputs but
+with a (usually very) different structure, so ``original`` vs
+``rewrite_circuit(original)`` is a faithful equivalence-checking
+workload.  Correctness is enforced by tests (random simulation + SAT
+equivalence) rather than assumed.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.gates import Gate
+from repro.circuits.netlist import Circuit
+
+_NEGATED_OP = {"AND": "NAND", "NAND": "AND", "OR": "NOR", "NOR": "OR",
+               "XOR": "XNOR", "XNOR": "XOR", "CONST0": "CONST1",
+               "CONST1": "CONST0", "BUF": "NOT", "NOT": "BUF"}
+
+
+class _Rewriter:
+    """One rewriting session over a source circuit."""
+
+    def __init__(self, source: Circuit):
+        self.source = source
+        self.out = Circuit(f"{source.name}_opt")
+        # Source net -> (kind, payload):
+        #   ("const", bool)  a known constant
+        #   ("net", name)    an output-circuit net
+        #   ("neg", name)    the negation of an output-circuit net
+        self.value: dict[str, tuple[str, object]] = {}
+        # Structural hashing: (op, operand key tuple) -> result entry.
+        self.cse: dict[tuple, tuple[str, object]] = {}
+        self.folds = 0
+
+    # -- representation helpers ------------------------------------------
+
+    def _literal_key(self, entry: tuple[str, object]):
+        """Hashable identity of a (possibly negated) value."""
+        return entry
+
+    def _negate(self, entry: tuple[str, object]) -> tuple[str, object]:
+        kind, payload = entry
+        if kind == "const":
+            return ("const", not payload)
+        if kind == "net":
+            return ("neg", payload)
+        return ("net", payload)
+
+    def _materialize(self, entry: tuple[str, object]) -> str:
+        """Turn a value entry into an actual net of the output circuit."""
+        kind, payload = entry
+        if kind == "net":
+            return payload  # type: ignore[return-value]
+        if kind == "const":
+            key = ("const", payload)
+            cached = self.cse.get(key)
+            if cached is None:
+                net = (self.out.CONST1() if payload else self.out.CONST0())
+                cached = ("net", net)
+                self.cse[key] = cached
+            return cached[1]  # type: ignore[return-value]
+        # negation: materialize a NOT gate (with CSE)
+        key = ("not", payload)
+        cached = self.cse.get(key)
+        if cached is None:
+            cached = ("net", self.out.NOT(payload))  # type: ignore[arg-type]
+            self.cse[key] = cached
+        return cached[1]  # type: ignore[return-value]
+
+    # -- gate rewriting -----------------------------------------------------
+
+    def rewrite_gate(self, gate: Gate) -> tuple[str, object]:
+        entries = [self.value[net] for net in gate.inputs]
+        op = gate.op
+
+        if op in ("CONST0", "CONST1"):
+            return ("const", op == "CONST1")
+        if op == "BUF":
+            return entries[0]
+        if op == "NOT":
+            self.folds += 1  # double negation / constant push
+            return self._negate(entries[0])
+        if op in ("AND", "NAND", "OR", "NOR"):
+            return self._rewrite_and_or(op, entries)
+        if op in ("XOR", "XNOR"):
+            return self._rewrite_xor(op, entries)
+        if op == "MUX":
+            return self._rewrite_mux(entries)
+        raise AssertionError(f"unhandled op {op}")
+
+    def _rewrite_and_or(self, op: str,
+                        entries: list[tuple[str, object]]):
+        negate_out = op in ("NAND", "NOR")
+        is_and = op in ("AND", "NAND")
+        absorbing = ("const", not is_and)   # 0 for AND, 1 for OR
+        identity = ("const", is_and)
+
+        operands: list[tuple[str, object]] = []
+        seen_keys = set()
+        for entry in entries:
+            if entry == absorbing:
+                self.folds += 1
+                result = absorbing
+                return self._negate(result) if negate_out else result
+            if entry == identity:
+                self.folds += 1
+                continue
+            key = self._literal_key(entry)
+            if key in seen_keys:
+                self.folds += 1
+                continue
+            # x AND NOT x -> 0 ; x OR NOT x -> 1
+            if self._literal_key(self._negate(entry)) in seen_keys:
+                self.folds += 1
+                result = absorbing
+                return self._negate(result) if negate_out else result
+            seen_keys.add(key)
+            operands.append(entry)
+
+        if not operands:
+            result = identity
+            return self._negate(result) if negate_out else result
+        if len(operands) == 1:
+            result = operands[0]
+            return self._negate(result) if negate_out else result
+
+        base_op = "AND" if is_and else "OR"
+        nets = sorted(self._materialize(e) for e in operands)
+        key = (base_op, tuple(nets))
+        cached = self.cse.get(key)
+        if cached is None:
+            cached = ("net", self.out.add_gate(base_op, nets))
+            self.cse[key] = cached
+        else:
+            self.folds += 1
+        return self._negate(cached) if negate_out else cached
+
+    def _rewrite_xor(self, op: str, entries: list[tuple[str, object]]):
+        a, b = entries
+        parity = op == "XNOR"   # accumulated output inversion
+        # Pull constants and negations out of the XOR.
+        operands = []
+        for entry in entries:
+            kind, payload = entry
+            if kind == "const":
+                parity ^= bool(payload)
+                self.folds += 1
+            elif kind == "neg":
+                parity ^= True
+                operands.append(("net", payload))
+                self.folds += 1
+            else:
+                operands.append(entry)
+        del a, b
+        if not operands:
+            return ("const", parity)
+        if len(operands) == 1:
+            return self._negate(operands[0]) if parity else operands[0]
+        first, second = operands
+        if first == second:
+            self.folds += 1
+            return ("const", parity)
+        nets = sorted((first[1], second[1]))  # type: ignore[arg-type]
+        key = ("XOR", tuple(nets))
+        cached = self.cse.get(key)
+        if cached is None:
+            cached = ("net", self.out.add_gate("XOR", nets))
+            self.cse[key] = cached
+        else:
+            self.folds += 1
+        return self._negate(cached) if parity else cached
+
+    def _rewrite_mux(self, entries: list[tuple[str, object]]):
+        sel, if0, if1 = entries
+        if sel[0] == "const":
+            self.folds += 1
+            return if1 if sel[1] else if0
+        if if0 == if1:
+            self.folds += 1
+            return if0
+        # MUX(s, 0, 1) = s ; MUX(s, 1, 0) = NOT s
+        if if0 == ("const", False) and if1 == ("const", True):
+            self.folds += 1
+            return sel
+        if if0 == ("const", True) and if1 == ("const", False):
+            self.folds += 1
+            return self._negate(sel)
+        # MUX(s, x, NOT x) = s XOR x ... keep it simple: XNOR/XOR forms
+        if self._negate(if0) == if1:
+            self.folds += 1
+            return self._rewrite_xor("XOR", [sel, if0])
+        sel_net = self._materialize(sel)
+        if0_net = self._materialize(if0)
+        if1_net = self._materialize(if1)
+        key = ("MUX", sel_net, if0_net, if1_net)
+        cached = self.cse.get(key)
+        if cached is None:
+            cached = ("net", self.out.MUX(sel_net, if0_net, if1_net))
+            self.cse[key] = cached
+        else:
+            self.folds += 1
+        return cached
+
+    # -- driver ----------------------------------------------------------------
+
+    def run(self) -> Circuit:
+        for net in self.source.inputs:
+            self.out.add_input(net)
+            self.value[net] = ("net", net)
+        for gate in self.source.gates:
+            self.value[gate.output] = self.rewrite_gate(gate)
+        for index, net in enumerate(self.source.outputs):
+            materialized = self._materialize(self.value[net])
+            self.out.set_output(
+                self.out.BUF(materialized, name=f"_out{index}_{net}"))
+        return self.out
+
+
+def rewrite_circuit(circuit: Circuit) -> Circuit:
+    """Return an optimized, functionally equivalent copy of ``circuit``.
+
+    Output nets are renamed (``_out<i>_<name>``) but keep the original
+    order, so the result miters directly against the original.
+    """
+    return _Rewriter(circuit).run()
+
+
+def rewrite_statistics(circuit: Circuit) -> dict[str, int]:
+    """Gate counts before/after rewriting plus the fold count."""
+    rewriter = _Rewriter(circuit)
+    optimized = rewriter.run()
+    return {
+        "gates_before": circuit.num_gates,
+        "gates_after": optimized.num_gates,
+        "folds": rewriter.folds,
+    }

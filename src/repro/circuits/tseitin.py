@@ -1,0 +1,125 @@
+"""Tseitin encoding of circuits into CNF.
+
+The :class:`TseitinEncoder` owns a growing CNF formula and a variable
+pool; circuits can be *instantiated* into it repeatedly with different
+input bindings (that is how the BMC unroller stamps one transition
+relation per time frame, and how a miter stamps two implementations over
+shared inputs).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.circuits.netlist import Circuit
+from repro.core.exceptions import CircuitError
+from repro.core.formula import CnfFormula
+
+
+class TseitinEncoder:
+    """Incremental Tseitin encoder over a shared variable pool."""
+
+    def __init__(self) -> None:
+        self.formula = CnfFormula()
+        self._next_var = 0
+        self.names: dict[int, str] = {}
+        self._true_var: int | None = None
+
+    def new_var(self, name: str | None = None) -> int:
+        """Allocate a fresh variable (1-based)."""
+        self._next_var += 1
+        if name is not None:
+            self.names[self._next_var] = name
+        self.formula.declare_vars(self._next_var)
+        return self._next_var
+
+    def new_bus(self, name: str, width: int) -> list[int]:
+        return [self.new_var(f"{name}[{i}]") for i in range(width)]
+
+    def add_clause(self, lits: Iterable[int]) -> None:
+        self.formula.add_clause(lits)
+
+    def assert_true(self, var_or_lit: int) -> None:
+        """Constrain a literal to 1 (unit clause)."""
+        self.add_clause([var_or_lit])
+
+    def assert_false(self, var_or_lit: int) -> None:
+        self.add_clause([-var_or_lit])
+
+    def true_var(self) -> int:
+        """A variable constrained to 1 (allocated once, on demand)."""
+        if self._true_var is None:
+            self._true_var = self.new_var("__true__")
+            self.assert_true(self._true_var)
+        return self._true_var
+
+    def constant(self, value: bool) -> int:
+        """A literal that is constantly ``value``."""
+        var = self.true_var()
+        return var if value else -var
+
+    def encode(self, circuit: Circuit,
+               binding: Mapping[str, int] | None = None,
+               prefix: str = "") -> dict[str, int]:
+        """Instantiate a circuit; returns the net → literal map.
+
+        ``binding`` supplies literals for (some) input nets; unbound
+        inputs get fresh variables.  Every gate output gets a fresh
+        variable (named ``prefix + net`` for debugging) plus the gate's
+        consistency clauses.
+        """
+        literal: dict[str, int] = {}
+        for net in circuit.inputs:
+            if binding is not None and net in binding:
+                literal[net] = binding[net]
+            else:
+                literal[net] = self.new_var(prefix + net)
+        for gate in circuit.gates:
+            ins = [literal[net] for net in gate.inputs]
+            literal[gate.output] = self._encode_gate(
+                gate.op, ins, prefix + gate.output)
+        return literal
+
+    def _encode_gate(self, op: str, ins: list[int], name: str) -> int:
+        if op == "CONST0":
+            return self.constant(False)
+        if op == "CONST1":
+            return self.constant(True)
+        if op == "BUF":
+            return ins[0]
+        if op == "NOT":
+            return -ins[0]
+        out = self.new_var(name)
+        if op in ("AND", "NAND"):
+            target = out if op == "AND" else -out
+            for lit in ins:
+                self.add_clause([-target, lit])
+            self.add_clause([target] + [-lit for lit in ins])
+        elif op in ("OR", "NOR"):
+            target = out if op == "OR" else -out
+            for lit in ins:
+                self.add_clause([target, -lit])
+            self.add_clause([-target] + list(ins))
+        elif op in ("XOR", "XNOR"):
+            a, b = ins
+            target = out if op == "XOR" else -out
+            self.add_clause([-target, a, b])
+            self.add_clause([-target, -a, -b])
+            self.add_clause([target, -a, b])
+            self.add_clause([target, a, -b])
+        elif op == "MUX":
+            sel, if0, if1 = ins
+            self.add_clause([-sel, -if1, out])
+            self.add_clause([-sel, if1, -out])
+            self.add_clause([sel, -if0, out])
+            self.add_clause([sel, if0, -out])
+        else:
+            raise CircuitError(f"cannot encode gate op {op!r}")
+        return out
+
+
+def encode_circuit(circuit: Circuit) -> tuple[CnfFormula, dict[str, int]]:
+    """One-shot encoding of a single circuit with fresh inputs."""
+    encoder = TseitinEncoder()
+    literal = encoder.encode(circuit)
+    return encoder.formula, literal

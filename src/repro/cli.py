@@ -1,0 +1,210 @@
+"""Command-line interface: solve, verify, and extract cores from files.
+
+The paper's workflow is inherently two-process — a solver writes the
+proof to disk, an *independent* checker validates it — so the library
+ships a CLI making that workflow literal::
+
+    python -m repro solve formula.cnf --proof formula.ccp
+    python -m repro verify formula.cnf formula.ccp
+    python -m repro core formula.cnf formula.ccp --output core.cnf
+
+Exit codes: ``solve`` exits 10 for SAT and 20 for UNSAT (the SAT
+competition convention); ``verify`` exits 0 when the proof is correct
+and 1 when it is not.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.dimacs import read_dimacs, write_dimacs
+from repro.proofs.conflict_clause import ConflictClauseProof
+from repro.proofs.sizes import compare_proof_sizes
+from repro.proofs.trace_format import read_proof, write_proof
+from repro.solver.cdcl import SolverOptions, solve
+from repro.verify.verification import verify_proof
+
+EXIT_SAT = 10
+EXIT_UNSAT = 20
+EXIT_UNKNOWN = 30
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Conflict clause proofs of unsatisfiability "
+                    "(Goldberg & Novikov, DATE 2003).")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    solve_cmd = sub.add_parser(
+        "solve", help="solve a DIMACS CNF, optionally logging a proof")
+    solve_cmd.add_argument("cnf", help="input DIMACS CNF file")
+    solve_cmd.add_argument("--proof", metavar="FILE",
+                           help="write the conflict clause proof here "
+                                "when UNSAT")
+    solve_cmd.add_argument("--drup", metavar="FILE",
+                           help="write a DRUP trace (with deletion "
+                                "lines) here when UNSAT")
+    solve_cmd.add_argument("--learning", default="adaptive",
+                           choices=["1uip", "decision", "hybrid",
+                                    "adaptive"])
+    solve_cmd.add_argument("--heuristic", default="berkmin",
+                           choices=["vsids", "berkmin"])
+    solve_cmd.add_argument("--max-conflicts", type=int, default=None)
+    solve_cmd.add_argument("--minimize", action="store_true",
+                           help="minimize learned clauses")
+    solve_cmd.add_argument("--preprocess", action="store_true",
+                           help="simplify first (units, probing, "
+                                "subsumption, variable elimination); "
+                                "the proof is lifted back to the "
+                                "original formula")
+    solve_cmd.add_argument("--stats", action="store_true",
+                           help="print solver statistics")
+
+    verify_cmd = sub.add_parser(
+        "verify", help="verify a conflict clause proof")
+    verify_cmd.add_argument("cnf", help="the original DIMACS CNF file")
+    verify_cmd.add_argument("proof", help="the proof trace file")
+    verify_cmd.add_argument("--procedure", default="verification2",
+                            choices=["verification1", "verification2"])
+
+    core_cmd = sub.add_parser(
+        "core", help="extract an unsat core from a verified proof")
+    core_cmd.add_argument("cnf")
+    core_cmd.add_argument("proof")
+    core_cmd.add_argument("--output", metavar="FILE",
+                          help="write the core as DIMACS here")
+
+    drup_cmd = sub.add_parser(
+        "verify-drup", help="forward-check a DRUP trace (with "
+                            "deletions)")
+    drup_cmd.add_argument("cnf")
+    drup_cmd.add_argument("drup")
+    return parser
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    formula = read_dimacs(args.cnf)
+    options = SolverOptions(
+        learning=args.learning, heuristic=args.heuristic,
+        max_conflicts=args.max_conflicts,
+        minimize_clauses=args.minimize,
+        log_proof=args.proof is not None or args.drup is not None)
+    lifted_proof = None
+    if args.preprocess:
+        from repro.preprocess.lifting import solve_with_preprocessing
+
+        result, pre, lifted_proof = solve_with_preprocessing(
+            formula, options, eliminate=True)
+        print(f"c preprocess: {len(pre.derived_units)} units, "
+              f"{len(pre.removed_clause_indices)} clauses removed, "
+              f"{len(pre.eliminations)} vars eliminated")
+    else:
+        result = solve(formula, options)
+    print(f"s {result.status}")
+    if args.stats:
+        stats = result.stats
+        print(f"c conflicts={stats.conflicts} decisions={stats.decisions}"
+              f" propagations={stats.propagations}"
+              f" restarts={stats.restarts} time={stats.solve_time:.3f}s")
+    if result.is_sat:
+        literals = [var if value else -var
+                    for var, value in sorted(result.model.items())]
+        print("v " + " ".join(map(str, literals)) + " 0")
+        return EXIT_SAT
+    if result.is_unsat:
+        if args.proof:
+            if lifted_proof is not None:
+                proof = lifted_proof
+                extra = " (lifted across preprocessing)"
+            else:
+                proof = ConflictClauseProof.from_log(result.log)
+                sizes = compare_proof_sizes(result.log)
+                extra = (f" (resolution graph: "
+                         f"{sizes.resolution_graph_nodes} nodes)")
+            write_proof(proof, args.proof,
+                        comment=f"refutation of {args.cnf}")
+            print(f"c proof written to {args.proof}: {len(proof)} "
+                  f"clauses, {proof.literal_count()} literals{extra}")
+        if args.drup and lifted_proof is not None:
+            print("c --drup is not supported together with "
+                  "--preprocess (deletion lines would reference the "
+                  "simplified formula); skipping")
+        elif args.drup:
+            from repro.proofs.drup import DrupProof, write_drup
+            trace = DrupProof.from_log(result.log)
+            write_drup(trace, args.drup,
+                       comment=f"refutation of {args.cnf}")
+            print(f"c DRUP trace written to {args.drup}: "
+                  f"{trace.num_additions} additions, "
+                  f"{trace.num_deletions} deletions")
+        return EXIT_UNSAT
+    return EXIT_UNKNOWN
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    formula = read_dimacs(args.cnf)
+    proof = read_proof(args.proof)
+    report = verify_proof(formula, proof, procedure=args.procedure)
+    print(f"s {report.outcome.upper()}")
+    print(f"c checked={report.num_checked} skipped={report.num_skipped}"
+          f" time={report.verification_time:.3f}s")
+    if not report.ok:
+        print(f"c questionable clause at chronological index "
+              f"{report.failed_clause_index}: "
+              f"{proof[report.failed_clause_index]}")
+        return 1
+    if report.core is not None:
+        print(f"c unsat core: {report.core.size}/"
+              f"{formula.num_clauses} clauses "
+              f"({report.core.fraction:.1%})")
+    return 0
+
+
+def _cmd_core(args: argparse.Namespace) -> int:
+    formula = read_dimacs(args.cnf)
+    proof = read_proof(args.proof)
+    report = verify_proof(formula, proof)
+    if not report.ok:
+        print(f"s {report.outcome.upper()}")
+        return 1
+    core = report.core
+    print(f"c core: {core.size}/{formula.num_clauses} clauses "
+          f"({core.fraction:.1%})")
+    print("c indices: " + " ".join(map(str, core.clause_indices)))
+    if args.output:
+        write_dimacs(core.as_formula(), args.output,
+                     comment=f"unsat core of {args.cnf}")
+        print(f"c written to {args.output}")
+    return 0
+
+
+def _cmd_verify_drup(args: argparse.Namespace) -> int:
+    from repro.proofs.drup import read_drup
+    from repro.verify.forward import check_drup
+
+    formula = read_dimacs(args.cnf)
+    trace = read_drup(args.drup)
+    report = check_drup(formula, trace)
+    print(f"s {report.outcome.upper()}")
+    print(f"c additions={report.num_additions} "
+          f"deletions={report.num_deletions} "
+          f"peak_active={report.peak_active_clauses} "
+          f"time={report.verification_time:.3f}s")
+    if not report.ok:
+        print(f"c failed at event {report.failed_event_index}: "
+              f"{report.failure_reason}")
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {"solve": _cmd_solve, "verify": _cmd_verify,
+                "core": _cmd_core, "verify-drup": _cmd_verify_drup}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

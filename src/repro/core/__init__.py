@@ -1,0 +1,50 @@
+"""Core CNF substrate: literals, clauses, formulas, DIMACS I/O."""
+
+from repro.core.clause import Clause, EMPTY_CLAUSE
+from repro.core.dimacs import (
+    format_dimacs,
+    parse_dimacs,
+    read_dimacs,
+    write_dimacs,
+)
+from repro.core.exceptions import (
+    CircuitError,
+    DimacsParseError,
+    ModelError,
+    ProofFormatError,
+    ReproError,
+    ResolutionError,
+)
+from repro.core.formula import CnfFormula
+from repro.core.literals import (
+    decode,
+    decode_clause,
+    encode,
+    encode_clause,
+    is_negative,
+    negate,
+    variable,
+)
+
+__all__ = [
+    "Clause",
+    "EMPTY_CLAUSE",
+    "CnfFormula",
+    "parse_dimacs",
+    "read_dimacs",
+    "format_dimacs",
+    "write_dimacs",
+    "encode",
+    "decode",
+    "negate",
+    "variable",
+    "is_negative",
+    "encode_clause",
+    "decode_clause",
+    "ReproError",
+    "DimacsParseError",
+    "ResolutionError",
+    "ProofFormatError",
+    "CircuitError",
+    "ModelError",
+]

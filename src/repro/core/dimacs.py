@@ -1,0 +1,113 @@
+"""DIMACS CNF reading and writing.
+
+The standard interchange format of the SAT community (and of every
+benchmark family the paper evaluates on).  The parser is tolerant of the
+usual real-world deviations: comments anywhere, clauses spanning lines,
+several clauses per line, and headers that over- or under-declare counts
+(under-declared variable counts are corrected, mismatched clause counts are
+reported via ``strict=True`` only).
+"""
+
+from __future__ import annotations
+
+import io
+from os import PathLike
+
+from repro.core.clause import Clause
+from repro.core.exceptions import DimacsParseError
+from repro.core.formula import CnfFormula
+
+
+def parse_dimacs(text: str, strict: bool = False) -> CnfFormula:
+    """Parse DIMACS CNF text into a :class:`CnfFormula`.
+
+    With ``strict=True`` the header is required and its clause count must
+    match the body exactly.
+    """
+    declared_vars: int | None = None
+    declared_clauses: int | None = None
+    formula = CnfFormula()
+    pending: list[int] = []
+    saw_header = False
+
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("c") or line.startswith("%"):
+            continue
+        if line.startswith("p"):
+            if saw_header:
+                raise DimacsParseError("duplicate header", line_number)
+            fields = line.split()
+            if len(fields) != 4 or fields[1] != "cnf":
+                raise DimacsParseError(
+                    f"malformed header {line!r}", line_number)
+            try:
+                declared_vars = int(fields[2])
+                declared_clauses = int(fields[3])
+            except ValueError as exc:
+                raise DimacsParseError(
+                    f"non-integer header field in {line!r}", line_number
+                ) from exc
+            if declared_vars < 0 or declared_clauses < 0:
+                raise DimacsParseError(
+                    "negative counts in header", line_number)
+            saw_header = True
+            continue
+        if line == "0" and not pending:
+            # Some generators terminate files with a lone 0; ignore it.
+            formula.add_clause(Clause())
+            continue
+        for token in line.split():
+            try:
+                lit = int(token)
+            except ValueError as exc:
+                raise DimacsParseError(
+                    f"unexpected token {token!r}", line_number) from exc
+            if lit == 0:
+                formula.add_clause(Clause(pending))
+                pending = []
+            else:
+                pending.append(lit)
+
+    if pending:
+        raise DimacsParseError("last clause is missing its terminating 0")
+    if strict:
+        if not saw_header:
+            raise DimacsParseError("missing 'p cnf' header")
+        if declared_clauses != formula.num_clauses:
+            raise DimacsParseError(
+                f"header declares {declared_clauses} clauses but body "
+                f"contains {formula.num_clauses}")
+        if declared_vars is not None and formula.num_vars > declared_vars:
+            raise DimacsParseError(
+                f"header declares {declared_vars} variables but literal "
+                f"mentions variable {formula.num_vars}")
+    if declared_vars is not None:
+        formula.declare_vars(declared_vars)
+    return formula
+
+
+def read_dimacs(path: str | PathLike, strict: bool = False) -> CnfFormula:
+    """Read a DIMACS CNF file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_dimacs(handle.read(), strict=strict)
+
+
+def format_dimacs(formula: CnfFormula, comment: str | None = None) -> str:
+    """Render a formula as DIMACS CNF text."""
+    out = io.StringIO()
+    if comment:
+        for line in comment.splitlines():
+            out.write(f"c {line}\n")
+    out.write(f"p cnf {formula.num_vars} {formula.num_clauses}\n")
+    for clause in formula:
+        out.write(" ".join(map(str, clause.literals)))
+        out.write(" 0\n" if clause.literals else "0\n")
+    return out.getvalue()
+
+
+def write_dimacs(formula: CnfFormula, path: str | PathLike,
+                 comment: str | None = None) -> None:
+    """Write a formula to a DIMACS CNF file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(format_dimacs(formula, comment=comment))

@@ -1,0 +1,95 @@
+"""CNF formulas: ordered clause containers with variable bookkeeping."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+
+from repro.core.clause import Clause
+
+
+class CnfFormula:
+    """An ordered multiset of clauses over variables ``1..num_vars``.
+
+    Clause order is preserved (proofs refer to clauses positionally) and
+    duplicate clauses are allowed, as in DIMACS files.  ``num_vars`` tracks
+    the largest variable mentioned, and may be declared larger (DIMACS
+    headers may over-declare).
+    """
+
+    def __init__(self, clauses: Iterable[Clause | Iterable[int]] = (),
+                 num_vars: int = 0):
+        self._clauses: list[Clause] = []
+        self._num_vars = num_vars
+        for clause in clauses:
+            self.add_clause(clause)
+
+    @property
+    def clauses(self) -> list[Clause]:
+        """The clause list (treat as read-only; use :meth:`add_clause`)."""
+        return self._clauses
+
+    @property
+    def num_vars(self) -> int:
+        """Number of variables (the largest index mentioned or declared)."""
+        return self._num_vars
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self._clauses)
+
+    def add_clause(self, clause: Clause | Iterable[int]) -> Clause:
+        """Append a clause (normalizing plain literal iterables)."""
+        if not isinstance(clause, Clause):
+            clause = Clause(clause)
+        self._clauses.append(clause)
+        for lit in clause:
+            var = abs(lit)
+            if var > self._num_vars:
+                self._num_vars = var
+        return clause
+
+    def extend(self, clauses: Iterable[Clause | Iterable[int]]) -> None:
+        for clause in clauses:
+            self.add_clause(clause)
+
+    def declare_vars(self, num_vars: int) -> None:
+        """Raise the declared variable count (never lowers it)."""
+        if num_vars > self._num_vars:
+            self._num_vars = num_vars
+
+    def literal_count(self) -> int:
+        """Total number of literal occurrences (proof-size unit of Table 2)."""
+        return sum(len(clause) for clause in self._clauses)
+
+    def evaluate(self, assignment: Mapping[int, bool]) -> bool | None:
+        """Three-valued evaluation: AND over clause evaluations."""
+        undetermined = False
+        for clause in self._clauses:
+            value = clause.evaluate(assignment)
+            if value is False:
+                return False
+            if value is None:
+                undetermined = True
+        return None if undetermined else True
+
+    def is_satisfied_by(self, assignment: Mapping[int, bool]) -> bool:
+        """True iff the assignment satisfies every clause."""
+        return self.evaluate(assignment) is True
+
+    def copy(self) -> "CnfFormula":
+        clone = CnfFormula(num_vars=self._num_vars)
+        clone._clauses = list(self._clauses)
+        return clone
+
+    def __iter__(self) -> Iterator[Clause]:
+        return iter(self._clauses)
+
+    def __len__(self) -> int:
+        return len(self._clauses)
+
+    def __getitem__(self, index: int) -> Clause:
+        return self._clauses[index]
+
+    def __repr__(self) -> str:
+        return (f"CnfFormula(num_vars={self._num_vars}, "
+                f"num_clauses={len(self._clauses)})")

@@ -1,0 +1,80 @@
+"""Literal representations and conversions.
+
+Two representations are used throughout the library:
+
+* **DIMACS literals** — nonzero signed integers, the external/API form.
+  Variable ``v`` appears positively as ``v`` and negatively as ``-v``.
+  This is the representation of :class:`repro.core.clause.Clause` and of
+  everything written to or read from disk.
+
+* **Encoded literals** — nonnegative integers used internally by the BCP
+  engines and the CDCL solver so literals can index flat arrays (watch
+  lists, saved phases).  Variable ``v`` appears positively as ``2*v`` and
+  negatively as ``2*v + 1``; negation is a single XOR.
+
+The helpers here are deliberately tiny, branch-light functions: they sit on
+the hot path of every propagation step.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+
+def encode(lit: int) -> int:
+    """Convert a DIMACS literal to its encoded form.
+
+    >>> encode(3), encode(-3)
+    (6, 7)
+    """
+    if lit > 0:
+        return lit << 1
+    return (-lit << 1) | 1
+
+
+def decode(enc: int) -> int:
+    """Convert an encoded literal back to DIMACS form.
+
+    >>> decode(6), decode(7)
+    (3, -3)
+    """
+    var = enc >> 1
+    return -var if enc & 1 else var
+
+
+def negate(enc: int) -> int:
+    """Negate an encoded literal (flip the sign bit)."""
+    return enc ^ 1
+
+
+def variable(enc: int) -> int:
+    """Variable index of an encoded literal."""
+    return enc >> 1
+
+
+def is_negative(enc: int) -> bool:
+    """True if the encoded literal is a negative DIMACS literal."""
+    return bool(enc & 1)
+
+
+def encode_clause(lits: Iterable[int]) -> list[int]:
+    """Encode every DIMACS literal of a clause."""
+    return [encode(lit) for lit in lits]
+
+
+def decode_clause(encs: Iterable[int]) -> tuple[int, ...]:
+    """Decode every encoded literal of a clause back to DIMACS form."""
+    return tuple(decode(enc) for enc in encs)
+
+
+def check_dimacs_literal(lit: int) -> int:
+    """Validate a DIMACS literal (must be a nonzero int); return it.
+
+    Raises :class:`ValueError` for 0 or non-integers — 0 is the DIMACS
+    clause terminator and can never be a literal.
+    """
+    if not isinstance(lit, int) or isinstance(lit, bool):
+        raise ValueError(f"literal must be an int, got {lit!r}")
+    if lit == 0:
+        raise ValueError("0 is not a valid DIMACS literal")
+    return lit

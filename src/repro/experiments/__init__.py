@@ -1,0 +1,25 @@
+"""Experiment harness: regenerate the paper's Tables 1, 2 and 3."""
+
+from repro.experiments.runner import (
+    ExperimentRow,
+    berkmin_options,
+    run_instance,
+    run_instances,
+)
+from repro.experiments.instances import format_inventory
+from repro.experiments.report import build_report
+from repro.experiments.table1 import format_table1
+from repro.experiments.table2 import format_table2
+from repro.experiments.table3 import format_table3
+
+__all__ = [
+    "ExperimentRow",
+    "berkmin_options",
+    "run_instance",
+    "run_instances",
+    "format_table1",
+    "format_table2",
+    "format_table3",
+    "build_report",
+    "format_inventory",
+]

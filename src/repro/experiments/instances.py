@@ -1,0 +1,50 @@
+"""Instance inventory: enumerate the registry with formula statistics.
+
+``python -m repro.experiments.instances`` prints every registered
+benchmark instance with its family, paper analog, and generated formula
+size — the quick way to see what the reproduction's workload actually
+looks like (``--family`` filters, ``--skip-build`` lists metadata only).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.benchgen.registry import INSTANCES
+
+
+def format_inventory(names: list[str], build: bool = True) -> str:
+    header = (f"{'Name':<12} {'Family':<9} {'Analog':<11} "
+              f"{'Vars':>7} {'Clauses':>9}  Description")
+    lines = [header, "-" * (len(header) + 20)]
+    for name in names:
+        spec = INSTANCES[name]
+        if build:
+            formula = spec.build()
+            size = f"{formula.num_vars:>7,} {formula.num_clauses:>9,}"
+        else:
+            size = f"{'-':>7} {'-':>9}"
+        lines.append(f"{name:<12} {spec.family:<9} "
+                     f"{spec.paper_analog:<11} {size}  "
+                     f"{spec.description}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--family", default=None,
+                        help="restrict to one family")
+    parser.add_argument("--skip-build", action="store_true",
+                        help="metadata only (skip formula generation)")
+    args = parser.parse_args(argv)
+    names = [name for name, spec in INSTANCES.items()
+             if args.family is None or spec.family == args.family]
+    if not names:
+        families = sorted({spec.family for spec in INSTANCES.values()})
+        parser.error(f"no instances in family {args.family!r}; "
+                     f"known families: {', '.join(families)}")
+    print(format_inventory(names, build=not args.skip_build))
+
+
+if __name__ == "__main__":
+    main()

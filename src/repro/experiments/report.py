@@ -1,0 +1,131 @@
+"""One-shot experiment report: all tables, written as Markdown.
+
+``python -m repro.experiments.report --output results.md`` runs every
+instance of Tables 1-3 and renders the three tables (plus run metadata)
+into a single self-contained Markdown file — the artifact to attach to a
+reproduction claim.  ``--quick`` restricts to one fast instance per
+family for smoke-testing the pipeline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import platform
+import sys
+import time
+
+from repro.benchgen.registry import (
+    INSTANCES,
+    TABLE1_INSTANCES,
+    TABLE3_INSTANCES,
+)
+from repro.experiments.runner import ExperimentRow, run_instances
+from repro.experiments.table1 import QUICK_INSTANCES
+
+
+def _markdown_table(headers: list[str], rows: list[list[str]]) -> str:
+    lines = ["| " + " | ".join(headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def _table1(rows: list[ExperimentRow]) -> str:
+    return _markdown_table(
+        ["Name", "|F*|", "Tested %", "Initial clauses", "Core %",
+         "paper analog"],
+        [[row.name, f"{row.num_conflict_clauses:,}",
+          f"{100 * row.tested_fraction:.1f}",
+          f"{row.num_clauses:,}", f"{100 * row.core_fraction:.1f}",
+          row.paper_analog] for row in rows])
+
+
+def _table2(rows: list[ExperimentRow]) -> str:
+    return _markdown_table(
+        ["Name", "Verif (s)", "Res. nodes", "Confl. lits", "Ratio %",
+         "paper analog"],
+        [[row.name, f"{row.verification_time:.2f}",
+          f"{row.resolution_nodes:,}", f"{row.conflict_literals:,}",
+          f"{row.ratio_percent:.1f}", row.paper_analog]
+         for row in rows])
+
+
+def _table3(rows: list[ExperimentRow]) -> str:
+    return _markdown_table(
+        ["Name", "Res. nodes", "Confl. lits", "Ratio %", "paper analog"],
+        [[row.name, f"{row.resolution_nodes:,}",
+          f"{row.conflict_literals:,}", f"{row.ratio_percent:.1f}",
+          row.paper_analog] for row in rows])
+
+
+def build_report(table12_names, table3_names,
+                 progress: bool = False) -> str:
+    started = time.time()
+    main_rows = run_instances(table12_names, progress=progress)
+    scaling_rows = run_instances(table3_names, progress=progress)
+    elapsed = time.time() - started
+
+    smaller = sum(1 for row in main_rows if row.ratio_percent < 100.0)
+    ratios = [row.ratio_percent for row in scaling_rows]
+    decreasing = all(a >= b for a, b in zip(ratios, ratios[1:]))
+
+    parts = [
+        "# Measured results — Goldberg & Novikov (DATE 2003) "
+        "reproduction",
+        "",
+        f"- python {sys.version.split()[0]} on {platform.platform()}",
+        f"- {len(main_rows) + len(scaling_rows)} instances, "
+        f"{elapsed:.0f}s total (solve + verify + size accounting)",
+        f"- solver: BerkMin-style adaptive learning "
+        f"(see `repro.experiments.runner.berkmin_options`)",
+        "",
+        "## Table 1 — unsatisfiable core extraction",
+        "",
+        _table1(main_rows),
+        "",
+        "## Table 2 — proof verification and proof sizes",
+        "",
+        _table2(main_rows),
+        "",
+        f"Conflict clause proof smaller on **{smaller}/{len(main_rows)}**"
+        " instances (paper: all but a few).",
+        "",
+        "## Table 3 — growth of resolution proof size (fifo family)",
+        "",
+        _table3(scaling_rows),
+        "",
+        f"Ratio trend with growing bound: "
+        f"**{'decreasing — matches the paper' if decreasing else 'not monotone on this run'}**"
+        f" (paper: 18 → 11 → 7).",
+        "",
+    ]
+    return "\n".join(parts)
+
+
+def main(argv: list[str] | None = None) -> str:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", metavar="FILE", default=None,
+                        help="write the report here (default: stdout)")
+    parser.add_argument("--quick", action="store_true")
+    args = parser.parse_args(argv)
+    if args.quick:
+        table12 = list(QUICK_INSTANCES)
+        table3 = ["fifo8_6"]
+    else:
+        table12 = list(TABLE1_INSTANCES)
+        table3 = list(TABLE3_INSTANCES)
+    for name in table12 + table3:
+        assert name in INSTANCES
+    report = build_report(table12, table3, progress=True)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        print(f"report written to {args.output}")
+    else:
+        print(report)
+    return report
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Table 1 — unsatisfiable core extraction.
+
+Regenerates the paper's Table 1 columns per instance: the number of
+conflict clauses ``|F*|``, the percentage of them actually tested by
+``Proof_verification2``, the initial clause count, and the percentage of
+initial clauses in the extracted unsatisfiable core.
+
+Run with ``python -m repro.experiments.table1`` (``--quick`` restricts
+to the fastest instance of each family).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.benchgen.registry import TABLE1_INSTANCES
+from repro.experiments.runner import ExperimentRow, run_instances
+
+QUICK_INSTANCES = ("pipe_2", "stack8_8", "barrel5", "longmult_4",
+                   "eq_alu4", "w6_10")
+
+_HEADER = (f"{'Name':<12} {'All conflict':>13} {'Tested':>8} "
+           f"{'Clauses in':>11} {'Unsat':>7}   paper")
+_SUBHEADER = (f"{'':<12} {'clauses':>13} {'%':>8} "
+              f"{'initial CNF':>11} {'core %':>7}   analog")
+
+
+def format_table1(rows: list[ExperimentRow]) -> str:
+    lines = ["Table 1. Unsatisfiable core extraction",
+             _HEADER, _SUBHEADER, "-" * 72]
+    for row in rows:
+        lines.append(
+            f"{row.name:<12} {row.num_conflict_clauses:>13,} "
+            f"{100 * row.tested_fraction:>8.1f} "
+            f"{row.num_clauses:>11,} "
+            f"{100 * row.core_fraction:>7.1f}   {row.paper_analog}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> list[ExperimentRow]:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="one fast instance per family")
+    parser.add_argument("--instances", nargs="*", default=None,
+                        help="explicit instance names")
+    args = parser.parse_args(argv)
+    if args.instances:
+        names = args.instances
+    elif args.quick:
+        names = QUICK_INSTANCES
+    else:
+        names = TABLE1_INSTANCES
+    rows = run_instances(names, progress=True)
+    print(format_table1(rows))
+    return rows
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Table 2 — proof verification and proof size comparison.
+
+Regenerates the paper's Table 2 per instance: ``Proof_verification2``
+runtime, the resolution graph size in nodes (exact for us — the paper
+could only lower-bound it), the conflict clause proof size in literals,
+and their ratio in percent.  The paper's headline observation — conflict
+clause proofs are smaller than resolution graph proofs on most instances
+— is what the ratio column demonstrates.
+
+Run with ``python -m repro.experiments.table2``.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.benchgen.registry import TABLE2_INSTANCES
+from repro.experiments.runner import ExperimentRow, run_instances
+from repro.experiments.table1 import QUICK_INSTANCES
+
+_HEADER = (f"{'Name':<12} {'Verif.':>8} {'Res. graph':>12} "
+           f"{'Confl. proof':>13} {'Ratio':>7}   paper")
+_SUBHEADER = (f"{'':<12} {'time(s)':>8} {'size(nodes)':>12} "
+              f"{'size(lits)':>13} {'%':>7}   analog")
+
+
+def format_table2(rows: list[ExperimentRow]) -> str:
+    lines = ["Table 2. Proof verification",
+             _HEADER, _SUBHEADER, "-" * 72]
+    for row in rows:
+        lines.append(
+            f"{row.name:<12} {row.verification_time:>8.2f} "
+            f"{row.resolution_nodes:>12,} "
+            f"{row.conflict_literals:>13,} "
+            f"{row.ratio_percent:>7.1f}   {row.paper_analog}")
+    smaller = sum(1 for row in rows if row.ratio_percent < 100.0)
+    lines.append("-" * 72)
+    lines.append(f"conflict clause proof smaller on {smaller}/{len(rows)} "
+                 "instances (paper: all but a few)")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> list[ExperimentRow]:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="one fast instance per family")
+    parser.add_argument("--instances", nargs="*", default=None)
+    args = parser.parse_args(argv)
+    if args.instances:
+        names = args.instances
+    elif args.quick:
+        names = QUICK_INSTANCES
+    else:
+        names = TABLE2_INSTANCES
+    rows = run_instances(names, progress=True)
+    print(format_table2(rows))
+    return rows
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Pipelined-microprocessor correspondence checking (pipe/vliw family)."""
+
+from repro.pipelines.correctness import (
+    pipe_instance,
+    pipeline_formula,
+    pipeline_miter,
+    vliw_instance,
+)
+from repro.pipelines.impl import build_pipeline_circuit
+from repro.pipelines.memory import (
+    LoadStoreSpec,
+    build_ls_pipeline_circuit,
+    build_ls_spec_circuit,
+    dlx_instance,
+    execute_ls_program,
+)
+from repro.pipelines.isa import (
+    ALU_ADD,
+    ALU_AND,
+    ALU_OR,
+    ALU_XOR,
+    MachineSpec,
+    execute_program,
+)
+from repro.pipelines.spec import build_spec_circuit
+
+__all__ = [
+    "MachineSpec",
+    "execute_program",
+    "build_spec_circuit",
+    "build_pipeline_circuit",
+    "pipeline_miter",
+    "pipeline_formula",
+    "pipe_instance",
+    "vliw_instance",
+    "LoadStoreSpec",
+    "build_ls_spec_circuit",
+    "build_ls_pipeline_circuit",
+    "dlx_instance",
+    "execute_ls_program",
+    "ALU_ADD",
+    "ALU_AND",
+    "ALU_OR",
+    "ALU_XOR",
+]

@@ -1,0 +1,46 @@
+"""Pipeline–ISA correspondence formulas (the pipe/vliw instance family).
+
+The miter of the sequential specification machine and the pipelined
+implementation over fully symbolic programs and register files.  The
+formula is UNSAT because forwarding is correct — these are our
+scaled-down analogs of the paper's ``5pipe`` … ``9pipe`` and ``vliw``
+instances [15].
+"""
+
+from __future__ import annotations
+
+from repro.circuits.miter import build_miter, equivalence_formula
+from repro.circuits.netlist import Circuit
+from repro.core.formula import CnfFormula
+from repro.pipelines.impl import build_pipeline_circuit
+from repro.pipelines.isa import MachineSpec
+from repro.pipelines.spec import build_spec_circuit
+
+
+def pipeline_miter(spec: MachineSpec, depth: int) -> Circuit:
+    """The miter circuit of spec machine vs. ``depth``-stage pipeline."""
+    return build_miter(build_spec_circuit(spec),
+                       build_pipeline_circuit(spec, depth),
+                       name=f"pipe{depth}_miter")
+
+
+def pipeline_formula(spec: MachineSpec, depth: int) -> CnfFormula:
+    """UNSAT CNF asserting some program distinguishes spec and pipeline."""
+    return equivalence_formula(build_spec_circuit(spec),
+                               build_pipeline_circuit(spec, depth))
+
+
+def pipe_instance(depth: int, num_instrs: int, num_regs: int = 4,
+                  width: int = 2) -> CnfFormula:
+    """A ``<depth>pipe``-style instance (single-issue)."""
+    spec = MachineSpec(num_instrs=num_instrs, num_regs=num_regs,
+                       width=width, issue_width=1)
+    return pipeline_formula(spec, depth)
+
+
+def vliw_instance(depth: int, num_instrs: int, issue_width: int = 2,
+                  num_regs: int = 4, width: int = 2) -> CnfFormula:
+    """A ``vliw``-style instance (multi-issue pipeline)."""
+    spec = MachineSpec(num_instrs=num_instrs, num_regs=num_regs,
+                       width=width, issue_width=issue_width)
+    return pipeline_formula(spec, depth)

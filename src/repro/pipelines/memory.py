@@ -1,0 +1,274 @@
+"""Load-store machine correspondence (the deeper end of the pipe family).
+
+Velev's hardest instances model processors with *memory*: loads and
+stores over symbolic addresses force the prover to reason about aliasing
+("does this store feed that load?"), which is where pipeline formulas
+get genuinely hard.  This module adds that dimension:
+
+**ISA**: ``op`` is 3 bits — ``000..011`` the ALU ops of
+:mod:`repro.pipelines.isa`; ``100`` LOAD (``R[d] ← M[R[s1]]``); ``101``
+STORE (``M[R[s1]] ← R[s2]``); ``110``/``111`` NOP.  Addresses are the
+low bits of the register value; the machine has ``num_mem`` words of
+``width`` bits.
+
+**Specification**: sequential execution over registers and memory.
+
+**Implementation**: the pipelined evaluation style of
+:mod:`repro.pipelines.impl` — register reads via writeback-horizon
+priority logic plus newest-first forwarding (only instructions that
+write a register forward), and loads resolved through a symbolic
+store-to-load forwarding chain (last aliasing store wins, else initial
+memory).  Structurally disjoint from the spec, equivalent by
+construction: the miter is UNSAT.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.miter import equivalence_formula
+from repro.circuits.netlist import Circuit
+from repro.core.exceptions import ModelError
+from repro.core.formula import CnfFormula
+from repro.pipelines.isa import (
+    MachineSpec,
+    add_regfile_inputs,
+    alu_result,
+    fields_equal_const,
+    select_register,
+)
+
+OP_LOAD = 4
+OP_STORE = 5
+OP_NOP = 6
+
+
+class LoadStoreSpec(MachineSpec):
+    """Machine parameters plus a data memory of ``num_mem`` words."""
+
+    def __init__(self, num_instrs: int, num_regs: int = 2,
+                 width: int = 2, num_mem: int = 2):
+        super().__init__(num_instrs=num_instrs, num_regs=num_regs,
+                         width=width, issue_width=1)
+        if num_mem < 2 or num_mem & (num_mem - 1):
+            raise ModelError("num_mem must be a power of two >= 2")
+        if num_mem > (1 << width):
+            raise ModelError("addresses (register values) cannot reach "
+                             f"{num_mem} memory words at width {width}")
+        object.__setattr__(self, "num_mem", num_mem)
+
+    @property
+    def mem_bits(self) -> int:
+        return self.num_mem.bit_length() - 1
+
+
+def _add_ls_program_inputs(c: Circuit, spec: LoadStoreSpec) -> list[dict]:
+    fields = []
+    for i in range(spec.num_instrs):
+        fields.append({
+            "op": c.add_input_bus(f"op{i}", 3),
+            "s1": c.add_input_bus(f"s1_{i}", spec.reg_bits),
+            "s2": c.add_input_bus(f"s2_{i}", spec.reg_bits),
+            "d": c.add_input_bus(f"d{i}", spec.reg_bits),
+        })
+    return fields
+
+
+def _add_memory_inputs(c: Circuit, spec: LoadStoreSpec) -> list[list[str]]:
+    return [c.add_input_bus(f"m{k}", spec.width)
+            for k in range(spec.num_mem)]
+
+
+def _decode(c: Circuit, op: list[str]) -> dict[str, str]:
+    """Decode the 3-bit opcode into class flags."""
+    is_load = c.AND(op[2], c.NOT(op[1]), c.NOT(op[0]))
+    is_store = c.AND(op[2], c.NOT(op[1]), op[0])
+    is_alu = c.NOT(op[2])
+    writes_reg = c.OR(is_alu, is_load)
+    return {"load": is_load, "store": is_store, "alu": is_alu,
+            "writes_reg": writes_reg}
+
+
+def _bits_equal(c: Circuit, xs: list[str], ys: list[str]) -> str:
+    same = [c.XNOR(x, y) for x, y in zip(xs, ys)]
+    return same[0] if len(same) == 1 else c.AND(*same)
+
+
+def _set_outputs(c: Circuit, spec: LoadStoreSpec,
+                 regs: list[list[str]], mem: list[list[str]]) -> None:
+    for j in range(spec.num_regs):
+        for bit in range(spec.width):
+            c.set_output(c.BUF(regs[j][bit], name=f"out_r{j}[{bit}]"))
+    for k in range(spec.num_mem):
+        for bit in range(spec.width):
+            c.set_output(c.BUF(mem[k][bit], name=f"out_m{k}[{bit}]"))
+
+
+def build_ls_spec_circuit(spec: LoadStoreSpec) -> Circuit:
+    """Sequential reference machine with registers and memory."""
+    c = Circuit(f"ls_spec_n{spec.num_instrs}")
+    program = _add_ls_program_inputs(c, spec)
+    regs = add_regfile_inputs(c, spec)
+    mem = _add_memory_inputs(c, spec)
+
+    for fields in program:
+        flags = _decode(c, fields["op"])
+        a = select_register(c, fields["s1"], regs)
+        b = select_register(c, fields["s2"], regs)
+        alu = alu_result(c, fields["op"][:2], a, b)
+        address = a[:spec.mem_bits]
+        loaded = [
+            _mux_by_index(c, address, [mem[k][bit]
+                                       for k in range(spec.num_mem)])
+            for bit in range(spec.width)
+        ]
+        result = [c.MUX(flags["load"], alu[bit], loaded[bit])
+                  for bit in range(spec.width)]
+        regs = [
+            [
+                c.MUX(c.AND(flags["writes_reg"],
+                            fields_equal_const(c, fields["d"], j)),
+                      regs[j][bit], result[bit])
+                for bit in range(spec.width)
+            ]
+            for j in range(spec.num_regs)
+        ]
+        mem = [
+            [
+                c.MUX(c.AND(flags["store"],
+                            _addr_is(c, address, k)),
+                      mem[k][bit], b[bit])
+                for bit in range(spec.width)
+            ]
+            for k in range(spec.num_mem)
+        ]
+    _set_outputs(c, spec, regs, mem)
+    return c
+
+
+def _mux_by_index(c: Circuit, index: list[str], words: list[str]) -> str:
+    layer = words
+    for bit in index:
+        layer = [c.MUX(bit, layer[2 * i], layer[2 * i + 1])
+                 for i in range(len(layer) // 2)]
+    return layer[0]
+
+
+def _addr_is(c: Circuit, address: list[str], k: int) -> str:
+    terms = [bit if (k >> i) & 1 else c.NOT(bit)
+             for i, bit in enumerate(address)]
+    return terms[0] if len(terms) == 1 else c.AND(*terms)
+
+
+def build_ls_pipeline_circuit(spec: LoadStoreSpec, depth: int) -> Circuit:
+    """Pipelined evaluation with register forwarding and symbolic
+    store-to-load forwarding."""
+    if depth < 1:
+        raise ModelError("pipeline depth must be >= 1")
+    c = Circuit(f"ls_pipe{depth}_n{spec.num_instrs}")
+    program = _add_ls_program_inputs(c, spec)
+    initial_regs = add_regfile_inputs(c, spec)
+    initial_mem = _add_memory_inputs(c, spec)
+
+    flags = [_decode(c, fields["op"]) for fields in program]
+    results: list[list[str]] = []   # register result of instr i
+    addresses: list[list[str]] = []  # memory address of instr i
+    store_values: list[list[str]] = []
+
+    def reg_read(i: int, src_bits: list[str]) -> list[str]:
+        cutoff = max(0, i - depth)
+        per_register = []
+        for j in range(spec.num_regs):
+            value = initial_regs[j]
+            for writer in range(cutoff):
+                hit = c.AND(flags[writer]["writes_reg"],
+                            fields_equal_const(c, program[writer]["d"],
+                                               j))
+                value = [c.MUX(hit, value[bit], results[writer][bit])
+                         for bit in range(spec.width)]
+            per_register.append(value)
+        value = select_register(c, src_bits, per_register)
+        for j in range(cutoff, i):
+            hit = c.AND(flags[j]["writes_reg"],
+                        _bits_equal(c, program[j]["d"], src_bits))
+            value = [c.MUX(hit, value[bit], results[j][bit])
+                     for bit in range(spec.width)]
+        return value
+
+    def memory_read(i: int, address: list[str]) -> list[str]:
+        value = [
+            _mux_by_index(c, address,
+                          [initial_mem[k][bit]
+                           for k in range(spec.num_mem)])
+            for bit in range(spec.width)
+        ]
+        # Store-to-load forwarding: oldest to newest, newest wins.
+        for j in range(i):
+            hit = c.AND(flags[j]["store"],
+                        _bits_equal(c, addresses[j], address))
+            value = [c.MUX(hit, value[bit], store_values[j][bit])
+                     for bit in range(spec.width)]
+        return value
+
+    for i, fields in enumerate(program):
+        a = reg_read(i, fields["s1"])
+        b = reg_read(i, fields["s2"])
+        alu = alu_result(c, fields["op"][:2], a, b)
+        address = a[:spec.mem_bits]
+        loaded = memory_read(i, address)
+        addresses.append(address)
+        store_values.append(b)
+        results.append([c.MUX(flags[i]["load"], alu[bit], loaded[bit])
+                        for bit in range(spec.width)])
+
+    # Drained state: per-register and per-slot last-writer-wins.
+    final_regs = []
+    for j in range(spec.num_regs):
+        value = initial_regs[j]
+        for writer in range(spec.num_instrs):
+            hit = c.AND(flags[writer]["writes_reg"],
+                        fields_equal_const(c, program[writer]["d"], j))
+            value = [c.MUX(hit, value[bit], results[writer][bit])
+                     for bit in range(spec.width)]
+        final_regs.append(value)
+    final_mem = []
+    for k in range(spec.num_mem):
+        value = initial_mem[k]
+        for j in range(spec.num_instrs):
+            hit = c.AND(flags[j]["store"], _addr_is(c, addresses[j], k))
+            value = [c.MUX(hit, value[bit], store_values[j][bit])
+                     for bit in range(spec.width)]
+        final_mem.append(value)
+    _set_outputs(c, spec, final_regs, final_mem)
+    return c
+
+
+def dlx_instance(depth: int, num_instrs: int, num_regs: int = 2,
+                 width: int = 2, num_mem: int = 2) -> CnfFormula:
+    """A load-store pipeline correspondence instance (UNSAT)."""
+    spec = LoadStoreSpec(num_instrs=num_instrs, num_regs=num_regs,
+                         width=width, num_mem=num_mem)
+    return equivalence_formula(build_ls_spec_circuit(spec),
+                               build_ls_pipeline_circuit(spec, depth))
+
+
+def execute_ls_program(spec: LoadStoreSpec, initial_regs: list[int],
+                       initial_mem: list[int],
+                       program: list[tuple[int, int, int, int]],
+                       ) -> tuple[list[int], list[int]]:
+    """Pure-Python reference semantics (for differential testing)."""
+    mask = (1 << spec.width) - 1
+    regs = [value & mask for value in initial_regs]
+    mem = [value & mask for value in initial_mem]
+    for op, s1, s2, d in program:
+        a, b = regs[s1], regs[s2]
+        address = a & (spec.num_mem - 1)
+        if op < 4:
+            from repro.pipelines.isa import execute_program
+            inner = MachineSpec(num_instrs=1, num_regs=spec.num_regs,
+                                width=spec.width)
+            regs = execute_program(inner, regs, [(op, s1, s2, d)])
+        elif op == OP_LOAD:
+            regs[d] = mem[address]
+        elif op == OP_STORE:
+            mem[address] = b
+        # NOPs (6, 7) change nothing.
+    return regs, mem

@@ -1,0 +1,49 @@
+"""The ISA-level specification machine (sequential execution).
+
+The golden model of the correspondence check: instructions execute one
+bundle at a time against an architected register file, reads before
+writes within a bundle, writes applied in instruction order.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.netlist import Circuit
+from repro.pipelines.isa import (
+    MachineSpec,
+    add_program_inputs,
+    add_regfile_inputs,
+    alu_result,
+    fields_equal_const,
+    select_register,
+)
+
+
+def build_spec_circuit(spec: MachineSpec) -> Circuit:
+    """Sequential reference machine; outputs the final register file."""
+    c = Circuit(f"spec_n{spec.num_instrs}_iw{spec.issue_width}")
+    program = add_program_inputs(c, spec)
+    regfile = add_regfile_inputs(c, spec)
+
+    for start in range(0, spec.num_instrs, spec.issue_width):
+        bundle = program[start:start + spec.issue_width]
+        snapshot = regfile
+        staged = [list(reg) for reg in regfile]
+        for fields in bundle:
+            a = select_register(c, fields["s1"], snapshot)
+            b = select_register(c, fields["s2"], snapshot)
+            result = alu_result(c, fields["op"], a, b)
+            # Write in instruction order: later writes override.
+            staged = [
+                [
+                    c.MUX(fields_equal_const(c, fields["d"], j),
+                          staged[j][bit], result[bit])
+                    for bit in range(spec.width)
+                ]
+                for j in range(spec.num_regs)
+            ]
+        regfile = staged
+
+    for j in range(spec.num_regs):
+        for bit in range(spec.width):
+            c.set_output(c.BUF(regfile[j][bit], name=f"out_r{j}[{bit}]"))
+    return c

@@ -1,0 +1,24 @@
+"""Proof-preserving CNF preprocessing (units, probing, subsumption)."""
+
+from repro.preprocess.elimination import (
+    EliminationStep,
+    eliminate_variables,
+    extend_model,
+)
+from repro.preprocess.lifting import (
+    lift_model,
+    lift_proof,
+    solve_with_preprocessing,
+)
+from repro.preprocess.preprocessor import PreprocessResult, preprocess
+
+__all__ = [
+    "preprocess",
+    "PreprocessResult",
+    "lift_proof",
+    "lift_model",
+    "solve_with_preprocessing",
+    "eliminate_variables",
+    "EliminationStep",
+    "extend_model",
+]

@@ -1,0 +1,99 @@
+"""Lift proofs and models across preprocessing.
+
+Soundness of the lift (why a proof of the simplified formula verifies
+against the original):
+
+* every derived unit is RUP with respect to the original formula plus
+  the earlier derived units (propagated units trivially; probed units
+  because the failed assumption's BCP conflict replays);
+* every simplified clause is its original clause minus literals the
+  derived units falsify, so wherever a simplified clause propagated
+  during a check, the original clause propagates the same literal once
+  BCP has asserted those units — which it has, because the units come
+  *first* in the lifted proof;
+* clause removal (satisfied / subsumed) only shrinks the formula, and
+  BCP conflicts are monotone under adding clauses back.
+
+Hence: ``derived units ++ proof-of-simplified`` is a correct conflict
+clause proof of the original formula.
+"""
+
+from __future__ import annotations
+
+from repro.core.exceptions import ReproError
+from repro.preprocess.preprocessor import PreprocessResult, preprocess
+from repro.proofs.conflict_clause import (
+    ENDING_EMPTY,
+    ConflictClauseProof,
+)
+
+
+def lift_proof(result: PreprocessResult,
+               proof: ConflictClauseProof | None = None,
+               ) -> ConflictClauseProof:
+    """Turn a proof of ``result.simplified`` into one of the original.
+
+    When preprocessing alone refuted the formula
+    (``result.status == "UNSAT"``), no inner proof is needed: the
+    derived units followed by the empty clause already refute the
+    original.
+    """
+    preamble = [(lit,) for lit in result.derived_units]
+    preamble += [clause.literals for clause in result.resolvent_clauses]
+    if result.status == "UNSAT":
+        return ConflictClauseProof(preamble + [()], ENDING_EMPTY)
+    if proof is None:
+        raise ReproError(
+            "preprocessing did not refute the formula; a proof of the "
+            "simplified formula is required")
+    return ConflictClauseProof(preamble + list(proof.clauses),
+                               proof.ending)
+
+
+def lift_model(result: PreprocessResult,
+               model: dict[int, bool]) -> dict[int, bool]:
+    """Extend a model of the simplified formula to the original.
+
+    Eliminated variables are reconstructed in reverse elimination
+    order; the derived units override last (they are consequences of
+    the original formula).
+    """
+    from repro.preprocess.elimination import extend_model
+
+    lifted = extend_model(list(result.eliminations), dict(model))
+    lifted.update(result.fixed_assignment)
+    return lifted
+
+
+def solve_with_preprocessing(formula, options=None, eliminate=False,
+                             **kwargs):
+    """Preprocess, solve the residue, and lift proof/model back.
+
+    Returns ``(solve_result, preprocess_result, lifted_proof)`` where
+    ``lifted_proof`` is None for satisfiable formulas (the lifted model
+    is placed in ``solve_result.model``).
+    """
+    from repro.solver.cdcl import SolverOptions, solve
+    from repro.solver.result import SAT, UNSAT, SolveResult
+
+    if options is None:
+        options = SolverOptions(**kwargs)
+    pre = preprocess(formula, eliminate=eliminate)
+    if pre.status == "UNSAT":
+        result = SolveResult(UNSAT)
+        return result, pre, lift_proof(pre)
+    if pre.status == "SAT":
+        model = lift_model(pre, {})
+        for var in range(1, formula.num_vars + 1):
+            model.setdefault(var, False)
+        return SolveResult(SAT, model=model), pre, None
+
+    result = solve(pre.simplified, options)
+    if result.is_unsat:
+        if result.log is None:
+            return result, pre, None  # proof logging was disabled
+        inner = ConflictClauseProof.from_log(result.log)
+        return result, pre, lift_proof(pre, inner)
+    if result.is_sat:
+        result.model = lift_model(pre, result.model)
+    return result, pre, None

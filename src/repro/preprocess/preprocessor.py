@@ -1,0 +1,234 @@
+"""Proof-preserving CNF preprocessing.
+
+Paper-era solvers routinely simplified formulas before search; the
+subtlety this module addresses is doing so *without losing the ability
+to verify the final proof against the original formula*.  Every
+technique used here is justified by reverse unit propagation, so its
+deductions can be prepended to the proof of the simplified formula
+(:mod:`repro.preprocess.lifting`):
+
+* **unit propagation closure** — literals forced by BCP become derived
+  unit clauses (trivially RUP);
+* **failed literal probing** — if assuming ``l`` yields a BCP conflict,
+  the unit ``(¬l)`` is RUP and is added;
+* **subsumption elimination** — a clause containing another clause is
+  removed; removal only shrinks the formula, so any proof of the result
+  remains a proof of the original (BCP is monotone in the clause set).
+
+Pure-literal elimination is deliberately *not* performed: it preserves
+satisfiability but its deductions are not implied by the formula, so it
+would break proof lifting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bcp.engine import FALSE, TRUE, UNDEF
+from repro.bcp.watched import WatchedPropagator
+from repro.core.clause import Clause
+from repro.core.formula import CnfFormula
+from repro.core.literals import decode, encode
+
+
+@dataclass
+class PreprocessResult:
+    """Outcome of preprocessing.
+
+    ``status`` is ``"UNSAT"`` when preprocessing alone refutes the
+    formula (the simplified formula then contains the empty clause),
+    ``"SAT"`` when it satisfies every clause, else ``"UNKNOWN"``.
+    """
+
+    original: CnfFormula
+    simplified: CnfFormula
+    status: str
+    derived_units: tuple[int, ...] = ()
+    removed_clause_indices: tuple[int, ...] = ()
+    kept_clause_indices: tuple[int, ...] = ()
+    probes_run: int = 0
+    statistics: dict[str, int] = field(default_factory=dict)
+    eliminations: tuple = ()
+    """Variable-elimination steps (order matters for model lifting)."""
+    resolvent_clauses: tuple = ()
+    """All VE resolvents, in derivation order — the RUP preamble that
+    proof lifting inserts after the derived units."""
+
+    @property
+    def fixed_assignment(self) -> dict[int, bool]:
+        """The assignment forced by the derived units."""
+        return {abs(lit): lit > 0 for lit in self.derived_units}
+
+
+def preprocess(formula: CnfFormula, probe: bool = True,
+               subsume: bool = True, eliminate: bool = False,
+               max_probes: int | None = None,
+               max_elim_occurrences: int = 10) -> PreprocessResult:
+    """Simplify a formula with RUP-justified techniques only.
+
+    ``eliminate=True`` additionally runs NiVER-style bounded variable
+    elimination (:mod:`repro.preprocess.elimination`); its resolvents
+    become part of the lifted proof's preamble.
+    """
+    engine = WatchedPropagator(formula.num_vars)
+    for clause in formula:
+        engine.add_clause([encode(lit) for lit in clause])
+
+    probes_run = 0
+    confl = engine.propagate()
+
+    if confl is None and probe:
+        confl, probes_run = _probe_failed_literals(engine, max_probes)
+
+    # Every level-0 assignment is a derived unit (in trail order).
+    derived_units = [decode(enc) for enc in engine.trail]
+
+    if confl is not None:
+        simplified = CnfFormula([[]], num_vars=formula.num_vars)
+        return PreprocessResult(
+            original=formula, simplified=simplified, status="UNSAT",
+            derived_units=tuple(derived_units),
+            removed_clause_indices=tuple(range(formula.num_clauses)),
+            statistics={"derived_units": len(derived_units),
+                        "probes": probes_run})
+
+    values = engine.values
+    kept: list[int] = []
+    removed: list[int] = []
+    new_clauses: list[Clause] = []
+    for index, clause in enumerate(formula):
+        satisfied = False
+        remaining: list[int] = []
+        for lit in clause:
+            value = values[encode(lit)]
+            if value == TRUE:
+                satisfied = True
+                break
+            if value == UNDEF:
+                remaining.append(lit)
+        if satisfied:
+            removed.append(index)
+            continue
+        kept.append(index)
+        new_clauses.append(Clause(remaining))
+
+    if subsume:
+        kept, new_clauses, subsumed = _eliminate_subsumed(kept,
+                                                          new_clauses)
+        removed.extend(subsumed)
+        removed.sort()
+    else:
+        subsumed = []
+
+    elimination_steps: list = []
+    resolvents: list[Clause] = []
+    status = "SAT" if not new_clauses else "UNKNOWN"
+    if eliminate and new_clauses:
+        from repro.preprocess.elimination import eliminate_variables
+
+        protected = {abs(lit) for lit in derived_units}
+        new_clauses, elimination_steps = eliminate_variables(
+            new_clauses, protected,
+            max_occurrences=max_elim_occurrences)
+        for step in elimination_steps:
+            resolvents.extend(step.resolvents)
+        if any(clause.is_empty() for clause in new_clauses):
+            status = "UNSAT"
+            new_clauses = [Clause()]
+        elif not new_clauses:
+            status = "SAT"
+
+    simplified = CnfFormula(new_clauses, num_vars=formula.num_vars)
+    return PreprocessResult(
+        original=formula, simplified=simplified, status=status,
+        derived_units=tuple(derived_units),
+        removed_clause_indices=tuple(removed),
+        kept_clause_indices=tuple(kept),
+        probes_run=probes_run,
+        eliminations=tuple(elimination_steps),
+        resolvent_clauses=tuple(resolvents),
+        statistics={
+            "derived_units": len(derived_units),
+            "probes": probes_run,
+            "satisfied_removed": len(removed) - len(subsumed),
+            "subsumed_removed": len(subsumed),
+            "eliminated_vars": len(elimination_steps),
+            "literals_stripped": formula.literal_count()
+            - sum(len(c) for c in new_clauses)
+            - sum(len(formula[i]) for i in removed),
+        })
+
+
+def _probe_failed_literals(engine: WatchedPropagator,
+                           max_probes: int | None) -> tuple[int | None,
+                                                            int]:
+    """Assume each literal; a BCP conflict makes its negation a unit.
+
+    Iterates to fixpoint (new units enable new failures).  Returns the
+    level-0 conflict, if the formula is refuted outright.
+    """
+    probes = 0
+    changed = True
+    while changed:
+        changed = False
+        for var in range(1, engine.num_vars + 1):
+            if engine.values[var << 1] != UNDEF:
+                continue
+            for enc in (var << 1, (var << 1) | 1):
+                if max_probes is not None and probes >= max_probes:
+                    return None, probes
+                if engine.values[enc] != UNDEF:
+                    continue
+                probes += 1
+                engine.assume(enc)
+                confl = engine.propagate()
+                engine.backtrack(0)
+                if confl is None:
+                    continue
+                # enc fails: ¬enc is implied (and RUP).
+                if not engine.enqueue(enc ^ 1, None):
+                    return -1, probes  # both polarities fail: UNSAT
+                top_confl = engine.propagate()
+                if top_confl is not None:
+                    return top_confl, probes
+                changed = True
+    return None, probes
+
+
+def _eliminate_subsumed(indices: list[int], clauses: list[Clause]):
+    """Remove clauses subsumed by another kept clause.
+
+    On ties (duplicate clauses) the earlier occurrence is kept.  Uses
+    the smallest-clause-first ordering with signature prefiltering.
+    """
+    order = sorted(range(len(clauses)), key=lambda i: len(clauses[i]))
+    literal_sets = [frozenset(c.literals) for c in clauses]
+    alive = [True] * len(clauses)
+    # Occurrence lists: literal -> positions containing it.
+    occurrences: dict[int, list[int]] = {}
+    for position, literals in enumerate(literal_sets):
+        for lit in literals:
+            occurrences.setdefault(lit, []).append(position)
+
+    for position in order:
+        if not alive[position]:
+            continue
+        literals = literal_sets[position]
+        if not literals:
+            continue
+        # Candidates must contain the rarest literal of this clause.
+        rarest = min(literals, key=lambda lit: len(occurrences[lit]))
+        for other in occurrences[rarest]:
+            if other == position or not alive[other]:
+                continue
+            if len(literal_sets[other]) < len(literals):
+                continue
+            if literals < literal_sets[other] or (
+                    literals == literal_sets[other]
+                    and indices[position] < indices[other]):
+                alive[other] = False
+
+    kept_indices = [indices[i] for i in range(len(clauses)) if alive[i]]
+    kept_clauses = [clauses[i] for i in range(len(clauses)) if alive[i]]
+    subsumed = [indices[i] for i in range(len(clauses)) if not alive[i]]
+    return kept_indices, kept_clauses, subsumed

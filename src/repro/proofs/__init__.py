@@ -1,0 +1,61 @@
+"""Proof objects: solver logs, conflict clause proofs, resolution graphs."""
+
+from repro.proofs.conflict_clause import (
+    ENDING_EMPTY,
+    ENDING_FINAL_PAIR,
+    ConflictClauseProof,
+)
+from repro.proofs.drup import (
+    DrupEvent,
+    DrupProof,
+    format_drup,
+    parse_drup,
+    read_drup,
+    write_drup,
+)
+from repro.proofs.log import ProofLog, ProofStep
+from repro.proofs.resolution import (
+    CheckResult,
+    ResolutionGraphProof,
+    ResolutionNode,
+)
+from repro.proofs.sizes import ProofSizeComparison, compare_proof_sizes
+from repro.proofs.stats import (
+    ClauseShape,
+    ProofStatistics,
+    analyze_log,
+    clause_shapes,
+)
+from repro.proofs.trace_format import (
+    format_proof,
+    parse_proof,
+    read_proof,
+    write_proof,
+)
+
+__all__ = [
+    "ProofLog",
+    "ProofStep",
+    "ConflictClauseProof",
+    "ENDING_FINAL_PAIR",
+    "ENDING_EMPTY",
+    "ResolutionGraphProof",
+    "ResolutionNode",
+    "CheckResult",
+    "ProofSizeComparison",
+    "compare_proof_sizes",
+    "ProofStatistics",
+    "ClauseShape",
+    "analyze_log",
+    "clause_shapes",
+    "format_proof",
+    "DrupProof",
+    "DrupEvent",
+    "format_drup",
+    "parse_drup",
+    "read_drup",
+    "write_drup",
+    "parse_proof",
+    "read_proof",
+    "write_proof",
+]

@@ -1,0 +1,106 @@
+"""The solver-side proof log: every deduced clause with its derivation.
+
+A :class:`ProofLog` is what a proof-logging CDCL solver produces while
+refuting a formula.  It is a superset of both proof representations the
+paper compares:
+
+* dropping the derivations and keeping the clauses (chronologically)
+  yields the **conflict clause proof** ``F*`` (Section 3);
+* expanding each derivation chain into binary resolution nodes yields the
+  **resolution graph proof** (Sections 1 and 5).
+
+Clause references are dense integers: ``0 .. num_input-1`` refer to the
+input formula's clauses (the sources of the resolution DAG), and
+``num_input + j`` refers to the ``j``-th deduced clause.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ProofStep:
+    """One deduced clause together with its trail-resolution derivation.
+
+    ``antecedents`` is the input-resolution chain: the derivation starts
+    from clause ``antecedents[0]`` and resolves, in order, with
+    ``antecedents[1:]``; ``pivots[k]`` is the variable eliminated by the
+    resolution with ``antecedents[k + 1]``.  A chain with a single
+    antecedent and no pivots is a copy (0 resolutions).
+    """
+
+    literals: tuple[int, ...]
+    antecedents: tuple[int, ...]
+    pivots: tuple[int, ...]
+
+    @property
+    def resolution_count(self) -> int:
+        """Number of binary resolutions in this step's derivation."""
+        return len(self.pivots)
+
+
+@dataclass
+class ProofLog:
+    """Chronological record of every clause a solver deduced.
+
+    ``ending`` describes how the refutation terminates:
+
+    * ``"empty"`` — the last step derives the empty clause;
+    * ``"incomplete"`` — no refutation (the solver found the formula
+      satisfiable or was interrupted).
+
+    A complete log always ends with the empty-clause step; the paper's
+    *final conflicting pair* of unit clauses is recovered from the last
+    two steps when exporting a conflict clause proof (the step before the
+    empty clause is, by construction of the solver's final analysis, a
+    unit clause ``(l)``, and the empty step then certifies ``(¬l)``).
+    """
+
+    input_clauses: list[tuple[int, ...]] = field(default_factory=list)
+    steps: list[ProofStep] = field(default_factory=list)
+    ending: str = "incomplete"
+    deletion_events: list[tuple[int, tuple[int, ...]]] = \
+        field(default_factory=list)
+    """Learned-clause deletions as ``(after_step, literals)`` pairs: the
+    clause was dropped once ``after_step`` steps had been logged.  Not
+    part of the paper's proof object (F* keeps every deduced clause);
+    used by the DRUP export (:mod:`repro.proofs.drup`)."""
+
+    @property
+    def num_input(self) -> int:
+        return len(self.input_clauses)
+
+    def add_step(self, literals: tuple[int, ...],
+                 antecedents: tuple[int, ...],
+                 pivots: tuple[int, ...]) -> int:
+        """Record a deduced clause; returns its global clause reference."""
+        if len(antecedents) != len(pivots) + 1:
+            raise ValueError(
+                f"chain of {len(antecedents)} antecedents needs exactly "
+                f"{len(antecedents) - 1} pivots, got {len(pivots)}")
+        self.steps.append(ProofStep(tuple(literals), tuple(antecedents),
+                                    tuple(pivots)))
+        return self.num_input + len(self.steps) - 1
+
+    def literals_of(self, ref: int) -> tuple[int, ...]:
+        """Literals of a clause reference (input or deduced)."""
+        if ref < self.num_input:
+            return self.input_clauses[ref]
+        return self.steps[ref - self.num_input].literals
+
+    def is_complete(self) -> bool:
+        return self.ending == "empty"
+
+    @property
+    def num_deduced(self) -> int:
+        return len(self.steps)
+
+    def deduced_literal_count(self) -> int:
+        """Total literals over all deduced clauses (conflict-proof size)."""
+        return sum(len(step.literals) for step in self.steps)
+
+    def resolution_node_count(self) -> int:
+        """Total binary resolutions = internal nodes of the resolution
+        graph (the paper's Table 2 'Resolution graph size')."""
+        return sum(step.resolution_count for step in self.steps)

@@ -1,0 +1,105 @@
+"""Proof statistics: the paper's local/global clause analysis (§5).
+
+A conflict clause is **local** when it was obtained by few resolutions
+(1UIP-style) and **global** when it required many (decision-variable
+style).  Storing a clause in a conflict clause proof costs its
+*literals*; storing its derivation in a resolution graph costs its
+*resolutions* (nodes).  Per clause, whichever is smaller wins — the
+paper's observation that the two proof formats are complementary, made
+quantitative here.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.proofs.log import ProofLog
+
+
+@dataclass
+class ClauseShape:
+    """Per-clause size/derivation measurements."""
+
+    index: int
+    literals: int
+    resolutions: int
+
+    @property
+    def prefers_conflict_format(self) -> bool:
+        """True when storing the clause beats storing its derivation."""
+        return self.literals < self.resolutions
+
+
+@dataclass
+class ProofStatistics:
+    """Aggregate shape of a proof log."""
+
+    num_clauses: int
+    total_literals: int
+    total_resolutions: int
+    mean_clause_length: float
+    max_clause_length: int
+    mean_resolutions: float
+    max_resolutions: int
+    local_clauses: int
+    global_clauses: int
+    conflict_format_wins: int
+    length_histogram: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def global_fraction(self) -> float:
+        if not self.num_clauses:
+            return 0.0
+        return self.global_clauses / self.num_clauses
+
+
+def clause_shapes(log: ProofLog) -> list[ClauseShape]:
+    """Length and resolution count of every deduced clause."""
+    return [
+        ClauseShape(index=index, literals=len(step.literals),
+                    resolutions=step.resolution_count)
+        for index, step in enumerate(log.steps)
+    ]
+
+
+def analyze_log(log: ProofLog,
+                local_threshold: int | None = None) -> ProofStatistics:
+    """Aggregate statistics of a proof log.
+
+    A clause is classified *global* when its derivation used more than
+    ``local_threshold`` resolutions; the default threshold is twice the
+    clause's own length (a scale-free reading of the paper's informal
+    definition: local clauses are "obtained by resolving a small number
+    of clauses" relative to what storing them costs).
+    """
+    shapes = clause_shapes(log)
+    if not shapes:
+        return ProofStatistics(
+            num_clauses=0, total_literals=0, total_resolutions=0,
+            mean_clause_length=0.0, max_clause_length=0,
+            mean_resolutions=0.0, max_resolutions=0,
+            local_clauses=0, global_clauses=0, conflict_format_wins=0)
+
+    total_literals = sum(s.literals for s in shapes)
+    total_resolutions = sum(s.resolutions for s in shapes)
+    global_count = 0
+    for shape in shapes:
+        threshold = (local_threshold if local_threshold is not None
+                     else 2 * max(shape.literals, 1))
+        if shape.resolutions > threshold:
+            global_count += 1
+    histogram = Counter(s.literals for s in shapes)
+    return ProofStatistics(
+        num_clauses=len(shapes),
+        total_literals=total_literals,
+        total_resolutions=total_resolutions,
+        mean_clause_length=total_literals / len(shapes),
+        max_clause_length=max(s.literals for s in shapes),
+        mean_resolutions=total_resolutions / len(shapes),
+        max_resolutions=max(s.resolutions for s in shapes),
+        local_clauses=len(shapes) - global_count,
+        global_clauses=global_count,
+        conflict_format_wins=sum(
+            1 for s in shapes if s.prefers_conflict_format),
+        length_histogram=dict(sorted(histogram.items())))

@@ -1,0 +1,99 @@
+"""On-disk format for conflict clause proofs.
+
+The paper's workflow (Section 1) writes each conflict clause to disk as
+soon as it is recorded, so the format is line-oriented and appendable: a
+header naming the ending convention, then one zero-terminated clause per
+line, in chronological order — essentially the RUP trace format that
+descended from this paper.
+
+Example::
+
+    p ccproof final_pair
+    c deduced by solver X on formula Y
+    -1 3 4 0
+    -1 0
+    1 0
+"""
+
+from __future__ import annotations
+
+import io
+from os import PathLike
+
+from repro.core.exceptions import ProofFormatError
+from repro.proofs.conflict_clause import (
+    ENDING_EMPTY,
+    ENDING_FINAL_PAIR,
+    ConflictClauseProof,
+)
+
+_HEADER_PREFIX = "p ccproof"
+
+
+def format_proof(proof: ConflictClauseProof,
+                 comment: str | None = None) -> str:
+    """Render a conflict clause proof as trace text."""
+    out = io.StringIO()
+    out.write(f"{_HEADER_PREFIX} {proof.ending}\n")
+    if comment:
+        for line in comment.splitlines():
+            out.write(f"c {line}\n")
+    for clause in proof:
+        if clause:
+            out.write(" ".join(map(str, clause)))
+            out.write(" 0\n")
+        else:
+            out.write("0\n")
+    return out.getvalue()
+
+
+def parse_proof(text: str) -> ConflictClauseProof:
+    """Parse trace text back into a :class:`ConflictClauseProof`."""
+    ending: str | None = None
+    clauses: list[tuple[int, ...]] = []
+    pending: list[int] = []
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            if ending is not None:
+                raise ProofFormatError(
+                    f"line {line_number}: duplicate proof header")
+            fields = line.split()
+            if (len(fields) != 3 or " ".join(fields[:2]) != _HEADER_PREFIX
+                    or fields[2] not in (ENDING_FINAL_PAIR, ENDING_EMPTY)):
+                raise ProofFormatError(
+                    f"line {line_number}: malformed header {line!r}")
+            ending = fields[2]
+            continue
+        for token in line.split():
+            try:
+                lit = int(token)
+            except ValueError as exc:
+                raise ProofFormatError(
+                    f"line {line_number}: unexpected token {token!r}"
+                ) from exc
+            if lit == 0:
+                clauses.append(tuple(pending))
+                pending = []
+            else:
+                pending.append(lit)
+    if pending:
+        raise ProofFormatError("last clause is missing its terminating 0")
+    if ending is None:
+        raise ProofFormatError("missing 'p ccproof' header")
+    return ConflictClauseProof(clauses, ending)
+
+
+def write_proof(proof: ConflictClauseProof, path: str | PathLike,
+                comment: str | None = None) -> None:
+    """Write a conflict clause proof to a trace file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(format_proof(proof, comment=comment))
+
+
+def read_proof(path: str | PathLike) -> ConflictClauseProof:
+    """Read a conflict clause proof from a trace file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_proof(handle.read())

@@ -1,0 +1,48 @@
+"""The proof-logging CDCL SAT solver and its reference DPLL oracle."""
+
+from repro.solver.cdcl import CdclSolver, SolverOptions, solve
+from repro.solver.dpll import dpll_solve
+from repro.solver.heuristics import BerkMinOrder, VsidsOrder
+from repro.solver.learning import (
+    Analysis,
+    FinalAnalysis,
+    analyze_1uip,
+    analyze_decision,
+    analyze_final,
+)
+from repro.solver.restarts import (
+    GeometricRestarts,
+    LubyRestarts,
+    NoRestarts,
+    luby,
+)
+from repro.solver.result import (
+    SAT,
+    UNKNOWN,
+    UNSAT,
+    SolveResult,
+    SolverStats,
+)
+
+__all__ = [
+    "CdclSolver",
+    "SolverOptions",
+    "solve",
+    "dpll_solve",
+    "SolveResult",
+    "SolverStats",
+    "SAT",
+    "UNSAT",
+    "UNKNOWN",
+    "VsidsOrder",
+    "BerkMinOrder",
+    "Analysis",
+    "FinalAnalysis",
+    "analyze_1uip",
+    "analyze_decision",
+    "analyze_final",
+    "luby",
+    "LubyRestarts",
+    "GeometricRestarts",
+    "NoRestarts",
+]

@@ -1,0 +1,95 @@
+"""Reference DPLL solver (Davis–Putnam–Logemann–Loveland [5]).
+
+A deliberately simple, obviously-correct decision procedure used as the
+differential-testing oracle for the CDCL solver on small formulas.  It
+performs unit propagation and pure-literal elimination over plain literal
+sets — no watched literals, no learning — so its verdict depends on
+nothing shared with the production code paths.
+"""
+
+from __future__ import annotations
+
+from repro.core.formula import CnfFormula
+from repro.solver.result import SAT, UNSAT, SolveResult, SolverStats
+
+
+def dpll_solve(formula: CnfFormula) -> SolveResult:
+    """Decide satisfiability by classic DPLL; returns a model when SAT.
+
+    Exponential and recursion-bound — intended for formulas with at most
+    a few dozen variables.
+    """
+    clauses = [frozenset(clause.literals) for clause in formula]
+    stats = SolverStats()
+    model = _search(clauses, {}, stats)
+    if model is None:
+        return SolveResult(UNSAT, stats=stats)
+    full_model = {var: model.get(var, False)
+                  for var in range(1, formula.num_vars + 1)}
+    return SolveResult(SAT, model=full_model, stats=stats)
+
+
+def _search(clauses: list[frozenset[int]], assignment: dict[int, bool],
+            stats: SolverStats) -> dict[int, bool] | None:
+    if any(not clause for clause in clauses):
+        return None  # an input empty clause: immediately unsatisfiable
+    clauses = _propagate(clauses, assignment, stats)
+    if clauses is None:
+        return None
+    if not clauses:
+        return dict(assignment)
+    # Pure literal elimination.
+    polarity: dict[int, int] = {}
+    for clause in clauses:
+        for lit in clause:
+            var = abs(lit)
+            polarity[var] = polarity.get(var, 0) | (1 if lit > 0 else 2)
+    pure = [var if bits == 1 else -var
+            for var, bits in polarity.items() if bits in (1, 2)]
+    if pure:
+        for lit in pure:
+            assignment[abs(lit)] = lit > 0
+        reduced = [clause for clause in clauses
+                   if not any(lit in clause for lit in pure)]
+        return _search(reduced, assignment, stats)
+    # Branch on the first literal of the first shortest clause.
+    branch_clause = min(clauses, key=len)
+    lit = next(iter(branch_clause))
+    for value in (lit > 0, lit < 0):
+        stats.decisions += 1
+        trial = dict(assignment)
+        trial[abs(lit)] = value
+        result = _search(_assign(clauses, abs(lit), value), trial, stats)
+        if result is not None:
+            return result
+    return None
+
+
+def _propagate(clauses: list[frozenset[int]] | None,
+               assignment: dict[int, bool],
+               stats: SolverStats) -> list[frozenset[int]] | None:
+    while clauses is not None:
+        unit = next((clause for clause in clauses if len(clause) == 1), None)
+        if unit is None:
+            return clauses
+        (lit,) = unit
+        stats.propagations += 1
+        assignment[abs(lit)] = lit > 0
+        clauses = _assign(clauses, abs(lit), lit > 0)
+    return None
+
+
+def _assign(clauses: list[frozenset[int]], var: int,
+            value: bool) -> list[frozenset[int]] | None:
+    """Apply the paper's ``simplify`` step; None signals a conflict."""
+    true_lit = var if value else -var
+    result = []
+    for clause in clauses:
+        if true_lit in clause:
+            continue
+        if -true_lit in clause:
+            clause = clause - {-true_lit}
+            if not clause:
+                return None
+        result.append(clause)
+    return result

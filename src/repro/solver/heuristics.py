@@ -1,0 +1,130 @@
+"""Branching heuristics: VSIDS and the BerkMin clause-stack heuristic.
+
+The paper's proofs were produced by BerkMin [9], whose decision heuristic
+prefers variables of the most recently deduced clause that is not yet
+satisfied, falling back to activity order.  We provide both that heuristic
+and plain VSIDS (Chaff-style exponential activities with lazy-heap
+selection) so the solver can be run in either configuration.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.bcp.engine import TRUE, UNDEF, PropagatorBase
+
+_RESCALE_LIMIT = 1e100
+_RESCALE_FACTOR = 1e-100
+
+
+class VsidsOrder:
+    """Exponential VSIDS with a lazy max-heap over variable activities."""
+
+    def __init__(self, num_vars: int = 0, decay: float = 0.95):
+        if not 0 < decay <= 1:
+            raise ValueError(f"decay must be in (0, 1], got {decay}")
+        self.decay = decay
+        self.inc = 1.0
+        self.activity: list[float] = [0.0]
+        self.heap: list[tuple[float, int]] = []
+        self.ensure_vars(num_vars)
+
+    def ensure_vars(self, num_vars: int) -> None:
+        while len(self.activity) <= num_vars:
+            var = len(self.activity)
+            self.activity.append(0.0)
+            heapq.heappush(self.heap, (-0.0, var))
+
+    def bump(self, var: int) -> None:
+        """Increase a variable's activity (called on conflict analysis)."""
+        activity = self.activity[var] + self.inc
+        self.activity[var] = activity
+        if activity > _RESCALE_LIMIT:
+            self._rescale()
+        else:
+            heapq.heappush(self.heap, (-activity, var))
+
+    def _rescale(self) -> None:
+        self.activity = [a * _RESCALE_FACTOR for a in self.activity]
+        self.inc *= _RESCALE_FACTOR
+        self.heap = [(-self.activity[var], var)
+                     for var in range(1, len(self.activity))]
+        heapq.heapify(self.heap)
+
+    def decay_step(self) -> None:
+        """Geometrically inflate future bumps (equivalent to decaying)."""
+        self.inc /= self.decay
+
+    def push(self, var: int) -> None:
+        """Re-offer a variable after it became unassigned."""
+        heapq.heappush(self.heap, (-self.activity[var], var))
+
+    def pick(self, engine: PropagatorBase) -> int | None:
+        """Highest-activity unassigned variable, or None if all assigned."""
+        values = engine.values
+        heap = self.heap
+        while heap:
+            neg_activity, var = heap[0]
+            if values[var << 1] != UNDEF:
+                heapq.heappop(heap)
+                continue
+            if -neg_activity != self.activity[var]:
+                heapq.heappop(heap)  # stale entry; a fresher one exists
+                continue
+            return var
+        return None
+
+
+class BerkMinOrder(VsidsOrder):
+    """BerkMin's heuristic: branch inside the newest unsatisfied
+    deduced clause, by activity; fall back to VSIDS when the recent
+    deduced clauses are all satisfied."""
+
+    def __init__(self, num_vars: int = 0, decay: float = 0.95,
+                 max_scan: int = 256):
+        super().__init__(num_vars, decay)
+        self.max_scan = max_scan
+        self.learned_stack: list[int] = []
+
+    def on_learn(self, cid: int) -> None:
+        self.learned_stack.append(cid)
+
+    def pick(self, engine: PropagatorBase) -> int | None:
+        values = engine.values
+        clauses = engine.clauses
+        activity = self.activity
+        scanned = 0
+        for cid in reversed(self.learned_stack):
+            if scanned >= self.max_scan:
+                break
+            clause = clauses[cid]
+            if not clause:
+                continue  # deleted clause, skip without charging the scan
+            scanned += 1
+            best_var = None
+            best_activity = -1.0
+            satisfied = False
+            for enc in clause:
+                value = values[enc]
+                if value == TRUE:
+                    satisfied = True
+                    break
+                if value == UNDEF:
+                    var = enc >> 1
+                    if activity[var] > best_activity:
+                        best_activity = activity[var]
+                        best_var = var
+            if satisfied:
+                continue
+            if best_var is not None:
+                return best_var
+        return super().pick(engine)
+
+
+def make_order(name: str, num_vars: int, decay: float) -> VsidsOrder:
+    """Factory for branching heuristics by name."""
+    if name == "vsids":
+        return VsidsOrder(num_vars, decay)
+    if name == "berkmin":
+        return BerkMinOrder(num_vars, decay)
+    raise ValueError(f"unknown heuristic {name!r}")

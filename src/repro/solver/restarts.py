@@ -1,0 +1,89 @@
+"""Restart policies for the CDCL solver."""
+
+from __future__ import annotations
+
+
+def luby(index: int) -> int:
+    """The ``index``-th term (0-based) of the Luby sequence.
+
+    1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, ...
+
+    >>> [luby(i) for i in range(8)]
+    [1, 1, 2, 1, 1, 2, 4, 1]
+    """
+    if index < 0:
+        raise ValueError("index must be nonnegative")
+    size = 1
+    level = 0
+    while size < index + 1:
+        level += 1
+        size = 2 * size + 1
+    while size - 1 != index:
+        size = (size - 1) // 2
+        level -= 1
+        index %= size
+    return 1 << level
+
+
+class RestartPolicy:
+    """Decides, per conflict, whether to restart the search."""
+
+    def should_restart(self, conflicts_since_restart: int) -> bool:
+        raise NotImplementedError
+
+    def on_restart(self) -> None:
+        """Advance to the next restart interval."""
+
+
+class NoRestarts(RestartPolicy):
+    """Never restart."""
+
+    def should_restart(self, conflicts_since_restart: int) -> bool:
+        return False
+
+
+class LubyRestarts(RestartPolicy):
+    """Restart after ``base * luby(k)`` conflicts, k = restarts so far."""
+
+    def __init__(self, base: int = 100):
+        if base <= 0:
+            raise ValueError("base must be positive")
+        self.base = base
+        self._count = 0
+
+    @property
+    def current_limit(self) -> int:
+        return self.base * luby(self._count)
+
+    def should_restart(self, conflicts_since_restart: int) -> bool:
+        return conflicts_since_restart >= self.current_limit
+
+    def on_restart(self) -> None:
+        self._count += 1
+
+
+class GeometricRestarts(RestartPolicy):
+    """Restart after a geometrically growing number of conflicts."""
+
+    def __init__(self, first: int = 100, factor: float = 1.5):
+        if first <= 0 or factor < 1.0:
+            raise ValueError("need first > 0 and factor >= 1.0")
+        self.limit = float(first)
+        self.factor = factor
+
+    def should_restart(self, conflicts_since_restart: int) -> bool:
+        return conflicts_since_restart >= self.limit
+
+    def on_restart(self) -> None:
+        self.limit *= self.factor
+
+
+def make_restart_policy(name: str, base: int) -> RestartPolicy:
+    """Factory for restart policies by name."""
+    if name == "luby":
+        return LubyRestarts(base)
+    if name == "geometric":
+        return GeometricRestarts(base)
+    if name == "none":
+        return NoRestarts()
+    raise ValueError(f"unknown restart policy {name!r}")

@@ -1,0 +1,52 @@
+"""Solver result and statistics containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.proofs.log import ProofLog
+
+SAT = "SAT"
+UNSAT = "UNSAT"
+UNKNOWN = "UNKNOWN"
+
+
+@dataclass
+class SolverStats:
+    """Search statistics of one solver run."""
+
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+    restarts: int = 0
+    learned_clauses: int = 0
+    deleted_clauses: int = 0
+    max_decision_level: int = 0
+    reductions: int = 0
+    solve_time: float = 0.0
+
+
+@dataclass
+class SolveResult:
+    """Outcome of a solver run.
+
+    * ``status == SAT`` — ``model`` maps every variable to a value that
+      satisfies the formula.
+    * ``status == UNSAT`` — ``log`` (when proof logging was enabled)
+      contains the full derivation; export the paper's conflict clause
+      proof with ``ConflictClauseProof.from_log(result.log)``.
+    * ``status == UNKNOWN`` — the conflict budget was exhausted.
+    """
+
+    status: str
+    model: dict[int, bool] | None = None
+    log: ProofLog | None = None
+    stats: SolverStats = field(default_factory=SolverStats)
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status == SAT
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.status == UNSAT

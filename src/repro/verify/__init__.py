@@ -1,0 +1,43 @@
+"""Conflict clause proof verification — the paper's contribution."""
+
+from repro.verify.checker import CheckOutcome, ProofChecker
+from repro.verify.conflict_analysis import mark_responsible
+from repro.verify.core_extraction import extract_core, validate_core
+from repro.verify.report import (
+    PROOF_IS_CORRECT,
+    PROOF_IS_NOT_CORRECT,
+    UnsatCore,
+    VerificationReport,
+)
+from repro.verify.forward import ForwardCheckReport, check_drup
+from repro.verify.reconstruct import (
+    ReconstructionResult,
+    reconstruct_resolution_graph,
+)
+from repro.verify.trimming import TrimResult, trim_proof
+from repro.verify.verification import (
+    verify_proof,
+    verify_proof_v1,
+    verify_proof_v2,
+)
+
+__all__ = [
+    "verify_proof",
+    "verify_proof_v1",
+    "verify_proof_v2",
+    "trim_proof",
+    "check_drup",
+    "ForwardCheckReport",
+    "TrimResult",
+    "reconstruct_resolution_graph",
+    "ReconstructionResult",
+    "ProofChecker",
+    "CheckOutcome",
+    "mark_responsible",
+    "extract_core",
+    "validate_core",
+    "VerificationReport",
+    "UnsatCore",
+    "PROOF_IS_CORRECT",
+    "PROOF_IS_NOT_CORRECT",
+]

@@ -1,0 +1,104 @@
+"""Shared machinery of the two verification procedures.
+
+The checker loads ``F`` followed by ``F*`` into one BCP engine and then
+checks individual proof clauses: to check clause ``C`` at chronological
+position ``i``, it falsifies ``C`` (assigns the paper's ``R``) and runs
+BCP over ``F ∪ F*_{<i}`` — realized with the engine's clause *ceiling*,
+so no clauses are ever re-added or removed between checks.
+
+Decision level 0 is kept empty (unit clauses are re-asserted inside each
+check, filtered by the ceiling), which makes checks fully independent:
+each one opens level 1, enqueues assumptions and applicable units,
+propagates, and is undone by a single backtrack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bcp.engine import FALSE, TRUE, PropagatorBase
+from repro.bcp.watched import WatchedPropagator
+from repro.core.formula import CnfFormula
+from repro.core.literals import encode
+from repro.proofs.conflict_clause import ConflictClauseProof
+
+
+@dataclass
+class CheckOutcome:
+    """Result of BCP-checking one proof clause.
+
+    ``conflict`` is the paper's pass criterion.  ``confl_cid`` is the
+    clause id of the conflicting clause for marking purposes; it is None
+    when the conflict arose between two assumption literals (a
+    tautological proof clause), in which case nothing is responsible.
+    """
+
+    conflict: bool
+    confl_cid: int | None = None
+
+
+class ProofChecker:
+    """BCP-based checker over ``F ∪ F*`` with a movable clause ceiling."""
+
+    def __init__(self, formula: CnfFormula, proof: ConflictClauseProof,
+                 engine_cls: type[PropagatorBase] = WatchedPropagator):
+        self.formula = formula
+        self.proof = proof
+        num_vars = max(formula.num_vars, proof.max_var())
+        self.engine = engine_cls(num_vars)
+        self.num_input = formula.num_clauses
+        # (cid, encoded literal) of every unit clause, in cid order.
+        self.units: list[tuple[int, int]] = []
+        for clause in formula:
+            self._load([encode(lit) for lit in clause.literals])
+        for lits in proof:
+            self._load([encode(lit) for lit in lits])
+
+    def _load(self, enc_lits: list[int]) -> int:
+        cid = self.engine.add_clause(enc_lits, propagate_units=False)
+        clause = self.engine.clauses[cid]
+        if len(clause) == 1:
+            self.units.append((cid, clause[0]))
+        return cid
+
+    def cid_of_proof_clause(self, index: int) -> int:
+        return self.num_input + index
+
+    def check_clause(self, index: int) -> CheckOutcome:
+        """BCP((F ∪ F*_{<index}) | R) — Section 3 of the paper.
+
+        Leaves the engine at the post-propagation state so the caller can
+        run conflict analysis for marking; call :meth:`reset` afterwards.
+        """
+        engine = self.engine
+        ceiling = self.num_input + index
+        engine.new_level()
+        # R: falsify every literal of the checked clause.
+        for lit in self.proof[index]:
+            enc_neg = encode(lit) ^ 1
+            value = engine.value(enc_neg)
+            if value == TRUE:
+                continue
+            if value == FALSE:
+                # Tautological clause: R is self-contradictory, the
+                # clause is trivially implied; nothing is responsible.
+                return CheckOutcome(conflict=True, confl_cid=None)
+            engine.enqueue(enc_neg, None)
+        # Unit clauses of F and the F*-prefix (they carry no watches).
+        for cid, enc in self.units:
+            if cid >= ceiling:
+                break
+            value = engine.value(enc)
+            if value == TRUE:
+                continue
+            if value == FALSE:
+                return CheckOutcome(conflict=True, confl_cid=cid)
+            engine.enqueue(enc, cid)
+        confl = engine.propagate(ceiling)
+        if confl is not None:
+            return CheckOutcome(conflict=True, confl_cid=confl)
+        return CheckOutcome(conflict=False)
+
+    def reset(self) -> None:
+        """Undo the last check (the engine keeps nothing at level 0)."""
+        self.engine.backtrack(0)

@@ -1,0 +1,44 @@
+"""The verifier-side Conflict_analysis procedure (paper Section 4).
+
+After BCP finds a conflict while checking a proof clause, walk the
+implication graph backwards from the conflicting clause and mark every
+clause of ``F`` and ``F*`` that is responsible for the conflict.  Literals
+assigned by the assumptions ``R`` (the falsified literals of the checked
+clause) terminate the walk — per the paper: "If a literal p ∈ S is in the
+clause C whose deduction is tested for correctness, then nothing
+happens."
+"""
+
+from __future__ import annotations
+
+from repro.bcp.engine import PropagatorBase
+
+
+def mark_responsible(engine: PropagatorBase, confl_cid: int,
+                     marked: set[int]) -> None:
+    """Add to ``marked`` every clause id responsible for the conflict.
+
+    ``confl_cid`` is the clause BCP falsified (or the violated unit
+    clause).  The recursion of the paper is realized with an explicit
+    stack; variables are visited at most once.
+    """
+    clauses = engine.clauses
+    reasons = engine.reasons
+    marked.add(confl_cid)
+    stack = list(clauses[confl_cid])
+    seen_vars: set[int] = set()
+    while stack:
+        enc = stack.pop()
+        var = enc >> 1
+        if var in seen_vars:
+            continue
+        seen_vars.add(var)
+        reason_cid = reasons[var]
+        if reason_cid is None:
+            # Assumption literal — part of R, not deduced from a clause.
+            continue
+        # The clause may already carry a mark from an earlier check; the
+        # walk must still pass through it to reach this conflict's full
+        # support (seen_vars bounds the traversal).
+        marked.add(reason_cid)
+        stack.extend(clauses[reason_cid])

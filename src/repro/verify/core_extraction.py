@@ -1,0 +1,44 @@
+"""Unsatisfiable core extraction and validation helpers.
+
+The core comes out of ``Proof_verification2`` for free (Section 4 of the
+paper): a clause of ``F`` left unmarked "has never been employed in
+deducing a useful clause of F*.  So it can be removed from F without
+affecting the unsatisfiability of the latter."
+"""
+
+from __future__ import annotations
+
+from repro.core.exceptions import ReproError
+from repro.core.formula import CnfFormula
+from repro.proofs.conflict_clause import ConflictClauseProof
+from repro.verify.report import UnsatCore
+from repro.verify.verification import verify_proof_v2
+
+
+def extract_core(formula: CnfFormula,
+                 proof: ConflictClauseProof) -> UnsatCore:
+    """Extract an unsatisfiable core of ``formula`` from a correct proof.
+
+    Raises :class:`ReproError` if the proof does not verify (an incorrect
+    proof identifies nothing).
+    """
+    report = verify_proof_v2(formula, proof)
+    if not report.ok:
+        raise ReproError(
+            "cannot extract a core from an incorrect proof: "
+            f"{report.failure_reason}")
+    if report.core is None:
+        raise AssertionError("verification2 always produces a core")
+    return report.core
+
+
+def validate_core(core: UnsatCore) -> bool:
+    """Re-solve the core and confirm it is unsatisfiable.
+
+    An independent sanity check used by the tests and the Table 1
+    harness; not part of the paper's procedure (whose guarantee is by
+    construction).
+    """
+    from repro.solver.cdcl import solve  # local import: avoid cycle
+
+    return solve(core.as_formula()).is_unsat

@@ -1,0 +1,148 @@
+"""Forward DRUP checking with deletions.
+
+The dual of the paper's backward procedures: process the trace in
+chronological order, RUP-checking each addition against the *currently
+active* clause set and honoring deletion lines.  Deletions keep the
+checker's working set as small as the solver's was — the fix for the
+memory growth the paper's Section 5 worries about, at the price of
+checking every addition (no marking/skipping is possible forward).
+
+The active set is tracked with the clause-ceiling engine plus a set of
+deleted clause ids (deleted clauses are detached, so they neither
+propagate nor conflict).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.bcp.engine import FALSE, TRUE
+from repro.bcp.watched import WatchedPropagator
+from repro.core.formula import CnfFormula
+from repro.core.literals import encode
+from repro.proofs.drup import ADD, DELETE, DrupProof
+from repro.verify.report import PROOF_IS_CORRECT, PROOF_IS_NOT_CORRECT
+
+
+@dataclass
+class ForwardCheckReport:
+    """Outcome of a forward DRUP check."""
+
+    outcome: str
+    num_additions: int = 0
+    num_deletions: int = 0
+    failed_event_index: int | None = None
+    failure_reason: str | None = None
+    peak_active_clauses: int = 0
+    verification_time: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome == PROOF_IS_CORRECT
+
+
+def check_drup(formula: CnfFormula,
+               proof: DrupProof) -> ForwardCheckReport:
+    """Check a DRUP trace forward; report the first bad event."""
+    start = time.perf_counter()
+    engine = WatchedPropagator(formula.num_vars)
+    # Active units, kept separately (units carry no watches).
+    units: dict[int, int] = {}   # cid -> encoded literal
+    # Clause key -> list of active cids (for deletion lookup).
+    active: dict[tuple[int, ...], list[int]] = {}
+
+    def clause_key(literals) -> tuple[int, ...]:
+        return tuple(sorted(set(literals)))
+
+    def load(literals) -> int:
+        cid = engine.add_clause([encode(lit) for lit in literals],
+                                propagate_units=False)
+        body = engine.clauses[cid]
+        if len(body) == 1:
+            units[cid] = body[0]
+        active.setdefault(clause_key(literals), []).append(cid)
+        return cid
+
+    for clause in formula:
+        load(clause.literals)
+    active_count = formula.num_clauses
+    peak = active_count
+
+    def rup_check(literals) -> bool:
+        engine.new_level()
+        conflict = False
+        for lit in literals:
+            negated = encode(lit) ^ 1
+            value = engine.value(negated)
+            if value == TRUE:
+                continue
+            if value == FALSE:
+                conflict = True
+                break
+            engine.enqueue(negated, None)
+        if not conflict:
+            for cid, enc in units.items():
+                value = engine.value(enc)
+                if value == TRUE:
+                    continue
+                if value == FALSE:
+                    conflict = True
+                    break
+                engine.enqueue(enc, cid)
+        if not conflict:
+            conflict = engine.propagate() is not None
+        engine.backtrack(0)
+        return conflict
+
+    additions = 0
+    deletions = 0
+    derived_empty = False
+    for index, event in enumerate(proof.events):
+        if event.kind == ADD:
+            additions += 1
+            if not rup_check(event.literals):
+                return ForwardCheckReport(
+                    outcome=PROOF_IS_NOT_CORRECT,
+                    num_additions=additions, num_deletions=deletions,
+                    failed_event_index=index,
+                    failure_reason=(
+                        f"addition {event.literals} is not RUP"),
+                    peak_active_clauses=peak,
+                    verification_time=time.perf_counter() - start)
+            if not event.literals:
+                derived_empty = True
+                break
+            load(event.literals)
+            active_count += 1
+            peak = max(peak, active_count)
+        else:
+            deletions += 1
+            key = clause_key(event.literals)
+            cids = active.get(key)
+            if not cids:
+                return ForwardCheckReport(
+                    outcome=PROOF_IS_NOT_CORRECT,
+                    num_additions=additions, num_deletions=deletions,
+                    failed_event_index=index,
+                    failure_reason=(
+                        f"deletion of inactive clause {event.literals}"),
+                    peak_active_clauses=peak,
+                    verification_time=time.perf_counter() - start)
+            cid = cids.pop()
+            engine.remove_clause(cid)
+            units.pop(cid, None)
+            active_count -= 1
+
+    if not derived_empty:
+        return ForwardCheckReport(
+            outcome=PROOF_IS_NOT_CORRECT,
+            num_additions=additions, num_deletions=deletions,
+            failure_reason="trace never derives the empty clause",
+            peak_active_clauses=peak,
+            verification_time=time.perf_counter() - start)
+    return ForwardCheckReport(
+        outcome=PROOF_IS_CORRECT,
+        num_additions=additions, num_deletions=deletions,
+        peak_active_clauses=peak,
+        verification_time=time.perf_counter() - start)

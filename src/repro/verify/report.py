@@ -1,0 +1,81 @@
+"""Verification reports and unsat cores."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.clause import Clause
+from repro.core.formula import CnfFormula
+
+PROOF_IS_CORRECT = "proof_is_correct"
+PROOF_IS_NOT_CORRECT = "proof_is_not_correct"
+
+
+@dataclass
+class UnsatCore:
+    """An unsatisfiable subset of the original formula's clauses.
+
+    Extracted as a by-product of ``Proof_verification2`` (paper Section 4):
+    the clauses of ``F`` that were marked as responsible for some conflict
+    during proof verification.  The core is unsatisfiable but not
+    necessarily minimal.
+    """
+
+    clause_indices: tuple[int, ...]
+    formula: CnfFormula
+
+    def clauses(self) -> list[Clause]:
+        return [self.formula[i] for i in self.clause_indices]
+
+    def as_formula(self) -> CnfFormula:
+        """The core as a standalone formula (original variable names)."""
+        core = CnfFormula(num_vars=self.formula.num_vars)
+        for index in self.clause_indices:
+            core.add_clause(self.formula[index])
+        return core
+
+    @property
+    def size(self) -> int:
+        return len(self.clause_indices)
+
+    @property
+    def fraction(self) -> float:
+        """Core size as a fraction of the original clause count
+        (the paper's Table 1 'Unsatisfiable core' column)."""
+        total = self.formula.num_clauses
+        return len(self.clause_indices) / total if total else 0.0
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of a proof verification run.
+
+    ``outcome`` is the paper's verdict string; ``ok`` is its boolean
+    form.  For ``Proof_verification2`` runs, ``num_skipped`` counts the
+    redundant conflict clauses that were never checked and ``core`` holds
+    the extracted unsatisfiable core.
+    """
+
+    outcome: str
+    procedure: str
+    num_proof_clauses: int
+    num_checked: int = 0
+    num_skipped: int = 0
+    failed_clause_index: int | None = None
+    failure_reason: str | None = None
+    verification_time: float = 0.0
+    core: UnsatCore | None = None
+    marked_proof_indices: tuple[int, ...] = field(default=())
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome == PROOF_IS_CORRECT
+
+    @property
+    def tested_fraction(self) -> float:
+        """Fraction of F* that was BCP-checked (Table 1 'Tested' column).
+
+        For Proof_verification1 this is 1.0 by construction."""
+        if not self.num_proof_clauses:
+            return 0.0
+        return self.num_checked / self.num_proof_clauses

@@ -1,0 +1,62 @@
+"""Proof trimming: drop the redundant conflict clauses.
+
+A direct corollary of the paper's Section 4: clauses of ``F*`` that were
+never marked during ``Proof_verification2`` contributed nothing to the
+refutation, so the proof consisting of the *marked* clauses only (in the
+original chronological order) is still a correct proof — and often much
+smaller.  The support of every passing check is itself marked
+(transitively, via conflict analysis), so replaying BCP over the marked
+subset reproduces each conflict.  Later tools (drat-trim) made this
+"trimming while checking" standard; here it falls out of the paper's own
+marking machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.exceptions import ReproError
+from repro.core.formula import CnfFormula
+from repro.proofs.conflict_clause import ConflictClauseProof
+from repro.verify.report import VerificationReport
+from repro.verify.verification import verify_proof_v2
+
+
+@dataclass
+class TrimResult:
+    """Outcome of verify-and-trim."""
+
+    report: VerificationReport
+    trimmed: ConflictClauseProof
+    kept_indices: tuple[int, ...]
+    clauses_removed: int
+    literals_removed: int
+
+
+def trim_proof(formula: CnfFormula,
+               proof: ConflictClauseProof) -> TrimResult:
+    """Verify the proof with Proof_verification2 and drop every clause
+    that was never marked.
+
+    The trimmed proof keeps the chronological order and the original
+    ending, and is itself a correct proof.  Raises :class:`ReproError`
+    if the input proof does not verify.
+    """
+    report = verify_proof_v2(formula, proof)
+    if not report.ok:
+        raise ReproError(
+            f"cannot trim an incorrect proof: {report.failure_reason}")
+    kept = set(report.marked_proof_indices)
+    # The ending clauses seed the marking, so they are always kept and
+    # the trimmed proof retains a valid structure.
+    kept_indices = tuple(sorted(kept))
+    trimmed = ConflictClauseProof([proof[i] for i in kept_indices],
+                                  proof.ending)
+    literals_removed = sum(
+        len(proof[i]) for i in range(len(proof)) if i not in kept)
+    return TrimResult(
+        report=report,
+        trimmed=trimmed,
+        kept_indices=kept_indices,
+        clauses_removed=len(proof) - len(trimmed),
+        literals_removed=literals_removed)

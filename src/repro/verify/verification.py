@@ -1,0 +1,150 @@
+"""The paper's two proof verification procedures.
+
+``verify_proof_v1`` is Proof_verification1 (Section 3): every clause of
+``F*`` is checked, in reverse chronological order, by falsifying it and
+running BCP over the formula plus the earlier-deduced clauses.
+
+``verify_proof_v2`` is Proof_verification2 (Section 4): only clauses
+marked as contributing to the refutation are checked — marking starts
+from the final conflicting pair and is extended by conflict analysis of
+each BCP conflict — and the marked clauses of ``F`` are returned as an
+unsatisfiable core.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bcp.engine import PropagatorBase
+from repro.bcp.watched import WatchedPropagator
+from repro.core.formula import CnfFormula
+from repro.proofs.conflict_clause import ENDING_FINAL_PAIR, \
+    ConflictClauseProof
+from repro.verify.checker import ProofChecker
+from repro.verify.conflict_analysis import mark_responsible
+from repro.verify.report import (
+    PROOF_IS_CORRECT,
+    PROOF_IS_NOT_CORRECT,
+    UnsatCore,
+    VerificationReport,
+)
+
+
+def verify_proof_v1(
+        formula: CnfFormula, proof: ConflictClauseProof,
+        engine_cls: type[PropagatorBase] = WatchedPropagator,
+        order: str = "backward",
+) -> VerificationReport:
+    """Proof_verification1: check the correctness of *every* clause of F*.
+
+    Returns ``proof_is_not_correct`` pointing at the first questionable
+    clause (in processing order), else ``proof_is_correct``.
+
+    The paper notes that "the order in which clauses are checked does
+    not matter" when all of them are checked; ``order`` exposes both
+    directions (``"backward"``, the paper's default, or ``"forward"``)
+    — the verdict is order-independent, only the index of the first
+    failure reported can differ.
+    """
+    if order not in ("backward", "forward"):
+        raise ValueError(f"unknown order {order!r}")
+    start = time.perf_counter()
+    checker = ProofChecker(formula, proof, engine_cls)
+    checked = 0
+    indices = (range(len(proof) - 1, -1, -1) if order == "backward"
+               else range(len(proof)))
+    for index in indices:
+        outcome = checker.check_clause(index)
+        checker.reset()
+        checked += 1
+        if not outcome.conflict:
+            return VerificationReport(
+                outcome=PROOF_IS_NOT_CORRECT,
+                procedure="verification1",
+                num_proof_clauses=len(proof),
+                num_checked=checked,
+                failed_clause_index=index,
+                failure_reason=(
+                    f"BCP on the falsified clause {proof[index]} did not "
+                    "produce a conflict"),
+                verification_time=time.perf_counter() - start)
+    return VerificationReport(
+        outcome=PROOF_IS_CORRECT,
+        procedure="verification1",
+        num_proof_clauses=len(proof),
+        num_checked=checked,
+        verification_time=time.perf_counter() - start)
+
+
+def verify_proof_v2(
+        formula: CnfFormula, proof: ConflictClauseProof,
+        engine_cls: type[PropagatorBase] = WatchedPropagator,
+) -> VerificationReport:
+    """Proof_verification2: check only marked clauses; extract a core.
+
+    Initially only the clauses of the final conflicting pair are marked
+    (for an empty-ended proof, the final empty clause).  Each passing
+    check marks, via conflict analysis, every clause of ``F`` and ``F*``
+    responsible for its conflict.  Unmarked clauses of ``F*`` are
+    redundant and skipped; marked clauses of ``F`` form the unsatisfiable
+    core.
+    """
+    start = time.perf_counter()
+    checker = ProofChecker(formula, proof, engine_cls)
+    num_input = formula.num_clauses
+    marked: set[int] = set()
+    if proof.ending == ENDING_FINAL_PAIR:
+        marked.add(checker.cid_of_proof_clause(len(proof) - 1))
+        marked.add(checker.cid_of_proof_clause(len(proof) - 2))
+    else:
+        marked.add(checker.cid_of_proof_clause(len(proof) - 1))
+
+    checked = 0
+    skipped = 0
+    for index in range(len(proof) - 1, -1, -1):
+        cid = checker.cid_of_proof_clause(index)
+        if cid not in marked:
+            skipped += 1
+            continue
+        outcome = checker.check_clause(index)
+        if outcome.conflict and outcome.confl_cid is not None:
+            mark_responsible(checker.engine, outcome.confl_cid, marked)
+        checker.reset()
+        checked += 1
+        if not outcome.conflict:
+            return VerificationReport(
+                outcome=PROOF_IS_NOT_CORRECT,
+                procedure="verification2",
+                num_proof_clauses=len(proof),
+                num_checked=checked,
+                num_skipped=skipped,
+                failed_clause_index=index,
+                failure_reason=(
+                    f"BCP on the falsified clause {proof[index]} did not "
+                    "produce a conflict"),
+                verification_time=time.perf_counter() - start)
+
+    core_indices = tuple(sorted(cid for cid in marked if cid < num_input))
+    marked_proof = tuple(sorted(cid - num_input for cid in marked
+                                if cid >= num_input))
+    return VerificationReport(
+        outcome=PROOF_IS_CORRECT,
+        procedure="verification2",
+        num_proof_clauses=len(proof),
+        num_checked=checked,
+        num_skipped=skipped,
+        verification_time=time.perf_counter() - start,
+        core=UnsatCore(core_indices, formula),
+        marked_proof_indices=marked_proof)
+
+
+def verify_proof(formula: CnfFormula, proof: ConflictClauseProof,
+                 procedure: str = "verification2",
+                 engine_cls: type[PropagatorBase] = WatchedPropagator,
+                 ) -> VerificationReport:
+    """Verify a conflict clause proof (``verification2`` by default)."""
+    if procedure == "verification1":
+        return verify_proof_v1(formula, proof, engine_cls)
+    if procedure == "verification2":
+        return verify_proof_v2(formula, proof, engine_cls)
+    raise ValueError(f"unknown verification procedure {procedure!r}")

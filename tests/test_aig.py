@@ -1,0 +1,244 @@
+"""Tests for the AIG subsystem."""
+
+import random
+
+import pytest
+
+from repro.aig.aig import FALSE_LIT, TRUE_LIT, Aig
+from repro.aig.cnf import AigCnf
+from repro.aig.convert import circuit_to_aig
+from repro.aig.equivalence import (
+    aig_equivalence_formula,
+    build_aig_miter,
+    structurally_equivalent,
+)
+from repro.circuits.library import (
+    carry_select_adder,
+    parity_chain,
+    parity_tree,
+    ripple_carry_adder,
+    wallace_multiplier,
+)
+from repro.circuits.netlist import Circuit
+from repro.core.exceptions import CircuitError
+from repro.proofs.conflict_clause import ConflictClauseProof
+from repro.solver.cdcl import solve
+from repro.verify.verification import verify_proof_v2
+
+
+class TestAigBasics:
+    def test_constant_folds(self):
+        aig = Aig()
+        a = aig.add_input("a")
+        assert aig.AND(a, FALSE_LIT) == FALSE_LIT
+        assert aig.AND(a, TRUE_LIT) == a
+        assert aig.AND(a, a) == a
+        assert aig.AND(a, a ^ 1) == FALSE_LIT
+        assert aig.num_ands == 0
+
+    def test_structural_hashing(self):
+        aig = Aig()
+        a = aig.add_input("a")
+        b = aig.add_input("b")
+        first = aig.AND(a, b)
+        second = aig.AND(b, a)  # commuted
+        assert first == second
+        assert aig.num_ands == 1
+
+    def test_not_is_free(self):
+        aig = Aig()
+        a = aig.add_input("a")
+        assert aig.NOT(aig.NOT(a)) == a
+        assert aig.num_ands == 0
+
+    def test_inputs_frozen_after_ands(self):
+        aig = Aig()
+        a = aig.add_input("a")
+        b = aig.add_input("b")
+        aig.AND(a, b)
+        with pytest.raises(CircuitError):
+            aig.add_input("c")
+
+    def test_duplicate_input_rejected(self):
+        aig = Aig()
+        aig.add_input("a")
+        with pytest.raises(CircuitError):
+            aig.add_input("a")
+
+    def test_simulate_gate_semantics(self):
+        aig = Aig()
+        a = aig.add_input("a")
+        b = aig.add_input("b")
+        aig.set_output("and", aig.AND(a, b))
+        aig.set_output("or", aig.OR(a, b))
+        aig.set_output("xor", aig.XOR(a, b))
+        aig.set_output("mux", aig.MUX(a, b, b ^ 1))
+        for x in (False, True):
+            for y in (False, True):
+                out = aig.simulate({"a": x, "b": y})
+                assert out["and"] == (x and y)
+                assert out["or"] == (x or y)
+                assert out["xor"] == (x != y)
+                assert out["mux"] == ((not y) if x else y)
+
+    def test_cone(self):
+        aig = Aig()
+        a = aig.add_input("a")
+        b = aig.add_input("b")
+        used = aig.AND(a, b)
+        aig.AND(a ^ 1, b)  # dead node
+        cone = aig.cone([used])
+        assert used >> 1 in cone
+        assert len(cone) == 3  # two inputs + one AND
+
+
+class TestCircuitConversion:
+    @pytest.mark.parametrize("builder", [
+        lambda: ripple_carry_adder(4),
+        lambda: wallace_multiplier(3),
+        lambda: parity_tree(7),
+    ])
+    def test_semantics_preserved(self, builder):
+        circuit = builder()
+        aig = circuit_to_aig(circuit)
+        rng = random.Random(1)
+        for _ in range(60):
+            assignment = {net: rng.random() < 0.5
+                          for net in circuit.inputs}
+            want = {net: circuit.simulate(assignment)[net]
+                    for net in circuit.outputs}
+            assert aig.simulate(assignment) == want
+
+    def test_hashing_shrinks(self):
+        # Two instantiations of the same logic share every node.
+        circuit = ripple_carry_adder(4)
+        single = circuit_to_aig(circuit).num_ands
+        aig, _ = build_aig_miter(circuit, ripple_carry_adder(4))
+        # miter adds XOR/OR glue only — far less than doubling.
+        assert aig.num_ands < 2 * single
+
+
+class TestAigCnf:
+    def test_cnf_agrees_with_simulation(self):
+        circuit = ripple_carry_adder(3)
+        aig = circuit_to_aig(circuit)
+        encoding = AigCnf(aig)
+        rng = random.Random(2)
+        for _ in range(15):
+            assignment = {net: rng.random() < 0.5
+                          for net in circuit.inputs}
+            probe = encoding.formula.copy()
+            for net in circuit.inputs:
+                lit = encoding.input_literal(net)
+                probe.add_clause([lit if assignment[net] else -lit])
+            result = solve(probe, log_proof=False)
+            assert result.is_sat
+            values = aig.simulate(assignment)
+            for net, aig_lit in aig.outputs.items():
+                dimacs = encoding.literal_of(aig_lit)
+                value = (result.model[abs(dimacs)] if dimacs > 0
+                         else not result.model[abs(dimacs)])
+                assert value == values[net]
+
+    def test_cone_restriction(self):
+        aig = Aig()
+        a = aig.add_input("a")
+        b = aig.add_input("b")
+        live = aig.AND(a, b)
+        aig.AND(a ^ 1, b ^ 1)  # dead
+        encoding = AigCnf(aig, roots=[live])
+        # Only the live AND is encoded: 3 clauses, 3 vars.
+        assert encoding.formula.num_clauses == 3
+
+    def test_assert_constant_false_gives_empty_clause(self):
+        aig = Aig()
+        aig.add_input("a")
+        encoding = AigCnf(aig, roots=[])
+        encoding.assert_true(FALSE_LIT)
+        assert solve(encoding.formula).is_unsat
+
+
+class TestAigEquivalence:
+    def test_identical_circuits_collapse(self):
+        assert structurally_equivalent(ripple_carry_adder(4),
+                                       ripple_carry_adder(4))
+
+    def test_different_structures_need_sat(self):
+        left, right = parity_chain(8), parity_tree(8)
+        # (chain and tree hash differently, so SAT does the rest)
+        formula = aig_equivalence_formula(left, right)
+        result = solve(formula)
+        assert result.is_unsat
+        proof = ConflictClauseProof.from_log(result.log)
+        assert verify_proof_v2(formula, proof).ok
+
+    def test_adder_pair(self):
+        formula = aig_equivalence_formula(ripple_carry_adder(6),
+                                          carry_select_adder(6))
+        assert solve(formula).is_unsat
+
+    def test_hashing_wins_on_shared_logic(self):
+        """When the two sides share most structure (a circuit vs its
+        lightly rewritten self), hashing collapses the shared part and
+        the AIG miter is far smaller than the plain Tseitin miter."""
+        from repro.circuits.miter import equivalence_formula
+        from repro.circuits.rewrite import rewrite_circuit
+        left = wallace_multiplier(4)
+        right = rewrite_circuit(left)
+        plain = equivalence_formula(left, right)
+        hashed = aig_equivalence_formula(left, right)
+        assert hashed.num_clauses < plain.num_clauses
+        result = solve(hashed)
+        assert result.is_unsat
+
+    def test_inequivalent_pair_sat(self):
+        left = parity_chain(4)
+        right = Circuit("not_parity")
+        xs = right.add_input_bus("x", 4)
+        right.set_output(right.AND(*xs, name="p"))
+        formula = aig_equivalence_formula(left, right)
+        assert solve(formula).is_sat
+
+    def test_input_mismatch_rejected(self):
+        with pytest.raises(CircuitError):
+            build_aig_miter(parity_chain(4), parity_chain(5))
+
+
+class TestVariadicHelpers:
+    def test_and_many_empty_is_true(self):
+        aig = Aig()
+        assert aig.and_many([]) == TRUE_LIT
+
+    def test_or_many_empty_is_false(self):
+        aig = Aig()
+        assert aig.or_many([]) == FALSE_LIT
+
+    def test_and_many_chains(self):
+        aig = Aig()
+        lits = [aig.add_input(f"x{i}") for i in range(4)]
+        out = aig.set_output("y", aig.and_many(lits))
+        values = aig.simulate({f"x{i}": True for i in range(4)})
+        assert values["y"] is True
+        values = aig.simulate({"x0": True, "x1": True, "x2": False,
+                               "x3": True})
+        assert values["y"] is False
+
+    def test_duplicate_output_rejected(self):
+        aig = Aig()
+        a = aig.add_input("a")
+        aig.set_output("y", a)
+        with pytest.raises(CircuitError):
+            aig.set_output("y", a ^ 1)
+
+    def test_missing_input_value(self):
+        aig = Aig()
+        aig.add_input("a")
+        with pytest.raises(CircuitError, match="missing value"):
+            aig.simulate({})
+
+    def test_repr(self):
+        aig = Aig("t")
+        a = aig.add_input("a")
+        b = aig.add_input("b")
+        aig.set_output("y", aig.AND(a, b))
+        assert "ands=1" in repr(aig)

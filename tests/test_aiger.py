@@ -1,0 +1,115 @@
+"""Tests for ASCII AIGER I/O."""
+
+import random
+
+import pytest
+
+from repro.aig.aig import Aig
+from repro.aig.aiger import (
+    format_aiger,
+    parse_aiger,
+    read_aiger,
+    write_aiger,
+)
+from repro.aig.convert import circuit_to_aig
+from repro.circuits.library import ripple_carry_adder, wallace_multiplier
+from repro.core.exceptions import CircuitError
+
+
+def simple_aig():
+    aig = Aig("t")
+    a = aig.add_input("a")
+    b = aig.add_input("b")
+    aig.set_output("y", aig.AND(a, b) ^ 1)  # NAND
+    return aig
+
+
+class TestFormat:
+    def test_header(self):
+        text = format_aiger(simple_aig())
+        assert text.startswith("aag 3 2 0 1 1\n")
+
+    def test_symbol_table(self):
+        text = format_aiger(simple_aig())
+        assert "i0 a" in text
+        assert "o0 y" in text
+
+    def test_comment(self):
+        text = format_aiger(simple_aig(), comment="hello")
+        assert text.rstrip().endswith("c\nhello")
+
+    def test_rhs_ordering(self):
+        # AIGER requires rhs0 >= rhs1 on AND lines.
+        text = format_aiger(simple_aig())
+        for line in text.splitlines():
+            parts = line.split()
+            if len(parts) == 3 and all(p.isdigit() for p in parts):
+                assert int(parts[1]) >= int(parts[2])
+
+
+class TestParse:
+    def test_roundtrip_simple(self):
+        original = simple_aig()
+        restored = parse_aiger(format_aiger(original))
+        for x in (False, True):
+            for y in (False, True):
+                assert (restored.simulate({"a": x, "b": y})
+                        == original.simulate({"a": x, "b": y}))
+
+    @pytest.mark.parametrize("builder", [
+        lambda: ripple_carry_adder(4),
+        lambda: wallace_multiplier(3),
+    ])
+    def test_roundtrip_library(self, builder):
+        original = circuit_to_aig(builder())
+        restored = parse_aiger(format_aiger(original))
+        assert restored.num_ands == original.num_ands
+        rng = random.Random(0)
+        for _ in range(30):
+            assignment = {name: rng.random() < 0.5
+                          for name in original.inputs}
+            assert (restored.simulate(assignment)
+                    == original.simulate(assignment))
+
+    def test_handwritten_example(self):
+        # The AND of two inputs, from the AIGER paper.
+        text = "aag 3 2 0 1 1\n2\n4\n6\n6 4 2\n"
+        aig = parse_aiger(text)
+        assert aig.num_inputs == 2
+        assert aig.num_ands == 1
+        assert aig.simulate({"i0": True, "i1": True})["o0"] is True
+        assert aig.simulate({"i0": True, "i1": False})["o0"] is False
+
+    def test_constant_output(self):
+        # Output literal 1 = constant true.
+        text = "aag 0 0 0 1 0\n1\n"
+        aig = parse_aiger(text)
+        assert aig.simulate({})["o0"] is True
+
+    def test_latches_rejected(self):
+        with pytest.raises(CircuitError, match="latch"):
+            parse_aiger("aag 3 1 1 1 0\n2\n4 2\n4\n")
+
+    def test_missing_header(self):
+        with pytest.raises(CircuitError, match="aag"):
+            parse_aiger("hello\n")
+
+    def test_truncated(self):
+        with pytest.raises(CircuitError, match="truncated"):
+            parse_aiger("aag 3 2 0 1 1\n2\n")
+
+    def test_odd_input_literal_rejected(self):
+        with pytest.raises(CircuitError, match="invalid input"):
+            parse_aiger("aag 1 1 0 0 0\n3\n")
+
+    def test_forward_reference_rejected(self):
+        with pytest.raises(CircuitError, match="before definition"):
+            parse_aiger("aag 2 1 0 1 1\n2\n4\n4 6 2\n")
+
+
+class TestFileIo:
+    def test_write_read(self, tmp_path):
+        path = tmp_path / "t.aag"
+        write_aiger(simple_aig(), path, comment="roundtrip")
+        aig = read_aiger(path)
+        assert aig.num_ands == 1

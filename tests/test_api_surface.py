@@ -1,0 +1,57 @@
+"""API surface tests: every advertised name exists and is importable."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.bcp",
+    "repro.solver",
+    "repro.proofs",
+    "repro.verify",
+    "repro.preprocess",
+    "repro.circuits",
+    "repro.aig",
+    "repro.bmc",
+    "repro.pipelines",
+    "repro.benchgen",
+    "repro.experiments",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_names_resolve(package_name):
+    package = importlib.import_module(package_name)
+    exported = getattr(package, "__all__", None)
+    assert exported, f"{package_name} lacks __all__"
+    for name in exported:
+        assert hasattr(package, name), f"{package_name}.{name} missing"
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_no_duplicate_exports(package_name):
+    package = importlib.import_module(package_name)
+    exported = package.__all__
+    assert len(exported) == len(set(exported))
+
+
+def test_version_string():
+    import repro
+
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3
+    assert all(part.isdigit() for part in parts)
+
+
+def test_public_callables_have_docstrings():
+    """Every public callable in the top-level API is documented."""
+    import repro
+
+    undocumented = []
+    for name in repro.__all__:
+        obj = getattr(repro, name)
+        if callable(obj) and not (obj.__doc__ or "").strip():
+            undocumented.append(name)
+    assert not undocumented, f"undocumented: {undocumented}"

@@ -1,0 +1,240 @@
+"""Unit and differential tests for the BCP engines."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bcp.counting import CountingPropagator
+from repro.bcp.engine import FALSE, TRUE, UNDEF
+from repro.bcp.watched import WatchedPropagator
+from repro.core.literals import encode
+
+ENGINES = [WatchedPropagator, CountingPropagator]
+
+
+def enc_clause(lits):
+    return [encode(lit) for lit in lits]
+
+
+@pytest.mark.parametrize("engine_cls", ENGINES)
+class TestBasicPropagation:
+    def test_unit_propagates_at_level0(self, engine_cls):
+        engine = engine_cls()
+        engine.add_clause(enc_clause([1]))
+        assert engine.propagate() is None
+        assert engine.value(encode(1)) == TRUE
+        assert engine.value(encode(-1)) == FALSE
+
+    def test_chain(self, engine_cls):
+        engine = engine_cls()
+        engine.add_clause(enc_clause([1]))
+        engine.add_clause(enc_clause([-1, 2]))
+        engine.add_clause(enc_clause([-2, 3]))
+        assert engine.propagate() is None
+        for var in (1, 2, 3):
+            assert engine.value(encode(var)) == TRUE
+
+    def test_conflict_detected(self, engine_cls):
+        engine = engine_cls()
+        engine.add_clause(enc_clause([1]))
+        engine.add_clause(enc_clause([-1, 2]))
+        cid = engine.add_clause(enc_clause([-1, -2]))
+        assert engine.propagate() == cid
+
+    def test_conflicting_units(self, engine_cls):
+        engine = engine_cls()
+        engine.add_clause(enc_clause([1]))
+        cid = engine.add_clause(enc_clause([-1]))
+        assert engine.propagate() == cid
+
+    def test_empty_clause_conflicts(self, engine_cls):
+        engine = engine_cls()
+        cid = engine.add_clause([])
+        assert engine.propagate() == cid
+
+    def test_reason_and_level_recorded(self, engine_cls):
+        engine = engine_cls()
+        engine.add_clause(enc_clause([1]))
+        cid = engine.add_clause(enc_clause([-1, 2]))
+        engine.propagate()
+        assert engine.reasons[2] == cid
+        assert engine.levels[2] == 0
+
+    def test_no_spurious_propagation(self, engine_cls):
+        engine = engine_cls()
+        engine.add_clause(enc_clause([1, 2]))
+        assert engine.propagate() is None
+        assert engine.value(encode(1)) == UNDEF
+        assert engine.value(encode(2)) == UNDEF
+
+
+@pytest.mark.parametrize("engine_cls", ENGINES)
+class TestAssumptionsAndBacktracking:
+    def test_assume_and_propagate(self, engine_cls):
+        engine = engine_cls()
+        engine.add_clause(enc_clause([-1, 2]))
+        engine.assume(encode(1))
+        assert engine.propagate() is None
+        assert engine.value(encode(2)) == TRUE
+        assert engine.levels[2] == 1
+
+    def test_backtrack_restores(self, engine_cls):
+        engine = engine_cls()
+        engine.add_clause(enc_clause([-1, 2]))
+        engine.assume(encode(1))
+        engine.propagate()
+        engine.backtrack(0)
+        assert engine.value(encode(1)) == UNDEF
+        assert engine.value(encode(2)) == UNDEF
+        assert engine.decision_level == 0
+        assert not engine.trail
+
+    def test_backtrack_keeps_lower_levels(self, engine_cls):
+        engine = engine_cls()
+        engine.add_clause(enc_clause([3]))
+        engine.propagate()
+        engine.assume(encode(1))
+        engine.propagate()
+        engine.assume(encode(2))
+        engine.propagate()
+        engine.backtrack(1)
+        assert engine.value(encode(3)) == TRUE
+        assert engine.value(encode(1)) == TRUE
+        assert engine.value(encode(2)) == UNDEF
+
+    def test_backtrack_after_conflict_then_repropagate(self, engine_cls):
+        engine = engine_cls()
+        engine.add_clause(enc_clause([-1, 2]))
+        engine.add_clause(enc_clause([-1, -2]))
+        engine.assume(encode(1))
+        assert engine.propagate() is not None
+        engine.backtrack(0)
+        engine.assume(encode(-1))
+        assert engine.propagate() is None
+
+    def test_enqueue_opposite_fails(self, engine_cls):
+        engine = engine_cls(2)
+        engine.assume(encode(1))
+        assert engine.enqueue(encode(-1), None) is False
+        assert engine.enqueue(encode(1), None) is True  # no-op
+
+
+@pytest.mark.parametrize("engine_cls", ENGINES)
+class TestCeiling:
+    def test_ceiling_blocks_later_clause(self, engine_cls):
+        engine = engine_cls()
+        engine.add_clause(enc_clause([1, 2]), propagate_units=False)   # 0
+        cid = engine.add_clause(enc_clause([-1]), propagate_units=False)
+        engine.new_level()
+        engine.enqueue(encode(-2), None)
+        # Without the unit clause (-1) in scope, nothing conflicts.
+        assert engine.propagate(ceiling=1) is None
+        assert engine.value(encode(1)) == TRUE  # clause 0 propagated 1
+        del cid
+
+    def test_ceiling_zero_blocks_everything(self, engine_cls):
+        engine = engine_cls()
+        engine.add_clause(enc_clause([1, 2]), propagate_units=False)
+        engine.new_level()
+        engine.enqueue(encode(-1), None)
+        engine.enqueue(encode(-2), None)
+        assert engine.propagate(ceiling=0) is None
+
+    def test_full_propagation_conflicts(self, engine_cls):
+        engine = engine_cls()
+        engine.add_clause(enc_clause([1, 2]), propagate_units=False)
+        engine.new_level()
+        engine.enqueue(encode(-1), None)
+        engine.enqueue(encode(-2), None)
+        assert engine.propagate(ceiling=1) == 0
+
+    def test_ceiling_respects_empty_clause(self, engine_cls):
+        engine = engine_cls()
+        engine.add_clause(enc_clause([1]), propagate_units=False)
+        cid = engine.add_clause([])
+        assert engine.propagate(ceiling=1) is None
+        assert engine.propagate(ceiling=2) == cid
+
+
+class TestClauseRemoval:
+    def test_removed_clause_inert(self):
+        engine = WatchedPropagator()
+        engine.add_clause(enc_clause([1]))
+        cid = engine.add_clause(enc_clause([-1, 2]))
+        engine.remove_clause(cid)
+        assert engine.propagate() is None
+        assert engine.value(encode(2)) == UNDEF
+
+    def test_counting_rejects_removal(self):
+        engine = CountingPropagator()
+        cid = engine.add_clause(enc_clause([1, 2]))
+        with pytest.raises(NotImplementedError):
+            engine.remove_clause(cid)
+
+    def test_tombstone_empty(self):
+        engine = WatchedPropagator()
+        cid = engine.add_clause(enc_clause([1, 2, 3]))
+        engine.remove_clause(cid)
+        assert engine.clauses[cid] == []
+
+
+class TestDifferential:
+    """The two engines must agree on every propagation outcome."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_engines_agree(self, data):
+        num_vars = data.draw(st.integers(min_value=2, max_value=10))
+        num_clauses = data.draw(st.integers(min_value=1, max_value=25))
+        seed = data.draw(st.integers(min_value=0, max_value=10_000))
+        rng = random.Random(seed)
+        clauses = []
+        for _ in range(num_clauses):
+            size = rng.randint(1, 4)
+            variables = rng.sample(range(1, num_vars + 1),
+                                   min(size, num_vars))
+            clauses.append([v if rng.random() < .5 else -v
+                            for v in variables])
+        decisions = [rng.choice([v, -v])
+                     for v in rng.sample(range(1, num_vars + 1),
+                                         num_vars)]
+
+        def run(engine_cls):
+            engine = engine_cls(num_vars)
+            for cl in clauses:
+                engine.add_clause(enc_clause(cl))
+            conflicts = []
+            confl = engine.propagate()
+            if confl is not None:
+                return set(), ["L0"]
+            for lit in decisions:
+                if engine.value(encode(lit)) != UNDEF:
+                    continue
+                engine.assume(encode(lit))
+                confl = engine.propagate()
+                if confl is not None:
+                    conflicts.append(lit)
+                    engine.backtrack(engine.decision_level - 1)
+            assigned = {engine.trail[i] for i in range(len(engine.trail))}
+            return assigned, conflicts
+
+        trail_w, confl_w = run(WatchedPropagator)
+        trail_c, confl_c = run(CountingPropagator)
+        # Same assignments deduced and the same decisions conflicted.
+        assert trail_w == trail_c
+        assert confl_w == confl_c
+
+
+@pytest.mark.parametrize("engine_cls", ENGINES)
+class TestAssignmentView:
+    def test_assignment_mapping(self, engine_cls):
+        engine = engine_cls()
+        engine.add_clause(enc_clause([1]))
+        engine.add_clause(enc_clause([-2]))
+        engine.propagate()
+        assert engine.assignment() == {1: True, 2: False}
+
+    def test_empty(self, engine_cls):
+        assert engine_cls(3).assignment() == {}

@@ -1,0 +1,128 @@
+"""Tests for the ISCAS BENCH netlist format."""
+
+import random
+
+import pytest
+
+from repro.circuits.bench_format import (
+    format_bench,
+    parse_bench,
+    read_bench,
+    write_bench,
+)
+from repro.circuits.library import ripple_carry_adder, wallace_multiplier
+from repro.circuits.miter import check_equivalence
+from repro.core.exceptions import CircuitError
+
+C17 = """\
+# c17 — the smallest ISCAS-85 benchmark
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+
+OUTPUT(22)
+OUTPUT(23)
+
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+"""
+
+
+class TestParse:
+    def test_c17(self):
+        circuit = parse_bench(C17, name="c17")
+        assert len(circuit.inputs) == 5
+        assert circuit.outputs == ["22", "23"]
+        assert circuit.num_gates == 6
+        # All inputs 0: first-level NANDs go 1, the output NANDs of two
+        # 1s go 0.
+        values = circuit.output_values({n: False for n in circuit.inputs})
+        assert values == {"22": False, "23": False}
+
+    def test_out_of_order_definitions(self):
+        text = ("INPUT(a)\nOUTPUT(y)\n"
+                "y = NOT(m)\n"      # uses m before its definition
+                "m = BUFF(a)\n")
+        circuit = parse_bench(text)
+        assert circuit.output_values({"a": True}) == {"y": False}
+
+    def test_wide_xor(self):
+        text = ("INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\n"
+                "y = XOR(a, b, c)\n")
+        circuit = parse_bench(text)
+        assert circuit.output_values(
+            {"a": True, "b": True, "c": True})["y"] is True
+
+    def test_wide_xnor(self):
+        text = ("INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\n"
+                "y = XNOR(a, b, c)\n")
+        circuit = parse_bench(text)
+        assert circuit.output_values(
+            {"a": True, "b": True, "c": False})["y"] is True
+
+    def test_output_can_be_input(self):
+        circuit = parse_bench("INPUT(a)\nOUTPUT(a)\n")
+        assert circuit.outputs == ["a"]
+
+    def test_dff_rejected(self):
+        with pytest.raises(CircuitError, match="DFF"):
+            parse_bench("INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n")
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(CircuitError, match="unknown gate"):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n")
+
+    def test_cycle_rejected(self):
+        text = ("INPUT(a)\nOUTPUT(y)\n"
+                "y = AND(a, z)\nz = NOT(y)\n")
+        with pytest.raises(CircuitError, match="cycle"):
+            parse_bench(text)
+
+    def test_double_definition_rejected(self):
+        text = "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUFF(a)\n"
+        with pytest.raises(CircuitError, match="twice"):
+            parse_bench(text)
+
+    def test_undefined_output_rejected(self):
+        with pytest.raises(CircuitError, match="never defined"):
+            parse_bench("INPUT(a)\nOUTPUT(ghost)\n")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(CircuitError, match="cannot parse"):
+            parse_bench("INPUT(a)\nwat\n")
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("builder", [
+        lambda: ripple_carry_adder(4),
+        lambda: wallace_multiplier(3),
+    ])
+    def test_library_circuits(self, builder):
+        original = builder()
+        restored = parse_bench(format_bench(original),
+                               name=original.name)
+        equivalent, counterexample = check_equivalence(original, restored)
+        assert equivalent, counterexample
+
+    def test_c17_roundtrip(self):
+        circuit = parse_bench(C17, name="c17")
+        again = parse_bench(format_bench(circuit, comment="roundtrip"))
+        rng = random.Random(0)
+        for _ in range(20):
+            assignment = {net: rng.random() < 0.5
+                          for net in circuit.inputs}
+            assert (circuit.output_values(assignment)
+                    == again.output_values(assignment))
+
+    def test_file_io(self, tmp_path):
+        circuit = parse_bench(C17, name="c17")
+        path = tmp_path / "c17.bench"
+        write_bench(circuit, path, comment="c17")
+        loaded = read_bench(path, name="c17")
+        assert loaded.num_gates == circuit.num_gates

@@ -1,0 +1,156 @@
+"""Unit and property tests for Clause."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.clause import EMPTY_CLAUSE, Clause
+from repro.core.exceptions import ResolutionError
+
+from tests.conftest import clause_literal_lists
+
+
+class TestNormalization:
+    def test_duplicates_removed(self):
+        assert Clause([3, -1, 3]).literals == (-1, 3)
+
+    def test_sorted_by_variable(self):
+        assert Clause([5, -2, 1]).literals == (1, -2, 5)
+
+    def test_positive_before_negative(self):
+        assert Clause([-1, 1]).literals == (1, -1)
+
+    def test_empty(self):
+        assert Clause().literals == ()
+        assert EMPTY_CLAUSE.is_empty()
+
+    @given(clause_literal_lists)
+    def test_idempotent(self, lits):
+        once = Clause(lits)
+        assert Clause(once.literals) == once
+
+    @given(clause_literal_lists)
+    def test_order_independent(self, lits):
+        assert Clause(lits) == Clause(list(reversed(lits)))
+
+    def test_zero_literal_rejected(self):
+        with pytest.raises(ValueError):
+            Clause([1, 0, 2])
+
+
+class TestPredicates:
+    def test_unit(self):
+        assert Clause([5]).is_unit()
+        assert not Clause([5, 6]).is_unit()
+        assert not Clause().is_unit()
+
+    def test_tautology(self):
+        assert Clause([1, -1]).is_tautology()
+        assert Clause([2, 1, -2]).is_tautology()
+        assert not Clause([1, 2, -3]).is_tautology()
+
+    def test_contains(self):
+        c = Clause([1, -2])
+        assert c.contains(-2)
+        assert not c.contains(2)
+        assert -2 in c
+        assert 2 not in c
+
+    def test_variables(self):
+        assert Clause([1, -2, 3]).variables() == {1, 2, 3}
+
+    def test_len_and_iter(self):
+        c = Clause([4, -1])
+        assert len(c) == 2
+        assert list(c) == [-1, 4]
+
+
+class TestEvaluation:
+    def test_satisfied(self):
+        assert Clause([1, 2]).evaluate({1: True}) is True
+
+    def test_falsified(self):
+        assert Clause([1, 2]).evaluate({1: False, 2: False}) is False
+
+    def test_undetermined(self):
+        assert Clause([1, 2]).evaluate({1: False}) is None
+
+    def test_negative_literal(self):
+        assert Clause([-1]).evaluate({1: False}) is True
+        assert Clause([-1]).evaluate({1: True}) is False
+
+    def test_empty_clause_is_false(self):
+        assert Clause().evaluate({}) is False
+
+    def test_falsifying_assignment_falsifies(self):
+        c = Clause([1, -2, 3])
+        assert c.evaluate(c.falsifying_assignment()) is False
+
+    @given(clause_literal_lists.filter(
+        lambda ls: ls and not Clause(ls).is_tautology()))
+    def test_falsifying_assignment_property(self, lits):
+        c = Clause(lits)
+        assignment = c.falsifying_assignment()
+        assert c.evaluate(assignment) is False
+
+
+class TestResolution:
+    def test_basic(self):
+        resolvent = Clause([1, 2]).resolve(Clause([-1, 3]))
+        assert resolvent == Clause([2, 3])
+
+    def test_pivot_checked(self):
+        Clause([1, 2]).resolve(Clause([-1, 3]), pivot=1)
+        with pytest.raises(ResolutionError):
+            Clause([1, 2]).resolve(Clause([-1, 3]), pivot=2)
+
+    def test_to_empty_clause(self):
+        assert Clause([1]).resolve(Clause([-1])) == EMPTY_CLAUSE
+
+    def test_no_clash_rejected(self):
+        with pytest.raises(ResolutionError):
+            Clause([1, 2]).resolve(Clause([3, 4]))
+
+    def test_double_clash_rejected(self):
+        with pytest.raises(ResolutionError):
+            Clause([1, 2]).resolve(Clause([-1, -2]))
+
+    def test_merges_shared_literals(self):
+        resolvent = Clause([1, 2, 3]).resolve(Clause([-1, 2, 4]))
+        assert resolvent == Clause([2, 3, 4])
+
+    def test_symmetric(self):
+        a, b = Clause([1, 5]), Clause([-1, -7])
+        assert a.resolve(b) == b.resolve(a)
+
+    @given(clause_literal_lists, clause_literal_lists,
+           st.integers(min_value=1, max_value=50))
+    def test_resolvent_is_implied(self, lits_a, lits_b, pivot):
+        """Soundness: any assignment satisfying both parents satisfies
+        the resolvent, for every total assignment we can build."""
+        a = Clause(list(lits_a) + [pivot])
+        b = Clause(list(lits_b) + [-pivot])
+        try:
+            resolvent = a.resolve(b, pivot=pivot)
+        except ResolutionError:
+            return  # extra clashes — not a valid resolution, skip
+        variables = a.variables() | b.variables()
+        # Check on a handful of assignments derived from the resolvent.
+        base = resolvent.falsifying_assignment()
+        assignment = {var: base.get(var, True) for var in variables}
+        if a.evaluate(assignment) and b.evaluate(assignment):
+            assert resolvent.evaluate(assignment)
+
+
+class TestHashEq:
+    def test_equal_clauses_hash_equal(self):
+        assert hash(Clause([2, 1])) == hash(Clause([1, 2]))
+
+    def test_set_membership(self):
+        assert Clause([1, 2]) in {Clause([2, 1])}
+
+    def test_not_equal_other_type(self):
+        assert Clause([1]) != (1,)
+
+    def test_repr(self):
+        assert repr(Clause([2, -1])) == "Clause(-1, 2)"

@@ -1,0 +1,152 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXIT_SAT, EXIT_UNSAT, main
+from repro.core.dimacs import read_dimacs, write_dimacs
+from repro.core.formula import CnfFormula
+from repro.solver.dpll import dpll_solve
+
+
+@pytest.fixture
+def unsat_cnf(tmp_path):
+    path = tmp_path / "unsat.cnf"
+    write_dimacs(CnfFormula([[1, 2], [1, -2], [-1, 2], [-1, -2],
+                             [3, 4]]), path)
+    return path
+
+
+@pytest.fixture
+def sat_cnf(tmp_path):
+    path = tmp_path / "sat.cnf"
+    write_dimacs(CnfFormula([[1, 2], [-1, 2]]), path)
+    return path
+
+
+class TestSolve:
+    def test_sat_exit_and_model(self, sat_cnf, capsys):
+        code = main(["solve", str(sat_cnf)])
+        assert code == EXIT_SAT
+        out = capsys.readouterr().out
+        assert "s SAT" in out
+        assert out.splitlines()[-1].startswith("v ")
+
+    def test_unsat_writes_proof(self, unsat_cnf, tmp_path, capsys):
+        proof_path = tmp_path / "out.ccp"
+        code = main(["solve", str(unsat_cnf), "--proof",
+                     str(proof_path), "--stats"])
+        assert code == EXIT_UNSAT
+        assert proof_path.exists()
+        out = capsys.readouterr().out
+        assert "s UNSAT" in out
+        assert "c conflicts=" in out
+
+    def test_learning_option(self, unsat_cnf):
+        assert main(["solve", str(unsat_cnf),
+                     "--learning", "decision"]) == EXIT_UNSAT
+
+
+class TestVerify:
+    def test_roundtrip(self, unsat_cnf, tmp_path, capsys):
+        proof_path = tmp_path / "out.ccp"
+        main(["solve", str(unsat_cnf), "--proof", str(proof_path)])
+        code = main(["verify", str(unsat_cnf), str(proof_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "s PROOF_IS_CORRECT" in out
+        assert "c unsat core:" in out
+
+    def test_v1_procedure(self, unsat_cnf, tmp_path, capsys):
+        proof_path = tmp_path / "out.ccp"
+        main(["solve", str(unsat_cnf), "--proof", str(proof_path)])
+        code = main(["verify", str(unsat_cnf), str(proof_path),
+                     "--procedure", "verification1"])
+        assert code == 0
+
+    def test_rejects_wrong_proof(self, unsat_cnf, sat_cnf, tmp_path,
+                                 capsys):
+        proof_path = tmp_path / "out.ccp"
+        main(["solve", str(unsat_cnf), "--proof", str(proof_path)])
+        code = main(["verify", str(sat_cnf), str(proof_path)])
+        assert code == 1
+        assert "questionable clause" in capsys.readouterr().out
+
+
+class TestCore:
+    def test_core_extraction(self, unsat_cnf, tmp_path, capsys):
+        proof_path = tmp_path / "out.ccp"
+        core_path = tmp_path / "core.cnf"
+        main(["solve", str(unsat_cnf), "--proof", str(proof_path)])
+        code = main(["core", str(unsat_cnf), str(proof_path),
+                     "--output", str(core_path)])
+        assert code == 0
+        core = read_dimacs(core_path)
+        assert dpll_solve(core).is_unsat
+        assert core.num_clauses <= 4  # the padding clause is dropped
+
+    def test_core_rejects_bad_proof(self, sat_cnf, unsat_cnf, tmp_path):
+        proof_path = tmp_path / "out.ccp"
+        main(["solve", str(unsat_cnf), "--proof", str(proof_path)])
+        assert main(["core", str(sat_cnf), str(proof_path)]) == 1
+
+
+class TestDrupCli:
+    def test_solve_writes_drup_and_verify_drup(self, unsat_cnf, tmp_path,
+                                               capsys):
+        drup_path = tmp_path / "out.drup"
+        code = main(["solve", str(unsat_cnf), "--drup", str(drup_path)])
+        assert code == EXIT_UNSAT
+        assert drup_path.exists()
+        assert "DRUP trace written" in capsys.readouterr().out
+
+        code = main(["verify-drup", str(unsat_cnf), str(drup_path)])
+        assert code == 0
+        assert "s PROOF_IS_CORRECT" in capsys.readouterr().out
+
+    def test_verify_drup_rejects_wrong_formula(self, unsat_cnf, sat_cnf,
+                                               tmp_path, capsys):
+        drup_path = tmp_path / "out.drup"
+        main(["solve", str(unsat_cnf), "--drup", str(drup_path)])
+        code = main(["verify-drup", str(sat_cnf), str(drup_path)])
+        assert code == 1
+        assert "failed at event" in capsys.readouterr().out
+
+
+class TestSolveVariants:
+    def test_preprocess_flag_lifts_proof(self, unsat_cnf, tmp_path,
+                                         capsys):
+        proof_path = tmp_path / "p.ccp"
+        code = main(["solve", str(unsat_cnf), "--preprocess",
+                     "--proof", str(proof_path)])
+        assert code == EXIT_UNSAT
+        out = capsys.readouterr().out
+        assert "c preprocess:" in out
+        # The lifted proof verifies against the ORIGINAL file.
+        assert main(["verify", str(unsat_cnf), str(proof_path)]) == 0
+
+    def test_minimize_flag(self, unsat_cnf, tmp_path):
+        proof_path = tmp_path / "p.ccp"
+        code = main(["solve", str(unsat_cnf), "--minimize",
+                     "--proof", str(proof_path)])
+        assert code == EXIT_UNSAT
+        assert main(["verify", str(unsat_cnf), str(proof_path)]) == 0
+
+    def test_preprocess_with_drup_skipped(self, unsat_cnf, tmp_path,
+                                          capsys):
+        drup_path = tmp_path / "p.drup"
+        code = main(["solve", str(unsat_cnf), "--preprocess",
+                     "--drup", str(drup_path)])
+        assert code == EXIT_UNSAT
+        assert "not supported together" in capsys.readouterr().out
+        assert not drup_path.exists()
+
+    def test_preprocess_sat_lifts_model(self, sat_cnf, capsys):
+        code = main(["solve", str(sat_cnf), "--preprocess"])
+        assert code == EXIT_SAT
+        assert "v " in capsys.readouterr().out
+
+    def test_preprocess_unsat_without_proof_file(self, unsat_cnf,
+                                                 capsys):
+        code = main(["solve", str(unsat_cnf), "--preprocess"])
+        assert code == EXIT_UNSAT
+        assert "s UNSAT" in capsys.readouterr().out

@@ -1,0 +1,94 @@
+"""Unit tests for ConflictClauseProof structure and export."""
+
+import pytest
+
+from repro.core.exceptions import ProofFormatError
+from repro.core.formula import CnfFormula
+from repro.proofs.conflict_clause import (
+    ENDING_EMPTY,
+    ENDING_FINAL_PAIR,
+    ConflictClauseProof,
+)
+from repro.proofs.log import ProofLog
+from repro.solver.cdcl import solve
+
+
+class TestStructureValidation:
+    def test_final_pair_valid(self):
+        proof = ConflictClauseProof([(1, 2), (-1,), (1,)],
+                                    ENDING_FINAL_PAIR)
+        assert proof.final_pair() == ((-1,), (1,))
+
+    def test_final_pair_requires_two_clauses(self):
+        with pytest.raises(ProofFormatError):
+            ConflictClauseProof([(1,)], ENDING_FINAL_PAIR)
+
+    def test_final_pair_must_conflict(self):
+        with pytest.raises(ProofFormatError):
+            ConflictClauseProof([(1,), (2,)], ENDING_FINAL_PAIR)
+
+    def test_final_pair_must_be_units(self):
+        with pytest.raises(ProofFormatError):
+            ConflictClauseProof([(1, 2), (-1, -2)], ENDING_FINAL_PAIR)
+
+    def test_empty_ending_valid(self):
+        proof = ConflictClauseProof([(1,), ()], ENDING_EMPTY)
+        assert proof.final_pair() is None
+
+    def test_empty_ending_requires_empty_clause(self):
+        with pytest.raises(ProofFormatError):
+            ConflictClauseProof([(1,)], ENDING_EMPTY)
+
+    def test_no_clauses_rejected(self):
+        with pytest.raises(ProofFormatError):
+            ConflictClauseProof([], ENDING_EMPTY)
+
+    def test_unknown_ending_rejected(self):
+        with pytest.raises(ProofFormatError):
+            ConflictClauseProof([()], "maybe")
+
+
+class TestFromLog:
+    def test_solver_log_gives_final_pair(self, tiny_unsat):
+        result = solve(tiny_unsat)
+        proof = ConflictClauseProof.from_log(result.log)
+        assert proof.ending == ENDING_FINAL_PAIR
+        first, second = proof.final_pair()
+        assert first[0] == -second[0]
+
+    def test_empty_clause_input_gives_empty_ending(self):
+        result = solve(CnfFormula([[1], []]))
+        proof = ConflictClauseProof.from_log(result.log)
+        assert proof.ending == ENDING_EMPTY
+
+    def test_incomplete_log_rejected(self):
+        with pytest.raises(ProofFormatError):
+            ConflictClauseProof.from_log(ProofLog())
+
+
+class TestAccessors:
+    def test_sizes(self):
+        proof = ConflictClauseProof([(1, 2, 3), (-1,), (1,)],
+                                    ENDING_FINAL_PAIR)
+        assert len(proof) == 3
+        assert proof.literal_count() == 5
+        assert proof.max_var() == 3
+
+    def test_iteration_and_indexing(self):
+        proof = ConflictClauseProof([(2,), (-2,)], ENDING_FINAL_PAIR)
+        assert list(proof) == [(2,), (-2,)]
+        assert proof[0] == (2,)
+
+    def test_equality(self):
+        a = ConflictClauseProof([(1,), (-1,)], ENDING_FINAL_PAIR)
+        b = ConflictClauseProof([(1,), (-1,)], ENDING_FINAL_PAIR)
+        assert a == b
+
+    def test_as_clause_objects(self):
+        proof = ConflictClauseProof([(2, 1), (-1,), (1,)],
+                                    ENDING_FINAL_PAIR)
+        assert proof.as_clause_objects()[0].literals == (1, 2)
+
+    def test_repr(self):
+        proof = ConflictClauseProof([(1,), (-1,)], ENDING_FINAL_PAIR)
+        assert "num_clauses=2" in repr(proof)

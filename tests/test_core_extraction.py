@@ -1,0 +1,57 @@
+"""Tests for the core-extraction convenience API."""
+
+import pytest
+
+from repro.benchgen.php import pigeonhole
+from repro.core.exceptions import ReproError
+from repro.core.formula import CnfFormula
+from repro.proofs.conflict_clause import (
+    ENDING_FINAL_PAIR,
+    ConflictClauseProof,
+)
+from repro.solver.cdcl import solve
+from repro.verify.core_extraction import extract_core, validate_core
+
+
+def proof_of(formula):
+    result = solve(formula)
+    assert result.is_unsat
+    return ConflictClauseProof.from_log(result.log)
+
+
+class TestExtractCore:
+    def test_basic(self, tiny_unsat):
+        core = extract_core(tiny_unsat, proof_of(tiny_unsat))
+        assert core.size > 0
+        assert core.formula is tiny_unsat
+
+    def test_bad_proof_raises(self):
+        sat_formula = CnfFormula([[1, 2, 3]])
+        bogus = ConflictClauseProof([(1,), (-1,)], ENDING_FINAL_PAIR)
+        with pytest.raises(ReproError, match="incorrect proof"):
+            extract_core(sat_formula, bogus)
+
+    def test_core_formula_preserves_variables(self, tiny_unsat):
+        core = extract_core(tiny_unsat, proof_of(tiny_unsat))
+        assert core.as_formula().num_vars == tiny_unsat.num_vars
+
+
+class TestValidateCore:
+    def test_valid_core(self, tiny_unsat):
+        core = extract_core(tiny_unsat, proof_of(tiny_unsat))
+        assert validate_core(core)
+
+    def test_php_core(self):
+        formula = pigeonhole(4)
+        core = extract_core(formula, proof_of(formula))
+        assert validate_core(core)
+        # PHP is already minimal-ish: the core keeps most clauses.
+        assert core.fraction > 0.5
+
+    def test_padded_formula_core_drops_padding(self):
+        padded = CnfFormula([[1, 2], [1, -2], [-1, 2], [-1, -2],
+                             [10, 11], [12], [-9, 8]])
+        core = extract_core(padded, proof_of(padded))
+        assert validate_core(core)
+        assert core.size <= 4
+        assert all(index < 4 for index in core.clause_indices)

@@ -1,0 +1,115 @@
+"""Unit and property tests for DIMACS parsing/writing."""
+
+import pytest
+from hypothesis import given
+
+from repro.core.clause import Clause
+from repro.core.dimacs import (
+    format_dimacs,
+    parse_dimacs,
+    read_dimacs,
+    write_dimacs,
+)
+from repro.core.exceptions import DimacsParseError
+from repro.core.formula import CnfFormula
+
+from tests.conftest import cnf_formulas
+
+
+class TestParse:
+    def test_basic(self):
+        f = parse_dimacs("p cnf 3 2\n1 -2 0\n3 0\n")
+        assert f.num_vars == 3
+        assert f.num_clauses == 2
+        assert f[0] == Clause([1, -2])
+
+    def test_comments_ignored(self):
+        f = parse_dimacs("c hello\np cnf 1 1\nc mid\n1 0\n")
+        assert f.num_clauses == 1
+
+    def test_percent_comment(self):
+        f = parse_dimacs("p cnf 1 1\n1 0\n%\n")
+        assert f.num_clauses == 1
+
+    def test_clause_spanning_lines(self):
+        f = parse_dimacs("p cnf 3 1\n1 2\n3 0\n")
+        assert f[0] == Clause([1, 2, 3])
+
+    def test_multiple_clauses_per_line(self):
+        f = parse_dimacs("p cnf 2 2\n1 0 2 0\n")
+        assert f.num_clauses == 2
+
+    def test_headerless_accepted_by_default(self):
+        f = parse_dimacs("1 -1 0\n")
+        assert f.num_clauses == 1
+
+    def test_header_overdeclares_vars(self):
+        f = parse_dimacs("p cnf 10 1\n1 0\n")
+        assert f.num_vars == 10
+
+    def test_missing_terminator_rejected(self):
+        with pytest.raises(DimacsParseError):
+            parse_dimacs("p cnf 2 1\n1 2\n")
+
+    def test_bad_token_rejected(self):
+        with pytest.raises(DimacsParseError, match="unexpected token"):
+            parse_dimacs("p cnf 1 1\n1 x 0\n")
+
+    def test_duplicate_header_rejected(self):
+        with pytest.raises(DimacsParseError, match="duplicate"):
+            parse_dimacs("p cnf 1 1\np cnf 1 1\n1 0\n")
+
+    def test_malformed_header_rejected(self):
+        with pytest.raises(DimacsParseError):
+            parse_dimacs("p dnf 1 1\n1 0\n")
+
+    def test_negative_header_counts_rejected(self):
+        with pytest.raises(DimacsParseError):
+            parse_dimacs("p cnf -1 1\n1 0\n")
+
+
+class TestStrictMode:
+    def test_requires_header(self):
+        with pytest.raises(DimacsParseError, match="missing"):
+            parse_dimacs("1 0\n", strict=True)
+
+    def test_clause_count_checked(self):
+        with pytest.raises(DimacsParseError, match="declares 2 clauses"):
+            parse_dimacs("p cnf 1 2\n1 0\n", strict=True)
+
+    def test_var_count_checked(self):
+        with pytest.raises(DimacsParseError, match="variable"):
+            parse_dimacs("p cnf 1 1\n2 0\n", strict=True)
+
+    def test_valid_strict(self):
+        f = parse_dimacs("p cnf 2 1\n1 -2 0\n", strict=True)
+        assert f.num_clauses == 1
+
+
+class TestFormat:
+    def test_header_line(self):
+        text = format_dimacs(CnfFormula([[1, -2]]))
+        assert text.startswith("p cnf 2 1\n")
+
+    def test_comment(self):
+        text = format_dimacs(CnfFormula([[1]]), comment="a\nb")
+        assert "c a\n" in text and "c b\n" in text
+
+    def test_empty_clause_rendered(self):
+        text = format_dimacs(CnfFormula([[]]))
+        assert "\n0\n" in text
+
+    @given(cnf_formulas(max_vars=10, max_clauses=15))
+    def test_roundtrip(self, f):
+        g = parse_dimacs(format_dimacs(f), strict=True)
+        assert g.num_vars == f.num_vars
+        assert [c.literals for c in g] == [c.literals for c in f]
+
+
+class TestFileIo:
+    def test_write_read(self, tmp_path):
+        f = CnfFormula([[1, 2], [-1]])
+        path = tmp_path / "test.cnf"
+        write_dimacs(f, path, comment="roundtrip")
+        g = read_dimacs(path, strict=True)
+        assert [c.literals for c in g] == [c.literals for c in f]

@@ -1,0 +1,157 @@
+"""Tests for DRUP traces and forward checking with deletions."""
+
+import random
+
+import pytest
+
+from repro.benchgen.php import pigeonhole
+from repro.core.exceptions import ProofFormatError
+from repro.core.formula import CnfFormula
+from repro.proofs.drup import (
+    ADD,
+    DELETE,
+    DrupEvent,
+    DrupProof,
+    format_drup,
+    parse_drup,
+    read_drup,
+    write_drup,
+)
+from repro.solver.cdcl import solve
+from repro.verify.forward import check_drup
+
+from tests.conftest import random_formula
+
+
+def drup_of(formula, **solver_kwargs):
+    result = solve(formula, **solver_kwargs)
+    assert result.is_unsat
+    return DrupProof.from_log(result.log)
+
+
+class TestFormat:
+    def test_roundtrip(self):
+        proof = DrupProof([
+            DrupEvent(ADD, (1, 2)),
+            DrupEvent(DELETE, (1, 2)),
+            DrupEvent(ADD, ()),
+        ])
+        assert parse_drup(format_drup(proof, comment="x")) == proof
+
+    def test_delete_prefix(self):
+        text = format_drup(DrupProof([DrupEvent(DELETE, (3, -4))]))
+        assert text == "d 3 -4 0\n"
+
+    def test_missing_zero_rejected(self):
+        with pytest.raises(ProofFormatError):
+            parse_drup("1 2\n")
+
+    def test_zero_inside_rejected(self):
+        with pytest.raises(ProofFormatError):
+            parse_drup("1 0 2 0\n")
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ProofFormatError):
+            DrupEvent("modify", (1,))
+
+    def test_validate_structure(self):
+        DrupProof([DrupEvent(ADD, ())]).validate_structure()
+        with pytest.raises(ProofFormatError):
+            DrupProof([DrupEvent(ADD, (1,))]).validate_structure()
+
+    def test_file_io(self, tmp_path):
+        proof = drup_of(CnfFormula([[1], [-1]]))
+        path = tmp_path / "p.drup"
+        write_drup(proof, path)
+        assert read_drup(path) == proof
+
+
+class TestFromLog:
+    def test_deletions_interleaved(self):
+        formula = pigeonhole(6)
+        result = solve(formula, restart_base=10, reduce_base=30,
+                       reduce_growth=10)
+        assert result.stats.deleted_clauses > 0
+        proof = DrupProof.from_log(result.log)
+        assert proof.num_deletions == result.stats.deleted_clauses
+        assert proof.num_additions == result.log.num_deduced
+        kinds = [event.kind for event in proof.events]
+        assert DELETE in kinds
+        # The trace still ends with the empty addition.
+        proof.validate_structure()
+
+    def test_no_deletions_when_disabled(self):
+        formula = pigeonhole(4)
+        result = solve(formula, enable_deletion=False)
+        proof = DrupProof.from_log(result.log)
+        assert proof.num_deletions == 0
+
+
+class TestForwardChecking:
+    def test_accepts_correct_trace(self, tiny_unsat):
+        report = check_drup(tiny_unsat, drup_of(tiny_unsat))
+        assert report.ok
+        assert report.peak_active_clauses >= tiny_unsat.num_clauses
+
+    def test_accepts_trace_with_deletions(self):
+        formula = pigeonhole(6)
+        result = solve(formula, restart_base=10, reduce_base=30,
+                       reduce_growth=10)
+        proof = DrupProof.from_log(result.log)
+        report = check_drup(formula, proof)
+        assert report.ok
+        assert report.num_deletions > 0
+        # Deletions bound the active set below additions + input.
+        assert (report.peak_active_clauses
+                < formula.num_clauses + proof.num_additions)
+
+    def test_rejects_non_rup_addition(self):
+        formula = CnfFormula([[1, 2, 3]])
+        trace = DrupProof([DrupEvent(ADD, (1,)), DrupEvent(ADD, ())])
+        report = check_drup(formula, trace)
+        assert not report.ok
+        assert report.failed_event_index == 0
+        assert "not RUP" in report.failure_reason
+
+    def test_rejects_deleting_inactive_clause(self, tiny_unsat):
+        trace = DrupProof([DrupEvent(DELETE, (9, 10)),
+                           DrupEvent(ADD, ())])
+        report = check_drup(tiny_unsat, trace)
+        assert not report.ok
+        assert "inactive" in report.failure_reason
+
+    def test_rejects_missing_empty_clause(self, tiny_unsat):
+        trace = DrupProof([DrupEvent(ADD, (1,))])
+        report = check_drup(tiny_unsat, trace)
+        assert not report.ok
+        assert "never derives" in report.failure_reason
+
+    def test_deleting_needed_clause_breaks_proof(self):
+        # Delete the derived (1) before using it: the final pair check
+        # still passes (BCP re-derives), but deleting an *input* clause
+        # the refutation needs must fail.
+        formula = CnfFormula([[1, 2], [1, -2], [-1, 2], [-1, -2]])
+        trace = DrupProof([
+            DrupEvent(DELETE, (1, 2)),
+            DrupEvent(DELETE, (1, -2)),
+            DrupEvent(ADD, (1,)),   # no longer RUP without those inputs
+            DrupEvent(ADD, ()),
+        ])
+        report = check_drup(formula, trace)
+        assert not report.ok
+        assert report.failed_event_index == 2
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_traces_check(self, seed):
+        rng = random.Random(7000 + seed)
+        checked = 0
+        for _ in range(20):
+            formula = random_formula(rng, 8, 35)
+            result = solve(formula, restart_base=10, reduce_base=40,
+                           reduce_growth=20)
+            if not result.is_unsat:
+                continue
+            proof = DrupProof.from_log(result.log)
+            assert check_drup(formula, proof).ok, formula.clauses
+            checked += 1
+        assert checked > 2

@@ -1,0 +1,117 @@
+"""End-to-end workflows: the full generate → solve → write → read →
+verify → extract pipeline, including on-disk roundtrips — the workflow
+the paper describes (conflict clauses streamed to disk, verified by an
+independent program)."""
+
+import pytest
+
+from repro import (
+    CnfFormula,
+    ConflictClauseProof,
+    ResolutionGraphProof,
+    compare_proof_sizes,
+    extract_core,
+    parse_dimacs,
+    read_dimacs,
+    read_proof,
+    solve,
+    validate_core,
+    verify_proof,
+    verify_proof_v1,
+    verify_proof_v2,
+    write_dimacs,
+    write_proof,
+)
+from repro.benchgen.php import pigeonhole
+from repro.benchgen.xor_chains import parity_contradiction
+from repro.circuits.library import parity_chain, parity_tree
+from repro.circuits.miter import equivalence_formula
+from repro.bmc.models import arbiter_instance
+
+
+class TestDiskRoundtrip:
+    def test_full_workflow(self, tmp_path):
+        formula = pigeonhole(4)
+        cnf_path = tmp_path / "php4.cnf"
+        proof_path = tmp_path / "php4.ccp"
+
+        write_dimacs(formula, cnf_path, comment="pigeonhole 4")
+        loaded = read_dimacs(cnf_path, strict=True)
+
+        result = solve(loaded)
+        assert result.is_unsat
+        proof = ConflictClauseProof.from_log(result.log)
+        write_proof(proof, proof_path, comment="by repro CDCL")
+
+        # An "independent checker" session: re-read both files.
+        checker_formula = read_dimacs(cnf_path)
+        checker_proof = read_proof(proof_path)
+        report = verify_proof(checker_formula, checker_proof)
+        assert report.ok
+        assert validate_core(report.core)
+
+    def test_verifier_catches_tampered_file(self, tmp_path):
+        formula = CnfFormula([[1, 2], [1, -2], [-1, 2], [-1, -2]])
+        result = solve(formula)
+        proof = ConflictClauseProof.from_log(result.log)
+        proof_path = tmp_path / "p.ccp"
+        write_proof(proof, proof_path)
+        # Tamper: replace the proof body with an unjustified clause.
+        text = proof_path.read_text().splitlines()
+        tampered = [text[0], "5 0", text[-2], text[-1]]
+        proof_path.write_text("\n".join(tampered) + "\n")
+        loaded = read_proof(proof_path)
+        report = verify_proof_v1(formula, loaded)
+        assert not report.ok
+
+
+class TestDomainPipelines:
+    def test_equivalence_checking_flow(self):
+        formula = equivalence_formula(parity_chain(10), parity_tree(10))
+        result = solve(formula)
+        assert result.is_unsat
+        proof = ConflictClauseProof.from_log(result.log)
+        report = verify_proof_v2(formula, proof)
+        assert report.ok
+        graph = ResolutionGraphProof.from_log(result.log)
+        assert graph.check().ok
+        sizes = compare_proof_sizes(result.log)
+        assert sizes.num_conflict_clauses == len(proof)
+
+    def test_bmc_flow(self):
+        formula = arbiter_instance(4, 6)
+        result = solve(formula)
+        assert result.is_unsat
+        proof = ConflictClauseProof.from_log(result.log)
+        assert verify_proof_v2(formula, proof).ok
+
+    def test_core_reduces_parity_instance(self):
+        formula = parity_contradiction(10)
+        # Pad with irrelevant clauses.
+        padded = formula.copy()
+        base = formula.num_vars
+        for i in range(10):
+            padded.add_clause([base + i + 1, base + i + 2])
+        result = solve(padded)
+        assert result.is_unsat
+        core = extract_core(padded,
+                            ConflictClauseProof.from_log(result.log))
+        assert core.size <= formula.num_clauses
+        assert validate_core(core)
+
+
+class TestDocstringExample:
+    def test_readme_quickstart(self):
+        formula = CnfFormula([[1, 2], [1, -2], [-1, 2], [-1, -2]])
+        result = solve(formula)
+        assert result.status == "UNSAT"
+        proof = ConflictClauseProof.from_log(result.log)
+        report = verify_proof(formula, proof)
+        assert report.ok
+        assert report.core is not None
+
+    def test_dimacs_string_entry_point(self):
+        formula = parse_dimacs("p cnf 2 4\n1 2 0\n1 -2 0\n-1 2 0\n"
+                               "-1 -2 0\n")
+        result = solve(formula)
+        assert result.is_unsat

@@ -1,0 +1,138 @@
+"""Tests for the experiment harness (table builders)."""
+
+import pytest
+
+from repro.experiments.runner import (
+    ExperimentRow,
+    berkmin_options,
+    run_instance,
+    run_instances,
+)
+from repro.experiments.table1 import format_table1
+from repro.experiments.table2 import format_table2
+from repro.experiments.table3 import format_table3
+
+
+@pytest.fixture(scope="module")
+def sample_rows():
+    return run_instances(["eq_alu4", "stack8_8"])
+
+
+class TestRunner:
+    def test_row_fields(self, sample_rows):
+        row = sample_rows[0]
+        assert row.name == "eq_alu4"
+        assert row.paper_analog == "c2670"
+        assert row.num_conflict_clauses > 0
+        assert 0 < row.tested_fraction <= 1
+        assert 0 < row.core_fraction <= 1
+        assert row.resolution_nodes > 0
+        assert row.conflict_literals > 0
+        assert row.solve_time > 0
+        assert row.verification_time > 0
+
+    def test_ratio(self, sample_rows):
+        row = sample_rows[0]
+        expected = 100.0 * row.conflict_literals / row.resolution_nodes
+        assert row.ratio_percent == pytest.approx(expected)
+
+    def test_cache(self):
+        first = run_instance("eq_alu4")
+        second = run_instance("eq_alu4")
+        assert first is second
+
+    def test_cache_bypass(self):
+        first = run_instance("eq_alu4")
+        fresh = run_instance("eq_alu4", use_cache=False)
+        assert fresh is not first
+        assert fresh.num_clauses == first.num_clauses
+
+    def test_berkmin_options(self):
+        options = berkmin_options()
+        assert options.learning == "adaptive"
+        assert options.heuristic == "berkmin"
+        overridden = berkmin_options(heuristic="vsids")
+        assert overridden.heuristic == "vsids"
+
+
+class TestFormatting:
+    def test_table1_contains_rows(self, sample_rows):
+        text = format_table1(sample_rows)
+        assert "Table 1" in text
+        assert "eq_alu4" in text
+        assert "c2670" in text
+
+    def test_table2_contains_summary(self, sample_rows):
+        text = format_table2(sample_rows)
+        assert "Table 2" in text
+        assert "smaller on" in text
+
+    def test_table3_trend_line(self, sample_rows):
+        text = format_table3(sample_rows)
+        assert "Table 3" in text
+        assert "ratio trend" in text
+
+    def test_synthetic_rows(self):
+        row = ExperimentRow(
+            name="x", paper_analog="y", num_vars=1, num_clauses=2,
+            solve_time=0.1, conflicts=3, num_conflict_clauses=4,
+            tested_fraction=0.5, core_size=1, core_fraction=0.5,
+            verification_time=0.2, resolution_nodes=200,
+            conflict_literals=100)
+        assert row.ratio_percent == 50.0
+        for formatter in (format_table1, format_table2, format_table3):
+            assert "x" in formatter([row])
+
+    def test_zero_nodes_ratio(self):
+        row = ExperimentRow(
+            name="x", paper_analog="-", num_vars=1, num_clauses=1,
+            solve_time=0, conflicts=0, num_conflict_clauses=1,
+            tested_fraction=1, core_size=1, core_fraction=1,
+            verification_time=0, resolution_nodes=0,
+            conflict_literals=0)
+        assert row.ratio_percent == 0.0
+
+
+class TestInventory:
+    def test_format_inventory(self):
+        from repro.experiments.instances import format_inventory
+
+        text = format_inventory(["eq_alu4", "php6"])
+        assert "eq_alu4" in text
+        assert "c2670" in text
+        assert "php" in text
+
+    def test_metadata_only(self):
+        from repro.experiments.instances import format_inventory
+
+        text = format_inventory(["eq_alu4"], build=False)
+        assert "-" in text
+
+    def test_cli_family_filter(self, capsys):
+        from repro.experiments.instances import main
+
+        main(["--family", "fifo", "--skip-build"])
+        out = capsys.readouterr().out
+        assert "fifo8_6" in out
+        assert "eq_alu4" not in out
+
+
+class TestReport:
+    def test_build_report_structure(self):
+        from repro.experiments.report import build_report
+
+        text = build_report(["eq_alu4"], ["eq_alu4"])
+        assert "# Measured results" in text
+        assert "## Table 1" in text
+        assert "## Table 2" in text
+        assert "## Table 3" in text
+        assert "eq_alu4" in text
+        assert "c2670" in text
+
+    def test_report_cli_writes_file(self, tmp_path, capsys):
+        from repro.experiments import report as report_module
+
+        out_path = tmp_path / "r.md"
+        report_module.main(["--quick", "--output", str(out_path)])
+        assert out_path.exists()
+        assert "Table 1" in out_path.read_text()

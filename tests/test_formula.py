@@ -1,0 +1,105 @@
+"""Unit tests for CnfFormula."""
+
+import pytest
+from hypothesis import given
+
+from repro.core.clause import Clause
+from repro.core.formula import CnfFormula
+
+from tests.conftest import cnf_formulas
+
+
+class TestConstruction:
+    def test_empty(self):
+        f = CnfFormula()
+        assert f.num_vars == 0
+        assert f.num_clauses == 0
+
+    def test_from_literal_lists(self):
+        f = CnfFormula([[1, -2], [3]])
+        assert f.num_clauses == 2
+        assert f.num_vars == 3
+        assert f[0] == Clause([1, -2])
+
+    def test_from_clause_objects(self):
+        f = CnfFormula([Clause([5])])
+        assert f.num_vars == 5
+
+    def test_declared_vars_kept(self):
+        f = CnfFormula([[1]], num_vars=10)
+        assert f.num_vars == 10
+
+    def test_declare_vars_never_lowers(self):
+        f = CnfFormula([[7]])
+        f.declare_vars(3)
+        assert f.num_vars == 7
+
+    def test_add_clause_returns_clause(self):
+        f = CnfFormula()
+        returned = f.add_clause([2, 1])
+        assert returned == Clause([1, 2])
+
+    def test_duplicates_allowed(self):
+        f = CnfFormula([[1], [1]])
+        assert f.num_clauses == 2
+
+    def test_extend(self):
+        f = CnfFormula()
+        f.extend([[1], [2, -1]])
+        assert f.num_clauses == 2
+
+
+class TestEvaluation:
+    def test_satisfied(self):
+        f = CnfFormula([[1, 2], [-1]])
+        assert f.evaluate({1: False, 2: True}) is True
+        assert f.is_satisfied_by({1: False, 2: True})
+
+    def test_falsified(self):
+        f = CnfFormula([[1], [-1]])
+        assert f.evaluate({1: True}) is False
+
+    def test_undetermined(self):
+        f = CnfFormula([[1, 2]])
+        assert f.evaluate({1: False}) is None
+
+    def test_empty_formula_true(self):
+        assert CnfFormula().evaluate({}) is True
+
+    @given(cnf_formulas(max_vars=6, max_clauses=10))
+    def test_all_true_assignment(self, f):
+        assignment = {var: True for var in range(1, f.num_vars + 1)}
+        value = f.evaluate(assignment)
+        expected = all(any(lit > 0 for lit in c) for c in f)
+        assert value is expected
+
+
+class TestAccessors:
+    def test_literal_count(self):
+        f = CnfFormula([[1, 2], [3], []])
+        assert f.literal_count() == 3
+
+    def test_iteration_order(self):
+        f = CnfFormula([[1], [2], [3]])
+        assert [c.literals for c in f] == [(1,), (2,), (3,)]
+
+    def test_len_getitem(self):
+        f = CnfFormula([[1], [2]])
+        assert len(f) == 2
+        assert f[1] == Clause([2])
+
+    def test_copy_independent(self):
+        f = CnfFormula([[1]])
+        g = f.copy()
+        g.add_clause([2])
+        assert f.num_clauses == 1
+        assert g.num_clauses == 2
+        assert f.num_vars == 1
+        assert g.num_vars == 2
+
+    def test_repr(self):
+        assert "num_vars=3" in repr(CnfFormula([[3]]))
+
+    def test_invalid_literal_propagates(self):
+        with pytest.raises(ValueError):
+            CnfFormula([[0]])

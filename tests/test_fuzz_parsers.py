@@ -1,0 +1,87 @@
+"""Fuzz tests: parsers must reject garbage with typed errors, never
+crash with anything else, and never accept-then-misbehave."""
+
+import pytest
+from hypothesis import example, given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.bench_format import parse_bench
+from repro.core.dimacs import parse_dimacs
+from repro.core.exceptions import (
+    CircuitError,
+    DimacsParseError,
+    ProofFormatError,
+)
+from repro.proofs.trace_format import parse_proof
+
+# Text made of the tokens these formats actually use, plus junk.
+_dimacs_alphabet = st.sampled_from(
+    ["p", "cnf", "c", "%", "0", "1", "-1", "2", "-2", "3", "x", "\n",
+     " ", "-", "p cnf 2 1", "1 -2 0"])
+_dimacs_text = st.lists(_dimacs_alphabet, max_size=30).map(" ".join)
+
+_proof_alphabet = st.sampled_from(
+    ["p", "ccproof", "final_pair", "empty", "c", "0", "1", "-1", "7",
+     "-7", "\n", " ", "p ccproof empty", "p ccproof final_pair",
+     "1 0", "-1 0", "0"])
+_proof_text = st.lists(_proof_alphabet, max_size=30).map(" ".join)
+
+_bench_alphabet = st.sampled_from(
+    ["INPUT(a)", "OUTPUT(y)", "y = AND(a, a)", "y = NOT(a)", "#x",
+     "y", "=", "AND", "(", ")", "a", "\n", "INPUT", "OUTPUT",
+     "z = FROB(a)", "q = DFF(a)"])
+_bench_text = st.lists(_bench_alphabet, max_size=15).map("\n".join)
+
+
+class TestDimacsFuzz:
+    @settings(max_examples=150, deadline=None)
+    @given(_dimacs_text)
+    @example("p cnf 1 1\n1 0")
+    @example("1 0 0 0")
+    def test_parse_or_typed_error(self, text):
+        try:
+            formula = parse_dimacs(text)
+        except DimacsParseError:
+            return
+        # Accepted input must produce a well-formed formula.
+        assert formula.num_vars >= 0
+        for clause in formula:
+            assert all(lit != 0 for lit in clause)
+
+    @settings(max_examples=100, deadline=None)
+    @given(_dimacs_text)
+    def test_strict_mode_or_typed_error(self, text):
+        try:
+            parse_dimacs(text, strict=True)
+        except DimacsParseError:
+            pass
+
+
+class TestProofFuzz:
+    @settings(max_examples=150, deadline=None)
+    @given(_proof_text)
+    @example("p ccproof final_pair\n1 0\n-1 0")
+    def test_parse_or_typed_error(self, text):
+        try:
+            proof = parse_proof(text)
+        except ProofFormatError:
+            return
+        proof.validate_structure()  # accepted proofs are well-formed
+
+    def test_binary_garbage(self):
+        with pytest.raises(ProofFormatError):
+            parse_proof("\x00\x01\x02")
+
+
+class TestBenchFuzz:
+    @settings(max_examples=150, deadline=None)
+    @given(_bench_text)
+    @example("INPUT(a)\nOUTPUT(y)\ny = NOT(a)")
+    def test_parse_or_typed_error(self, text):
+        try:
+            circuit = parse_bench(text)
+        except CircuitError:
+            return
+        # Accepted circuits simulate without crashing.
+        assignment = {net: False for net in circuit.inputs}
+        circuit.simulate(assignment)

@@ -1,0 +1,138 @@
+"""Unit tests for the branching heuristics."""
+
+import pytest
+
+from repro.bcp.watched import WatchedPropagator
+from repro.core.literals import encode
+from repro.solver.heuristics import BerkMinOrder, VsidsOrder, make_order
+
+
+def engine_with(num_vars, clauses=()):
+    engine = WatchedPropagator(num_vars)
+    for clause in clauses:
+        engine.add_clause([encode(lit) for lit in clause])
+    return engine
+
+
+class TestVsids:
+    def test_pick_highest_activity(self):
+        order = VsidsOrder(3)
+        engine = engine_with(3)
+        order.bump(2)
+        assert order.pick(engine) == 2
+
+    def test_pick_skips_assigned(self):
+        order = VsidsOrder(3)
+        engine = engine_with(3)
+        order.bump(2)
+        order.bump(2)
+        order.bump(1)
+        engine.assume(encode(2))
+        assert order.pick(engine) == 1
+
+    def test_all_assigned_returns_none(self):
+        order = VsidsOrder(2)
+        engine = engine_with(2)
+        engine.assume(encode(1))
+        engine.enqueue(encode(2), None)
+        assert order.pick(engine) is None
+
+    def test_push_after_unassign(self):
+        order = VsidsOrder(2)
+        engine = engine_with(2)
+        order.bump(1)
+        engine.assume(encode(1))
+        assert order.pick(engine) == 2
+        engine.backtrack(0)
+        order.push(1)
+        assert order.pick(engine) == 1
+
+    def test_decay_amplifies_recent_bumps(self):
+        order = VsidsOrder(2, decay=0.5)
+        order.bump(1)          # activity 1
+        order.decay_step()     # future bumps worth 2
+        order.bump(2)          # activity 2
+        assert order.activity[2] > order.activity[1]
+
+    def test_rescale_preserves_order(self):
+        order = VsidsOrder(3, decay=0.5)
+        order.bump(3)
+        # Force a rescale by massive decay inflation.
+        for _ in range(400):
+            order.decay_step()
+        order.bump(2)  # triggers rescale (activity > 1e100)
+        engine = engine_with(3)
+        assert order.pick(engine) == 2
+        assert all(a <= 1e100 for a in order.activity)
+
+    def test_invalid_decay(self):
+        with pytest.raises(ValueError):
+            VsidsOrder(1, decay=0.0)
+        with pytest.raises(ValueError):
+            VsidsOrder(1, decay=1.5)
+
+    def test_ensure_vars_grows(self):
+        order = VsidsOrder(0)
+        order.ensure_vars(5)
+        assert len(order.activity) == 6
+        engine = engine_with(5)
+        assert order.pick(engine) in range(1, 6)
+
+
+class TestBerkMin:
+    def test_picks_from_newest_unsatisfied_learned_clause(self):
+        order = BerkMinOrder(4)
+        engine = engine_with(4, [[1, 2], [3, 4]])
+        order.on_learn(0)
+        order.on_learn(1)
+        order.bump(3)
+        # Newest clause (cid 1) is unsatisfied: picks its best var.
+        assert order.pick(engine) == 3
+
+    def test_skips_satisfied_clause(self):
+        order = BerkMinOrder(4)
+        engine = engine_with(4, [[1, 2], [3, 4]])
+        order.on_learn(0)
+        order.on_learn(1)
+        order.bump(1)
+        order.bump(1)
+        order.bump(4)
+        engine.assume(encode(3))  # satisfies newest clause
+        assert order.pick(engine) == 1  # falls to clause 0's best
+
+    def test_skips_deleted_clause(self):
+        order = BerkMinOrder(4)
+        engine = engine_with(4, [[1, 2], [3, 4]])
+        order.on_learn(0)
+        order.on_learn(1)
+        engine.remove_clause(1)
+        order.bump(2)
+        assert order.pick(engine) == 2
+
+    def test_fallback_to_vsids(self):
+        order = BerkMinOrder(3)
+        engine = engine_with(3)
+        order.bump(3)
+        assert order.pick(engine) == 3  # no learned clauses at all
+
+    def test_max_scan_bounded(self):
+        order = BerkMinOrder(3, max_scan=1)
+        engine = engine_with(3, [[1, 2], [2, 3]])
+        order.on_learn(0)
+        order.on_learn(1)
+        engine.assume(encode(2))  # satisfies both learned clauses
+        order.bump(1)
+        # Scans only clause 1 (satisfied), then falls back to VSIDS.
+        assert order.pick(engine) == 1
+
+
+class TestFactory:
+    def test_vsids(self):
+        assert isinstance(make_order("vsids", 3, 0.95), VsidsOrder)
+
+    def test_berkmin(self):
+        assert isinstance(make_order("berkmin", 3, 0.95), BerkMinOrder)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_order("chaff", 3, 0.95)

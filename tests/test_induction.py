@@ -1,0 +1,121 @@
+"""Tests for k-induction (certified unbounded model checking)."""
+
+import pytest
+
+from repro.bmc.induction import (
+    base_case_formula,
+    find_induction_depth,
+    inductive_step_formula,
+    prove_by_induction,
+)
+from repro.bmc.models import arbiter_system, barrel_system, stack_system
+from repro.bmc.transition import TransitionSystem
+from repro.circuits.netlist import Circuit
+from repro.core.exceptions import ModelError
+from repro.solver.cdcl import solve
+
+
+def counter_system(width: int, bad_value: int | None = None):
+    """A saturating counter; optionally flags ``bad`` at a value."""
+    c = Circuit(f"counter{width}_step")
+    bits = c.add_input_bus("n", width)
+    carry = c.CONST1()
+    top = c.AND(*bits) if width > 1 else bits[0]
+    for i in range(width):
+        incremented = c.add_gate("XOR", (bits[i], carry))
+        carry = c.AND(bits[i], carry)
+        # saturate: hold at all-ones
+        c.set_output(c.MUX(top, incremented, bits[i],
+                           name=f"next_n[{i}]"))
+    if bad_value is None:
+        c.set_output(c.CONST0(name="bad"))
+    else:
+        terms = [bits[i] if (bad_value >> i) & 1 else c.NOT(bits[i])
+                 for i in range(width)]
+        c.set_output(c.AND(*terms, name="bad") if width > 1
+                     else c.BUF(terms[0], name="bad"))
+    init = {f"n[{i}]": False for i in range(width)}
+    return TransitionSystem(f"counter{width}", c,
+                            [f"n[{i}]" for i in range(width)], (), init)
+
+
+class TestFormulas:
+    def test_base_case_is_bmc(self):
+        system = barrel_system(4)
+        assert solve(base_case_formula(system, 3)).is_unsat
+
+    def test_inductive_step_shape(self):
+        formula = inductive_step_formula(barrel_system(4), 2)
+        assert formula.num_clauses > 0
+
+    def test_k_validated(self):
+        with pytest.raises(ModelError):
+            inductive_step_formula(barrel_system(4), 0)
+
+
+class TestInduction:
+    def test_token_ring_is_inductive(self):
+        # One-hotness is preserved by rotation: 1-inductive.
+        result = prove_by_induction(barrel_system(5), 1)
+        assert result.proved
+        assert result.verify_certificates()
+
+    def test_arbiter_is_inductive(self):
+        result = prove_by_induction(arbiter_system(4), 1)
+        assert result.proved
+        assert result.verify_certificates()
+
+    def test_stack_is_not_k_inductive(self):
+        """The stack property holds but is not k-inductive for any k:
+        unreachable "ghost" states (all-zero one-hot register with an
+        out-of-range binary pointer) stay good for arbitrarily long
+        before producing a mismatch, so the inductive step always finds
+        a counterexample-to-induction.  BMC still certifies every
+        bound — the classic motivation for invariant strengthening."""
+        result = find_induction_depth(stack_system(4), max_k=3)
+        assert not result.proved
+        assert result.failure == "step"
+        assert solve(base_case_formula(stack_system(4), 6)).is_unsat
+
+    def test_reachable_bad_fails_base(self):
+        # The counter reaches 3: bad at 3 is a real violation.
+        system = counter_system(2, bad_value=3)
+        result = prove_by_induction(system, 5)
+        assert not result.proved
+        assert result.failure == "base"
+
+    def test_deeper_k_needed(self):
+        """Saturating counter started at 2 with bad at 1: the property
+        holds (the counter only climbs) but is not 1-inductive — state
+        0 is good and steps straight into the bad state 1.  State 0 has
+        no predecessor, so lengthening the good prefix to k=2 rules it
+        out: the property is exactly 2-inductive."""
+        width = 2
+        c = Circuit("c_step")
+        bits = c.add_input_bus("n", width)
+        carry = c.CONST1()
+        top = c.AND(*bits)
+        for i in range(width):
+            incremented = c.add_gate("XOR", (bits[i], carry))
+            carry = c.AND(bits[i], carry)
+            c.set_output(c.MUX(top, incremented, bits[i],
+                               name=f"next_n[{i}]"))
+        c.set_output(c.AND(bits[0], c.NOT(bits[1]), name="bad"))  # n==1
+        system = TransitionSystem(
+            "ind_gap", c, [f"n[{i}]" for i in range(width)], (),
+            {"n[0]": False, "n[1]": True})  # start at n=2
+
+        one_step = prove_by_induction(system, 1)
+        assert not one_step.proved
+        assert one_step.failure == "step"
+
+        result = find_induction_depth(system, max_k=3)
+        assert result.proved
+        assert result.k == 2
+        assert result.verify_certificates()
+
+    def test_failed_result_has_no_certificates(self):
+        system = counter_system(2, bad_value=3)
+        result = prove_by_induction(system, 4)
+        assert result.base_proof is None
+        assert not result.verify_certificates()

@@ -1,0 +1,166 @@
+"""Unit tests for conflict analysis (learning schemes).
+
+Besides crafted scenarios, the central property is checked here: the
+recorded derivation chain of every proof step, folded through
+``Clause.resolve``, reproduces exactly the learned clause — i.e. the
+solver's resolution logging is complete and correct (including level-0
+clearing).
+"""
+
+import random
+
+import pytest
+
+from repro.bcp.watched import WatchedPropagator
+from repro.core.clause import Clause
+from repro.core.literals import decode, encode
+from repro.solver.cdcl import solve
+from repro.solver.learning import (
+    analyze_1uip,
+    analyze_decision,
+    analyze_final,
+)
+
+from tests.conftest import random_formula
+
+
+def build_engine(clauses, num_vars=10):
+    engine = WatchedPropagator(num_vars)
+    for clause in clauses:
+        engine.add_clause([encode(lit) for lit in clause])
+    return engine
+
+
+class TestAnalyze1Uip:
+    def test_simple_uip(self):
+        # Decision 1 forces 2 and 3, which conflict in clause (-2 -3).
+        engine = build_engine([[-1, 2], [-1, 3], [-2, -3]])
+        engine.assume(encode(1))
+        confl = engine.propagate()
+        assert confl is not None
+        analysis = analyze_1uip(engine, confl)
+        assert analysis.literals == (-1,)
+        assert analysis.backjump_level == 0
+        assert len(analysis.antecedents) == len(analysis.pivots) + 1
+
+    def test_rejects_level0(self):
+        engine = build_engine([[1], [-1]])
+        confl = engine.propagate()
+        with pytest.raises(ValueError):
+            analyze_1uip(engine, confl)
+
+    def test_intermediate_uip(self):
+        # Level 1: decision 1. Level 2: decision 4 forces 5; (1,5) force
+        # 6 and 7 which conflict; the UIP is 5 (not the decision 4).
+        engine = build_engine([[-4, 5], [-5, -1, 6], [-5, -1, 7],
+                               [-6, -7]], num_vars=10)
+        engine.assume(encode(1))
+        assert engine.propagate() is None
+        engine.assume(encode(4))
+        confl = engine.propagate()
+        assert confl is not None
+        analysis = analyze_1uip(engine, confl)
+        assert Clause(analysis.literals) == Clause([-5, -1])
+        assert analysis.backjump_level == 1
+        # Asserting literal is the negation of the UIP.
+        assert decode(analysis.learnt_enc[0]) == -5
+
+    def test_level0_literals_resolved_away(self):
+        # Unit clause sets 9 at level 0; the conflict involves -9.
+        engine = build_engine([[9], [-1, 2], [-2, -9, 3], [-3, -2]],
+                              num_vars=9)
+        assert engine.propagate() is None
+        engine.assume(encode(1))
+        confl = engine.propagate()
+        assert confl is not None
+        analysis = analyze_1uip(engine, confl)
+        assert 9 not in {abs(lit) for lit in analysis.literals}
+        # The chain must include the unit clause's resolution.
+        assert 9 in analysis.pivots
+
+
+class TestAnalyzeDecision:
+    def test_only_decision_variables(self):
+        # Ternary clauses block contrapositive propagation, so the
+        # conflict genuinely involves both decisions.
+        engine = build_engine([[-1, 2], [-3, 4], [-2, -4, 5],
+                               [-2, -4, -5]], num_vars=6)
+        engine.assume(encode(1))
+        assert engine.propagate() is None
+        engine.assume(encode(3))
+        confl = engine.propagate()
+        assert confl is not None
+        analysis = analyze_decision(engine, confl)
+        assert Clause(analysis.literals) == Clause([-1, -3])
+        assert analysis.backjump_level == 1
+        assert decode(analysis.learnt_enc[0]) == -3  # current decision
+
+    def test_more_resolutions_than_1uip(self):
+        """Global clauses need at least as many resolutions (paper §5)."""
+        rng = random.Random(7)
+        for _ in range(20):
+            formula = random_formula(rng, 8, 30)
+            r_local = solve(formula, learning="1uip")
+            r_global = solve(formula, learning="decision")
+            assert r_local.status == r_global.status
+            if r_local.is_unsat:
+                assert (r_global.log.resolution_node_count()
+                        >= r_local.log.resolution_node_count() * 0.5)
+
+
+class TestAnalyzeFinal:
+    def test_unit_then_empty(self):
+        engine = build_engine([[1], [-1, 2], [-2, -1]])
+        confl = engine.propagate()
+        assert confl is not None
+        final = analyze_final(engine, confl)
+        assert final.unit_step is not None
+        literals, antecedents, pivots = final.unit_step
+        assert len(literals) == 1
+        assert len(antecedents) == len(pivots) + 1
+
+    def test_empty_input_clause(self):
+        engine = build_engine([[]])
+        confl = engine.propagate()
+        final = analyze_final(engine, confl)
+        assert final.unit_step is None
+        assert final.empty_antecedents == (confl,)
+        assert final.empty_pivots == ()
+
+    def test_conflicting_unit_pair(self):
+        engine = build_engine([[5], [-5]])
+        confl = engine.propagate()
+        final = analyze_final(engine, confl)
+        assert final.unit_step is not None
+        (lit,), _, _ = final.unit_step
+        assert abs(lit) == 5
+
+
+class TestChainFoldProperty:
+    """Fold every logged derivation chain; it must equal the clause."""
+
+    @staticmethod
+    def fold_chain(log, step):
+        current = Clause(log.literals_of(step.antecedents[0]))
+        for ref, pivot in zip(step.antecedents[1:], step.pivots):
+            current = current.resolve(Clause(log.literals_of(ref)),
+                                      pivot=pivot)
+        return current
+
+    @pytest.mark.parametrize("learning", ["1uip", "decision", "hybrid"])
+    def test_chains_derive_their_clauses(self, learning):
+        rng = random.Random(hash(learning) & 0xFFFF)
+        checked_steps = 0
+        for _ in range(40):
+            formula = random_formula(rng, rng.randint(3, 9),
+                                     rng.randint(12, 45))
+            result = solve(formula, learning=learning)
+            if not result.is_unsat:
+                continue
+            log = result.log
+            for step in log.steps:
+                derived = self.fold_chain(log, step)
+                assert derived == Clause(step.literals), (
+                    learning, step, formula.clauses)
+                checked_steps += 1
+        assert checked_steps > 20

@@ -1,0 +1,171 @@
+"""Functional tests for the circuit library (vs Python arithmetic)."""
+
+import random
+
+import pytest
+
+from repro.circuits.library import (
+    alu,
+    barrel_rotator,
+    carry_select_adder,
+    decoded_rotator,
+    equality_and_of_xnor,
+    equality_nor_of_xor,
+    mux_tree_selector,
+    onehot_selector,
+    parity_chain,
+    parity_tree,
+    ripple_carry_adder,
+    shift_add_multiplier,
+    wallace_multiplier,
+)
+from repro.core.exceptions import CircuitError
+
+
+def put_bus(assignment, name, value, width):
+    for i in range(width):
+        assignment[f"{name}[{i}]"] = bool((value >> i) & 1)
+
+
+def get_bus(values, name, width):
+    return sum(values[f"{name}[{i}]"] << i for i in range(width))
+
+
+@pytest.mark.parametrize("builder", [ripple_carry_adder,
+                                     carry_select_adder])
+class TestAdders:
+    def test_exhaustive_3bit(self, builder):
+        circuit = builder(3)
+        for a in range(8):
+            for b in range(8):
+                for cin in range(2):
+                    assignment = {"cin": bool(cin)}
+                    put_bus(assignment, "a", a, 3)
+                    put_bus(assignment, "b", b, 3)
+                    out = circuit.output_values(assignment)
+                    total = get_bus(out, "s", 3) + (out["cout"] << 3)
+                    assert total == a + b + cin
+
+    def test_random_8bit(self, builder):
+        circuit = builder(8)
+        rng = random.Random(1)
+        for _ in range(50):
+            a, b, cin = rng.randrange(256), rng.randrange(256), \
+                rng.randrange(2)
+            assignment = {"cin": bool(cin)}
+            put_bus(assignment, "a", a, 8)
+            put_bus(assignment, "b", b, 8)
+            out = circuit.output_values(assignment)
+            assert get_bus(out, "s", 8) + (out["cout"] << 8) == a + b + cin
+
+
+@pytest.mark.parametrize("builder", [shift_add_multiplier,
+                                     wallace_multiplier])
+class TestMultipliers:
+    def test_exhaustive_3bit(self, builder):
+        circuit = builder(3)
+        for a in range(8):
+            for b in range(8):
+                assignment = {}
+                put_bus(assignment, "a", a, 3)
+                put_bus(assignment, "b", b, 3)
+                out = circuit.output_values(assignment)
+                assert get_bus(out, "p", 6) == a * b
+
+    def test_random_5bit(self, builder):
+        circuit = builder(5)
+        rng = random.Random(2)
+        for _ in range(40):
+            a, b = rng.randrange(32), rng.randrange(32)
+            assignment = {}
+            put_bus(assignment, "a", a, 5)
+            put_bus(assignment, "b", b, 5)
+            out = circuit.output_values(assignment)
+            assert get_bus(out, "p", 10) == a * b
+
+
+@pytest.mark.parametrize("builder", [barrel_rotator, decoded_rotator])
+class TestRotators:
+    def test_exhaustive_8bit(self, builder):
+        circuit = builder(8)
+        for data in (0b00000001, 0b10110010, 0b11111111, 0):
+            for shift in range(8):
+                assignment = {}
+                put_bus(assignment, "d", data, 8)
+                put_bus(assignment, "sh", shift, 3)
+                out = circuit.output_values(assignment)
+                expected = ((data << shift) | (data >> (8 - shift))) & 0xFF
+                assert get_bus(out, "q", 8) == expected
+
+    def test_power_of_two_required(self, builder):
+        with pytest.raises(CircuitError):
+            builder(6)
+
+
+@pytest.mark.parametrize("builder", [parity_chain, parity_tree])
+class TestParity:
+    def test_random(self, builder):
+        circuit = builder(9)
+        rng = random.Random(3)
+        for _ in range(30):
+            value = rng.randrange(512)
+            assignment = {}
+            put_bus(assignment, "x", value, 9)
+            out = circuit.output_values(assignment)
+            assert out["p"] == bool(bin(value).count("1") & 1)
+
+    def test_too_small(self, builder):
+        with pytest.raises(CircuitError):
+            builder(1)
+
+
+@pytest.mark.parametrize("builder", [equality_and_of_xnor,
+                                     equality_nor_of_xor])
+class TestEquality:
+    def test_exhaustive_3bit(self, builder):
+        circuit = builder(3)
+        for a in range(8):
+            for b in range(8):
+                assignment = {}
+                put_bus(assignment, "a", a, 3)
+                put_bus(assignment, "b", b, 3)
+                out = circuit.output_values(assignment)
+                assert out["eq"] == (a == b)
+
+
+class TestAlu:
+    @pytest.mark.parametrize("adder", ["ripple", "select"])
+    def test_all_ops_exhaustive(self, adder):
+        circuit = alu(3, adder)
+        for a in range(8):
+            for b in range(8):
+                for op, fn in enumerate([
+                        lambda x, y: (x + y) & 7,
+                        lambda x, y: x & y,
+                        lambda x, y: x | y,
+                        lambda x, y: x ^ y]):
+                    assignment = {}
+                    put_bus(assignment, "a", a, 3)
+                    put_bus(assignment, "b", b, 3)
+                    put_bus(assignment, "op", op, 2)
+                    out = circuit.output_values(assignment)
+                    assert get_bus(out, "y", 3) == fn(a, b), (a, b, op)
+
+    def test_unknown_adder(self):
+        with pytest.raises(CircuitError):
+            alu(3, "magic")
+
+
+@pytest.mark.parametrize("builder", [mux_tree_selector, onehot_selector])
+class TestSelectors:
+    def test_exhaustive_8way(self, builder):
+        circuit = builder(8)
+        rng = random.Random(4)
+        for _ in range(20):
+            data = rng.randrange(256)
+            for index in range(8):
+                assignment = {}
+                put_bus(assignment, "d", data, 8)
+                put_bus(assignment, "sh", index, 3)
+                out = circuit.output_values(assignment)
+                assert out["q"] == bool((data >> index) & 1)

@@ -1,0 +1,96 @@
+"""Unit and property tests for literal encoding."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.literals import (
+    check_dimacs_literal,
+    decode,
+    decode_clause,
+    encode,
+    encode_clause,
+    is_negative,
+    negate,
+    variable,
+)
+
+
+class TestEncodeDecode:
+    def test_positive(self):
+        assert encode(3) == 6
+
+    def test_negative(self):
+        assert encode(-3) == 7
+
+    def test_decode_positive(self):
+        assert decode(6) == 3
+
+    def test_decode_negative(self):
+        assert decode(7) == -3
+
+    def test_variable_one(self):
+        assert encode(1) == 2
+        assert encode(-1) == 3
+
+    @given(st.integers(min_value=-10_000, max_value=10_000).filter(bool))
+    def test_roundtrip(self, lit):
+        assert decode(encode(lit)) == lit
+
+    @given(st.integers(min_value=2, max_value=20_000))
+    def test_encoded_roundtrip(self, enc):
+        assert encode(decode(enc)) == enc
+
+
+class TestNegation:
+    @given(st.integers(min_value=-1000, max_value=1000).filter(bool))
+    def test_negate_matches_dimacs_negation(self, lit):
+        assert negate(encode(lit)) == encode(-lit)
+
+    @given(st.integers(min_value=2, max_value=2000))
+    def test_negate_involution(self, enc):
+        assert negate(negate(enc)) == enc
+
+    @given(st.integers(min_value=2, max_value=2000))
+    def test_negate_changes_sign_only(self, enc):
+        assert variable(negate(enc)) == variable(enc)
+        assert is_negative(negate(enc)) != is_negative(enc)
+
+
+class TestVariableAndSign:
+    @given(st.integers(min_value=-1000, max_value=1000).filter(bool))
+    def test_variable(self, lit):
+        assert variable(encode(lit)) == abs(lit)
+
+    @given(st.integers(min_value=-1000, max_value=1000).filter(bool))
+    def test_is_negative(self, lit):
+        assert is_negative(encode(lit)) == (lit < 0)
+
+
+class TestClauseConversion:
+    def test_encode_clause(self):
+        assert encode_clause([1, -2, 3]) == [2, 5, 6]
+
+    def test_decode_clause(self):
+        assert decode_clause([2, 5, 6]) == (1, -2, 3)
+
+    @given(st.lists(st.integers(min_value=-50, max_value=50).filter(bool)))
+    def test_roundtrip(self, lits):
+        assert list(decode_clause(encode_clause(lits))) == lits
+
+
+class TestValidation:
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            check_dimacs_literal(0)
+
+    def test_bool_rejected(self):
+        with pytest.raises(ValueError):
+            check_dimacs_literal(True)
+
+    def test_float_rejected(self):
+        with pytest.raises(ValueError):
+            check_dimacs_literal(1.5)
+
+    def test_valid_returned(self):
+        assert check_dimacs_literal(-7) == -7

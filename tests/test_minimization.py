@@ -1,0 +1,83 @@
+"""Tests for learned-clause minimization (chain-exact)."""
+
+import random
+
+import pytest
+
+from repro.benchgen.php import pigeonhole
+from repro.core.clause import Clause
+from repro.proofs.conflict_clause import ConflictClauseProof
+from repro.proofs.resolution import ResolutionGraphProof
+from repro.solver.cdcl import solve
+from repro.solver.dpll import dpll_solve
+from repro.verify.verification import verify_proof_v2
+
+from tests.conftest import random_formula
+
+
+def fold_chain(log, step):
+    current = Clause(log.literals_of(step.antecedents[0]))
+    for ref, pivot in zip(step.antecedents[1:], step.pivots):
+        current = current.resolve(Clause(log.literals_of(ref)),
+                                  pivot=pivot)
+    return current
+
+
+class TestMinimization:
+    def test_off_by_default(self):
+        from repro.solver.cdcl import SolverOptions
+        assert SolverOptions().minimize_clauses is False
+
+    def test_reduces_proof_literals(self):
+        formula = pigeonhole(6)
+        plain = solve(formula, minimize_clauses=False)
+        minimized = solve(formula, minimize_clauses=True)
+        assert minimized.is_unsat
+        assert (minimized.log.deduced_literal_count()
+                < plain.log.deduced_literal_count())
+
+    def test_chains_remain_exact(self):
+        formula = pigeonhole(5)
+        result = solve(formula, minimize_clauses=True)
+        for step in result.log.steps:
+            assert fold_chain(result.log, step) == Clause(step.literals)
+
+    def test_proofs_still_verify(self):
+        formula = pigeonhole(5)
+        result = solve(formula, minimize_clauses=True)
+        proof = ConflictClauseProof.from_log(result.log)
+        assert verify_proof_v2(formula, proof).ok
+        assert ResolutionGraphProof.from_log(result.log).check().ok
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_differential_with_dpll(self, seed):
+        rng = random.Random(8000 + seed)
+        for _ in range(25):
+            formula = random_formula(rng, rng.randint(3, 9),
+                                     rng.randint(8, 40))
+            minimized = solve(formula, minimize_clauses=True)
+            assert minimized.status == dpll_solve(formula).status
+            if minimized.is_sat:
+                assert formula.is_satisfied_by(minimized.model)
+            else:
+                proof = ConflictClauseProof.from_log(minimized.log)
+                assert verify_proof_v2(formula, proof).ok
+
+    def test_works_with_adaptive_scheme(self):
+        formula = pigeonhole(5)
+        result = solve(formula, learning="adaptive",
+                       minimize_clauses=True)
+        assert result.is_unsat
+        proof = ConflictClauseProof.from_log(result.log)
+        assert verify_proof_v2(formula, proof).ok
+        assert ResolutionGraphProof.from_log(result.log).check().ok
+
+    def test_minimized_clauses_never_longer(self):
+        """Compare per-conflict clause lengths via proof statistics."""
+        from repro.proofs.stats import analyze_log
+        formula = pigeonhole(6)
+        plain = analyze_log(solve(formula, minimize_clauses=False).log)
+        minimized = analyze_log(solve(formula,
+                                      minimize_clauses=True).log)
+        assert (minimized.mean_clause_length
+                <= plain.mean_clause_length)

@@ -1,0 +1,118 @@
+"""Tests for miter construction and equivalence checking."""
+
+import pytest
+
+from repro.circuits.library import (
+    carry_select_adder,
+    parity_chain,
+    parity_tree,
+    ripple_carry_adder,
+)
+from repro.circuits.miter import (
+    build_miter,
+    check_equivalence,
+    copy_into,
+    equivalence_formula,
+)
+from repro.circuits.netlist import Circuit
+from repro.core.exceptions import CircuitError
+from repro.solver.cdcl import solve
+
+
+def buggy_adder(width):
+    """Ripple adder with the carry into bit 1 dropped."""
+    c = Circuit(f"buggy{width}")
+    a = c.add_input_bus("a", width)
+    b = c.add_input_bus("b", width)
+    carry = c.add_input("cin")
+    for i in range(width):
+        ab = c.add_gate("XOR", (a[i], b[i]))
+        total = c.add_gate("XOR", (ab, carry))
+        next_carry = c.OR(c.AND(a[i], b[i]), c.AND(ab, carry))
+        carry = c.CONST0() if i == 0 else next_carry  # bug at bit 0
+        c.set_output(c.BUF(total, name=f"s[{i}]"))
+    c.set_output(c.BUF(carry, name="cout"))
+    return c
+
+
+class TestCopyInto:
+    def test_instantiates_with_prefix(self):
+        src = Circuit("src")
+        a = src.add_input("a")
+        src.set_output(src.NOT(a, name="y"))
+        dest = Circuit("dest")
+        dest.add_input("x")
+        mapping = copy_into(dest, src, {"a": "x"}, "inner.")
+        assert mapping["y"] == "inner.y"
+        assert dest.driver_of("inner.y").op == "NOT"
+
+    def test_missing_binding_rejected(self):
+        src = Circuit("src")
+        src.add_input("a")
+        with pytest.raises(CircuitError, match="unbound"):
+            copy_into(Circuit(), src, {}, "p.")
+
+
+class TestBuildMiter:
+    def test_input_mismatch_rejected(self):
+        left = Circuit()
+        left.add_input("a")
+        left.set_output(left.NOT("a"))
+        right = Circuit()
+        right.add_input("b")
+        right.set_output(right.NOT("b"))
+        with pytest.raises(CircuitError, match="identical input"):
+            build_miter(left, right)
+
+    def test_output_count_mismatch_rejected(self):
+        left = Circuit()
+        left.add_input("a")
+        left.set_output(left.NOT("a"))
+        left.set_output(left.BUF("a"))
+        right = Circuit()
+        right.add_input("a")
+        right.set_output(right.NOT("a"))
+        with pytest.raises(CircuitError, match="output count"):
+            build_miter(left, right)
+
+    def test_no_outputs_rejected(self):
+        left = Circuit()
+        left.add_input("a")
+        with pytest.raises(CircuitError):
+            build_miter(left, left)
+
+    def test_miter_simulates_difference(self):
+        miter = build_miter(parity_chain(4), parity_tree(4))
+        assignment = {f"x[{i}]": bool(i % 2) for i in range(4)}
+        assert miter.output_values(assignment)["miter"] is False
+
+
+class TestEquivalence:
+    def test_equivalent_adders(self):
+        equivalent, counterexample = check_equivalence(
+            ripple_carry_adder(4), carry_select_adder(4))
+        assert equivalent
+        assert counterexample is None
+
+    def test_buggy_adder_caught(self):
+        equivalent, counterexample = check_equivalence(
+            ripple_carry_adder(3), buggy_adder(3))
+        assert not equivalent
+        # The counterexample must actually distinguish the circuits.
+        good = ripple_carry_adder(3).output_values(counterexample)
+        bad = buggy_adder(3).output_values(counterexample)
+        assert good != bad
+
+    def test_formula_unsat_for_equivalent(self):
+        formula = equivalence_formula(parity_chain(5), parity_tree(5))
+        assert solve(formula).is_unsat
+
+    def test_formula_sat_for_buggy(self):
+        formula = equivalence_formula(ripple_carry_adder(3),
+                                      buggy_adder(3))
+        assert solve(formula).is_sat
+
+    def test_self_equivalence(self):
+        circuit = ripple_carry_adder(3)
+        equivalent, _ = check_equivalence(circuit, ripple_carry_adder(3))
+        assert equivalent

@@ -1,0 +1,184 @@
+"""Tests for the BMC model families: simulation vs reference semantics,
+and small end-to-end UNSAT checks."""
+
+import random
+from collections import deque
+
+import pytest
+
+from repro.bmc.models import (
+    arbiter_instance,
+    arbiter_system,
+    barrel_instance,
+    barrel_system,
+    fifo_instance,
+    fifo_pair_system,
+    longmult_instance,
+    longmult_system,
+    stack_instance,
+    stack_system,
+)
+from repro.core.exceptions import ModelError
+from repro.solver.cdcl import solve
+
+
+class TestBarrel:
+    def test_rotation_preserves_token(self):
+        rng = random.Random(0)
+        ts = barrel_system(6)
+        init = {f"r{i}": i == 2 for i in range(6)}
+        inputs = [{f"sh{s}": rng.random() < .5 for s in range(3)}
+                  for _ in range(40)]
+        _, bads = ts.run(init, inputs)
+        assert not any(bads)
+
+    def test_rotation_amount_applied(self):
+        ts = barrel_system(4)
+        init = {f"r{i}": i == 0 for i in range(4)}
+        # rotate by 3 = 0b11
+        inputs = [{"sh0": True, "sh1": True}]
+        trace, _ = ts.run(init, inputs)
+        assert trace[1] == {f"r{i}": i == 3 for i in range(4)}
+
+    def test_instance_unsat(self):
+        assert solve(barrel_instance(4, 5)).is_unsat
+
+    def test_too_small(self):
+        with pytest.raises(ModelError):
+            barrel_system(1)
+
+
+class TestLongmult:
+    @pytest.mark.parametrize("a,b", [(0, 0), (3, 5), (7, 7), (6, 1)])
+    def test_sequential_multiplier_computes_product(self, a, b):
+        width = 3
+        ts = longmult_system(width)
+        init = {}
+        for i in range(2 * width):
+            init[f"acc[{i}]"] = False
+            init[f"mc[{i}]"] = bool((a >> i) & 1) if i < width else False
+        for i in range(width):
+            init[f"mq[{i}]"] = bool((b >> i) & 1)
+        trace, bads = ts.run(init, [{}] * width)
+        assert not any(bads)
+        result = sum(trace[width][f"acc[{i}]"] << i
+                     for i in range(2 * width))
+        assert result == a * b
+
+    @pytest.mark.parametrize("bit", [0, 2, 5])
+    def test_instance_unsat(self, bit):
+        assert solve(longmult_instance(3, bit)).is_unsat
+
+    def test_bit_range_checked(self):
+        with pytest.raises(ModelError):
+            longmult_instance(3, 6)
+
+
+class TestFifoPair:
+    def test_matches_reference_deque(self):
+        rng = random.Random(9)
+        depth = 4
+        ts = fifo_pair_system(depth)
+        init = {var: ts.init.get(var, rng.random() < .5)
+                for var in ts.state_vars}
+        inputs = [{"push": rng.random() < .6, "pop": rng.random() < .4,
+                   "din": rng.random() < .5} for _ in range(60)]
+        trace, bads = ts.run(init, inputs)
+        assert not any(bads)
+        reference = deque()
+        for step, frame_inputs in enumerate(inputs):
+            if frame_inputs["pop"] and reference:
+                reference.popleft()
+            if frame_inputs["push"] and len(reference) < depth:
+                reference.append(frame_inputs["din"])
+            state = trace[step + 1]
+            count = sum(state[f"ca[{i}]"] << i for i in range(3))
+            assert count == len(reference)
+            if reference:
+                assert state["a[0]"] == reference[0]
+
+    def test_full_fifo_rejects_push(self):
+        ts = fifo_pair_system(2)
+        init = {var: False for var in ts.state_vars}
+        pushes = [{"push": True, "pop": False, "din": True}
+                  for _ in range(4)]
+        trace, bads = ts.run(init, pushes)
+        assert not any(bads)
+        final = trace[-1]
+        count = sum(final[f"ca[{i}]"] << i for i in range(2))
+        assert count == 2  # capped at depth
+
+    def test_instance_unsat(self):
+        assert solve(fifo_instance(4, 4)).is_unsat
+
+    def test_depth_must_be_power_of_two(self):
+        with pytest.raises(ModelError):
+            fifo_pair_system(6)
+
+
+class TestArbiter:
+    def test_mutual_exclusion_in_simulation(self):
+        rng = random.Random(4)
+        ts = arbiter_system(5)
+        init = {f"t{i}": i == 1 for i in range(5)}
+        inputs = [{f"req{i}": rng.random() < .5 for i in range(5)}
+                  for _ in range(50)]
+        _, bads = ts.run(init, inputs)
+        assert not any(bads)
+
+    def test_token_holds_while_requesting(self):
+        ts = arbiter_system(3)
+        init = {f"t{i}": i == 0 for i in range(3)}
+        inputs = [{"req0": True, "req1": False, "req2": False}] * 3
+        trace, _ = ts.run(init, inputs)
+        assert all(frame["t0"] for frame in trace)
+
+    def test_token_advances_when_idle(self):
+        ts = arbiter_system(3)
+        init = {f"t{i}": i == 0 for i in range(3)}
+        inputs = [{"req0": False, "req1": False, "req2": False}] * 2
+        trace, _ = ts.run(init, inputs)
+        assert trace[1]["t1"] and trace[2]["t2"]
+
+    def test_instance_unsat(self):
+        assert solve(arbiter_instance(4, 5)).is_unsat
+
+
+class TestStack:
+    OPS = {"nop": (False, False), "push": (True, False),
+           "pop": (False, True), "alu": (True, True)}
+
+    def test_binary_tracks_reference(self):
+        rng = random.Random(6)
+        depth = 6
+        ts = stack_system(depth)
+        init = {var: ts.init[var] for var in ts.state_vars}
+        names = list(self.OPS)
+        sp = 0
+        inputs = []
+        expected = []
+        for _ in range(60):
+            op = rng.choice(names)
+            op0, op1 = self.OPS[op]
+            inputs.append({"op0": op0, "op1": op1})
+            if op == "push" and sp < depth:
+                sp += 1
+            elif op == "pop" and sp >= 1:
+                sp -= 1
+            elif op == "alu" and sp >= 2:
+                sp -= 1
+            expected.append(sp)
+        trace, bads = ts.run(init, inputs)
+        assert not any(bads)
+        bits = depth.bit_length()
+        for step, want in enumerate(expected):
+            got = sum(trace[step + 1][f"sp[{i}]"] << i
+                      for i in range(bits))
+            assert got == want
+
+    def test_instance_unsat(self):
+        assert solve(stack_instance(4, 4)).is_unsat
+
+    def test_depth_validated(self):
+        with pytest.raises(ModelError):
+            stack_system(1)

@@ -1,0 +1,129 @@
+"""Unit tests for gates and netlists."""
+
+import pytest
+
+from repro.circuits.gates import Gate, evaluate_gate
+from repro.circuits.netlist import Circuit, bus
+from repro.core.exceptions import CircuitError
+
+
+class TestGate:
+    def test_unknown_op(self):
+        with pytest.raises(CircuitError):
+            Gate("XAND", "y", ("a", "b"))
+
+    def test_fixed_arity_enforced(self):
+        with pytest.raises(CircuitError):
+            Gate("NOT", "y", ("a", "b"))
+        with pytest.raises(CircuitError):
+            Gate("MUX", "y", ("a", "b"))
+
+    def test_variadic_needs_input(self):
+        with pytest.raises(CircuitError):
+            Gate("AND", "y", ())
+
+    @pytest.mark.parametrize("op,values,expected", [
+        ("CONST0", [], False),
+        ("CONST1", [], True),
+        ("BUF", [True], True),
+        ("NOT", [True], False),
+        ("AND", [True, True, False], False),
+        ("OR", [False, False, True], True),
+        ("NAND", [True, True], False),
+        ("NOR", [False, False], True),
+        ("XOR", [True, False], True),
+        ("XOR", [True, True], False),
+        ("XNOR", [True, True], True),
+        ("MUX", [False, True, False], True),   # sel=0 -> if0
+        ("MUX", [True, True, False], False),   # sel=1 -> if1
+    ])
+    def test_evaluate(self, op, values, expected):
+        assert evaluate_gate(op, values) is expected
+
+
+class TestBus:
+    def test_names(self):
+        assert bus("a", 3) == ["a[0]", "a[1]", "a[2]"]
+
+
+class TestCircuit:
+    def test_duplicate_input_rejected(self):
+        c = Circuit()
+        c.add_input("a")
+        with pytest.raises(CircuitError):
+            c.add_input("a")
+
+    def test_undefined_gate_input_rejected(self):
+        c = Circuit()
+        with pytest.raises(CircuitError, match="undefined"):
+            c.AND("ghost", "ghost2")
+
+    def test_redriven_net_rejected(self):
+        c = Circuit()
+        a = c.add_input("a")
+        c.NOT(a, name="y")
+        with pytest.raises(CircuitError, match="already driven"):
+            c.BUF(a, name="y")
+
+    def test_output_must_exist(self):
+        c = Circuit()
+        with pytest.raises(CircuitError):
+            c.set_output("nothing")
+
+    def test_autonaming_unique(self):
+        c = Circuit()
+        a = c.add_input("a")
+        names = {c.NOT(a) for _ in range(10)}
+        assert len(names) == 10
+
+    def test_wide_xor_chains(self):
+        c = Circuit()
+        ins = c.add_inputs(["a", "b", "d"])
+        out = c.XOR(*ins, name="p")
+        assert out == "p"
+        values = c.simulate({"a": True, "b": True, "d": True})
+        assert values["p"] is True
+
+    def test_xor_needs_two(self):
+        c = Circuit()
+        a = c.add_input("a")
+        with pytest.raises(CircuitError):
+            c.XOR(a)
+
+    def test_simulate_requires_all_inputs(self):
+        c = Circuit()
+        c.add_input("a")
+        with pytest.raises(CircuitError, match="missing value"):
+            c.simulate({})
+
+    def test_simulate_full_adder(self):
+        c = Circuit()
+        a, b, cin = c.add_inputs(["a", "b", "cin"])
+        s = c.XOR(a, b, cin, name="s")
+        carry = c.OR(c.AND(a, b), c.AND(a, cin), c.AND(b, cin),
+                     name="co")
+        c.set_outputs([s, carry])
+        for x in (0, 1):
+            for y in (0, 1):
+                for z in (0, 1):
+                    out = c.output_values(
+                        {"a": bool(x), "b": bool(y), "cin": bool(z)})
+                    total = x + y + z
+                    assert out["s"] == bool(total & 1)
+                    assert out["co"] == bool(total >> 1)
+
+    def test_nets_and_counts(self):
+        c = Circuit("t")
+        a = c.add_input("a")
+        y = c.NOT(a, name="y")
+        assert c.nets == ["a", "y"]
+        assert c.num_gates == 1
+        assert c.driver_of(y).op == "NOT"
+        assert c.driver_of(a) is None
+        assert "gates=1" in repr(c)
+
+    def test_input_bus(self):
+        c = Circuit()
+        nets = c.add_input_bus("x", 3)
+        assert nets == ["x[0]", "x[1]", "x[2]"]
+        assert c.inputs == nets

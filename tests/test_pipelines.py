@@ -1,0 +1,203 @@
+"""Tests for the pipeline-verification substrate."""
+
+import random
+
+import pytest
+
+from repro.circuits.miter import check_equivalence
+from repro.core.exceptions import ModelError
+from repro.pipelines.correctness import (
+    pipe_instance,
+    pipeline_formula,
+    pipeline_miter,
+    vliw_instance,
+)
+from repro.pipelines.impl import build_pipeline_circuit
+from repro.pipelines.isa import (
+    ALU_ADD,
+    ALU_AND,
+    ALU_OR,
+    ALU_XOR,
+    MachineSpec,
+    execute_program,
+)
+from repro.pipelines.spec import build_spec_circuit
+from repro.solver.cdcl import solve
+
+
+def program_assignment(spec, regs, program):
+    assignment = {}
+    for j, value in enumerate(regs):
+        for bit in range(spec.width):
+            assignment[f"r{j}[{bit}]"] = bool((value >> bit) & 1)
+    for i, (op, s1, s2, d) in enumerate(program):
+        for bit in range(2):
+            assignment[f"op{i}[{bit}]"] = bool((op >> bit) & 1)
+        for bit in range(spec.reg_bits):
+            assignment[f"s1_{i}[{bit}]"] = bool((s1 >> bit) & 1)
+            assignment[f"s2_{i}[{bit}]"] = bool((s2 >> bit) & 1)
+            assignment[f"d{i}[{bit}]"] = bool((d >> bit) & 1)
+    return assignment
+
+
+def read_regs(spec, outputs):
+    return [sum(outputs[f"out_r{j}[{bit}]"] << bit
+                for bit in range(spec.width))
+            for j in range(spec.num_regs)]
+
+
+class TestReferenceSemantics:
+    def test_single_add(self):
+        spec = MachineSpec(num_instrs=1, num_regs=4, width=4)
+        regs = execute_program(spec, [1, 2, 0, 0],
+                               [(ALU_ADD, 0, 1, 2)])
+        assert regs == [1, 2, 3, 0]
+
+    def test_ops(self):
+        spec = MachineSpec(num_instrs=1, num_regs=4, width=4)
+        assert execute_program(spec, [12, 10, 0, 0],
+                               [(ALU_AND, 0, 1, 0)])[0] == 8
+        assert execute_program(spec, [12, 10, 0, 0],
+                               [(ALU_OR, 0, 1, 0)])[0] == 14
+        assert execute_program(spec, [12, 10, 0, 0],
+                               [(ALU_XOR, 0, 1, 0)])[0] == 6
+
+    def test_add_wraps(self):
+        spec = MachineSpec(num_instrs=1, num_regs=2, width=2)
+        assert execute_program(spec, [3, 1],
+                               [(ALU_ADD, 0, 1, 0)])[0] == 0
+
+    def test_vliw_reads_pre_bundle_state(self):
+        spec = MachineSpec(num_instrs=2, num_regs=2, width=2,
+                           issue_width=2)
+        # Both instructions read r0 before either write lands.
+        regs = execute_program(
+            spec, [1, 0],
+            [(ALU_ADD, 0, 0, 0),   # r0 = 1+1 = 2
+             (ALU_ADD, 0, 0, 1)])  # r1 = 1+1 = 2 (pre-bundle r0!)
+        assert regs == [2, 2]
+
+    def test_vliw_write_order(self):
+        spec = MachineSpec(num_instrs=2, num_regs=2, width=2,
+                           issue_width=2)
+        regs = execute_program(
+            spec, [1, 2],
+            [(ALU_ADD, 0, 1, 0),   # r0 = 3
+             (ALU_XOR, 0, 1, 0)])  # r0 = 1^2 = 3 (later wins)
+        assert regs == [3, 2]
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            MachineSpec(num_instrs=0)
+        with pytest.raises(ModelError):
+            MachineSpec(num_instrs=1, num_regs=3)
+        with pytest.raises(ModelError):
+            MachineSpec(num_instrs=1, width=0)
+
+
+@pytest.mark.parametrize("issue_width", [1, 2])
+@pytest.mark.parametrize("depth", [1, 2, 3])
+class TestCircuitsMatchReference:
+    def test_random_programs(self, issue_width, depth):
+        spec = MachineSpec(num_instrs=4, num_regs=4, width=2,
+                           issue_width=issue_width)
+        spec_circuit = build_spec_circuit(spec)
+        impl_circuit = build_pipeline_circuit(spec, depth)
+        rng = random.Random(depth * 10 + issue_width)
+        for _ in range(25):
+            regs = [rng.randrange(4) for _ in range(4)]
+            program = [(rng.randrange(4), rng.randrange(4),
+                        rng.randrange(4), rng.randrange(4))
+                       for _ in range(4)]
+            expected = execute_program(spec, regs, program)
+            assignment = program_assignment(spec, regs, program)
+            for circuit in (spec_circuit, impl_circuit):
+                out = circuit.output_values(assignment)
+                assert read_regs(spec, out) == expected
+
+
+class TestCorrespondence:
+    def test_small_pipe_unsat(self):
+        formula = pipe_instance(2, 3, num_regs=2, width=1)
+        assert solve(formula).is_unsat
+
+    def test_small_vliw_unsat(self):
+        formula = vliw_instance(2, 4, num_regs=2, width=1)
+        assert solve(formula).is_unsat
+
+    def test_equivalence_api(self):
+        spec = MachineSpec(num_instrs=3, num_regs=2, width=1)
+        equivalent, _ = check_equivalence(
+            build_spec_circuit(spec), build_pipeline_circuit(spec, 2))
+        assert equivalent
+
+    def test_pipeline_without_forwarding_caught(self):
+        """A pipeline that reads stale registers without forwarding is
+        wrong, and the miter exposes it — the bug class these formulas
+        exist to catch."""
+        from repro.circuits.netlist import Circuit
+        from repro.pipelines.isa import (
+            add_program_inputs,
+            add_regfile_inputs,
+            alu_result,
+            fields_equal_const,
+            select_register,
+        )
+
+        spec = MachineSpec(num_instrs=3, num_regs=2, width=1)
+        depth = 2
+
+        def broken_pipeline():
+            c = Circuit("no_forwarding")
+            program = add_program_inputs(c, spec)
+            initial = add_regfile_inputs(c, spec)
+            results = []
+            for i in range(spec.num_instrs):
+                cutoff = max(0, i - depth)  # writebacks only
+                operands = []
+                for source in ("s1", "s2"):
+                    per_register = []
+                    for j in range(spec.num_regs):
+                        value = initial[j]
+                        for writer in range(cutoff):
+                            hit = fields_equal_const(
+                                c, program[writer]["d"], j)
+                            value = [c.MUX(hit, value[b],
+                                           results[writer][b])
+                                     for b in range(spec.width)]
+                        per_register.append(value)
+                    operands.append(select_register(
+                        c, program[i][source], per_register))
+                # BUG: in-flight results are never forwarded.
+                results.append(alu_result(c, program[i]["op"],
+                                          operands[0], operands[1]))
+            for j in range(spec.num_regs):
+                value = initial[j]
+                for writer in range(spec.num_instrs):
+                    hit = fields_equal_const(c, program[writer]["d"], j)
+                    value = [c.MUX(hit, value[b], results[writer][b])
+                             for b in range(spec.width)]
+                for b in range(spec.width):
+                    c.set_output(c.BUF(value[b], name=f"out_r{j}[{b}]"))
+            return c
+
+        equivalent, counterexample = check_equivalence(
+            build_spec_circuit(spec), broken_pipeline())
+        assert not equivalent
+        assert counterexample is not None
+
+    def test_depth_validated(self):
+        spec = MachineSpec(num_instrs=2)
+        with pytest.raises(ModelError):
+            build_pipeline_circuit(spec, 0)
+
+    def test_miter_builds(self):
+        spec = MachineSpec(num_instrs=2, num_regs=2, width=1)
+        miter = pipeline_miter(spec, 2)
+        assert miter.outputs == ["miter"]
+
+    def test_formula_has_expected_shape(self):
+        spec = MachineSpec(num_instrs=2, num_regs=2, width=1)
+        formula = pipeline_formula(spec, 2)
+        assert formula.num_clauses > 50
+        assert formula.num_vars > 20

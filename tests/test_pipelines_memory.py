@@ -1,0 +1,118 @@
+"""Tests for the load-store (DLX-style) pipeline substrate."""
+
+import random
+
+import pytest
+
+from repro.core.exceptions import ModelError
+from repro.pipelines.memory import (
+    OP_LOAD,
+    OP_STORE,
+    LoadStoreSpec,
+    build_ls_pipeline_circuit,
+    build_ls_spec_circuit,
+    dlx_instance,
+    execute_ls_program,
+)
+from repro.solver.cdcl import solve
+
+
+def assignment_for(spec, regs, mem, program):
+    assignment = {}
+    for j in range(spec.num_regs):
+        for bit in range(spec.width):
+            assignment[f"r{j}[{bit}]"] = bool((regs[j] >> bit) & 1)
+    for k in range(spec.num_mem):
+        for bit in range(spec.width):
+            assignment[f"m{k}[{bit}]"] = bool((mem[k] >> bit) & 1)
+    for i, (op, s1, s2, d) in enumerate(program):
+        for bit in range(3):
+            assignment[f"op{i}[{bit}]"] = bool((op >> bit) & 1)
+        for bit in range(spec.reg_bits):
+            assignment[f"s1_{i}[{bit}]"] = bool((s1 >> bit) & 1)
+            assignment[f"s2_{i}[{bit}]"] = bool((s2 >> bit) & 1)
+            assignment[f"d{i}[{bit}]"] = bool((d >> bit) & 1)
+    return assignment
+
+
+def read_state(spec, outputs):
+    regs = [sum(outputs[f"out_r{j}[{bit}]"] << bit
+                for bit in range(spec.width))
+            for j in range(spec.num_regs)]
+    mem = [sum(outputs[f"out_m{k}[{bit}]"] << bit
+               for bit in range(spec.width))
+           for k in range(spec.num_mem)]
+    return regs, mem
+
+
+class TestReferenceSemantics:
+    def test_load(self):
+        spec = LoadStoreSpec(num_instrs=1)
+        regs, mem = execute_ls_program(
+            spec, [1, 0], [2, 3], [(OP_LOAD, 0, 0, 1)])
+        assert regs == [1, 3]  # R1 <- M[R0 & 1] = M[1] = 3
+
+    def test_store(self):
+        spec = LoadStoreSpec(num_instrs=1)
+        regs, mem = execute_ls_program(
+            spec, [0, 2], [1, 1], [(OP_STORE, 0, 1, 0)])
+        assert mem == [2, 1]  # M[R0] <- R1
+
+    def test_nop(self):
+        spec = LoadStoreSpec(num_instrs=1)
+        regs, mem = execute_ls_program(spec, [1, 2], [3, 0],
+                                       [(6, 0, 1, 0)])
+        assert regs == [1, 2] and mem == [3, 0]
+
+    def test_store_then_load_roundtrip(self):
+        spec = LoadStoreSpec(num_instrs=2)
+        regs, mem = execute_ls_program(
+            spec, [0, 3], [0, 0],
+            [(OP_STORE, 0, 1, 0),   # M[0] <- 3
+             (OP_LOAD, 0, 0, 0)])   # R0 <- M[0]
+        assert regs[0] == 3
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            LoadStoreSpec(num_instrs=1, num_mem=3)
+        with pytest.raises(ModelError):
+            LoadStoreSpec(num_instrs=1, width=1, num_mem=4)
+
+
+@pytest.mark.parametrize("depth", [1, 2, 3])
+class TestCircuitsMatchReference:
+    def test_random_programs(self, depth):
+        spec = LoadStoreSpec(num_instrs=3, num_regs=2, width=2,
+                             num_mem=2)
+        spec_circuit = build_ls_spec_circuit(spec)
+        impl_circuit = build_ls_pipeline_circuit(spec, depth)
+        rng = random.Random(depth)
+        for _ in range(40):
+            regs = [rng.randrange(4) for _ in range(2)]
+            mem = [rng.randrange(4) for _ in range(2)]
+            program = [(rng.randrange(8), rng.randrange(2),
+                        rng.randrange(2), rng.randrange(2))
+                       for _ in range(3)]
+            expected = execute_ls_program(spec, regs, mem, program)
+            assignment = assignment_for(spec, regs, mem, program)
+            for circuit in (spec_circuit, impl_circuit):
+                outputs = circuit.output_values(assignment)
+                assert read_state(spec, outputs) == expected, (
+                    program, regs, mem)
+
+
+class TestCorrespondence:
+    def test_small_instance_unsat(self):
+        formula = dlx_instance(2, 3)
+        result = solve(formula)
+        assert result.is_unsat
+
+    def test_instance_shape(self):
+        formula = dlx_instance(2, 3)
+        assert formula.num_vars > 100
+        assert formula.num_clauses > 300
+
+    def test_depth_validated(self):
+        spec = LoadStoreSpec(num_instrs=2)
+        with pytest.raises(ModelError):
+            build_ls_pipeline_circuit(spec, 0)

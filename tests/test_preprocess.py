@@ -1,0 +1,157 @@
+"""Tests for proof-preserving preprocessing."""
+
+import random
+
+import pytest
+
+from repro.benchgen.php import pigeonhole
+from repro.core.exceptions import ReproError
+from repro.core.formula import CnfFormula
+from repro.preprocess.lifting import (
+    lift_model,
+    lift_proof,
+    solve_with_preprocessing,
+)
+from repro.preprocess.preprocessor import preprocess
+from repro.proofs.conflict_clause import ConflictClauseProof
+from repro.solver.cdcl import solve
+from repro.solver.dpll import dpll_solve
+from repro.verify.verification import verify_proof_v2
+
+from tests.conftest import random_formula
+
+
+class TestUnitPropagation:
+    def test_forced_units_derived(self):
+        formula = CnfFormula([[1], [-1, 2], [-2, 3], [3, 4, 5]])
+        result = preprocess(formula, probe=False)
+        assert set(result.derived_units) == {1, 2, 3}
+        # Clause (3 4 5) is satisfied by unit 3 and removed.
+        assert result.simplified.num_clauses == 0
+        assert result.status == "SAT"
+
+    def test_literal_stripping(self):
+        formula = CnfFormula([[1], [-1, 2, 3]])
+        result = preprocess(formula, probe=False)
+        assert result.derived_units == (1,)
+        assert [c.literals for c in result.simplified] == [(2, 3)]
+
+    def test_unsat_by_propagation(self):
+        formula = CnfFormula([[1], [-1, 2], [-2], [3, 4]])
+        result = preprocess(formula, probe=False)
+        assert result.status == "UNSAT"
+
+
+class TestProbing:
+    def test_failed_literal_found(self):
+        # Assuming 1 forces 2 and -2: literal 1 fails, so (-1) derived.
+        formula = CnfFormula([[-1, 2], [-1, -2], [1, 3], [3, 4, 5]])
+        result = preprocess(formula)
+        assert -1 in result.derived_units
+        assert 3 in result.derived_units  # enabled by -1
+
+    def test_probing_refutes(self):
+        formula = CnfFormula([[-1, 2], [-1, -2], [1, 3], [1, -3]])
+        result = preprocess(formula)
+        assert result.status == "UNSAT"
+
+    def test_max_probes_respected(self):
+        formula = CnfFormula([[-1, 2], [-1, -2], [1, 3], [3, 4, 5]])
+        result = preprocess(formula, max_probes=0)
+        assert result.probes_run == 0
+        assert result.status == "UNKNOWN"
+
+
+class TestSubsumption:
+    def test_superset_removed(self):
+        formula = CnfFormula([[1, 2], [1, 2, 3], [4, 5]])
+        result = preprocess(formula, probe=False)
+        assert [c.literals for c in result.simplified] == [(1, 2), (4, 5)]
+        assert 1 in result.removed_clause_indices
+
+    def test_duplicate_keeps_first(self):
+        formula = CnfFormula([[1, 2], [2, 1]])
+        result = preprocess(formula, probe=False)
+        assert result.kept_clause_indices == (0,)
+
+    def test_subsume_disabled(self):
+        formula = CnfFormula([[1, 2], [1, 2, 3]])
+        result = preprocess(formula, probe=False, subsume=False)
+        assert result.simplified.num_clauses == 2
+
+
+class TestEquisatisfiability:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_differential(self, seed):
+        rng = random.Random(4000 + seed)
+        for _ in range(25):
+            formula = random_formula(rng, rng.randint(2, 9),
+                                     rng.randint(3, 35))
+            result = preprocess(formula)
+            original = dpll_solve(formula).status
+            if result.status != "UNKNOWN":
+                assert result.status == original
+            else:
+                assert dpll_solve(result.simplified).status == original
+
+    def test_model_lifting(self):
+        formula = CnfFormula([[1], [-1, 2], [3, 4]])
+        result = preprocess(formula, probe=False)
+        inner = solve(result.simplified)
+        assert inner.is_sat
+        model = lift_model(result, inner.model)
+        assert formula.is_satisfied_by(model)
+
+
+class TestProofLifting:
+    def test_preprocessing_refutation_verifies(self):
+        formula = CnfFormula([[1], [-1, 2], [-2], [3, 4]])
+        result = preprocess(formula, probe=False)
+        proof = lift_proof(result)
+        assert verify_proof_v2(formula, proof).ok
+
+    def test_probing_refutation_verifies(self):
+        formula = CnfFormula([[-1, 2], [-1, -2], [1, 3], [1, -3]])
+        result = preprocess(formula)
+        proof = lift_proof(result)
+        assert verify_proof_v2(formula, proof).ok
+
+    def test_lift_requires_inner_proof(self):
+        formula = CnfFormula([[1, 2], [-1, 2], [1, -2], [-1, -2]])
+        result = preprocess(formula, probe=False)
+        with pytest.raises(ReproError):
+            lift_proof(result)
+
+    def test_lifted_proof_verifies_php(self):
+        formula = pigeonhole(4)
+        result, pre, proof = solve_with_preprocessing(formula)
+        assert result.is_unsat
+        assert verify_proof_v2(formula, proof).ok
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_lifted_proofs_verify_random(self, seed):
+        rng = random.Random(5000 + seed)
+        lifted_count = 0
+        for _ in range(25):
+            formula = random_formula(rng, rng.randint(3, 9),
+                                     rng.randint(8, 40))
+            result, pre, proof = solve_with_preprocessing(formula)
+            if result.is_sat:
+                assert formula.is_satisfied_by(result.model)
+                continue
+            assert verify_proof_v2(formula, proof).ok, formula.clauses
+            lifted_count += 1
+        assert lifted_count > 2
+
+    def test_end_to_end_with_hard_probing_instance(self):
+        # Probing solves chains that plain BCP cannot.
+        formula = CnfFormula([
+            [-1, 2], [-1, -2],       # 1 fails
+            [1, 5], [-5, 6], [-6, 7],
+            [3, 4, 5], [-7, -5, 8], [-8, 9], [-9, -5],
+        ])
+        result, pre, proof = solve_with_preprocessing(formula)
+        expected = dpll_solve(formula).status
+        assert result.status == expected
+        if result.is_unsat:
+            assert verify_proof_v2(formula, proof).ok

@@ -1,0 +1,65 @@
+"""Tests for proof statistics (local/global classification)."""
+
+from repro.benchgen.php import pigeonhole
+from repro.proofs.log import ProofLog
+from repro.proofs.stats import analyze_log, clause_shapes
+from repro.solver.cdcl import solve
+
+
+def synthetic_log():
+    log = ProofLog(input_clauses=[(1, 2), (-1, 2), (1, -2), (-1, -2)])
+    log.add_step((2,), (0, 1), (1,))             # 1 lit, 1 resolution
+    log.add_step((-2,), (2, 3), (1,))            # 1 lit, 1 resolution
+    log.add_step((), (4, 5), (2,))               # 0 lits, 1 resolution
+    log.ending = "empty"
+    return log
+
+
+class TestClauseShapes:
+    def test_shapes(self):
+        shapes = clause_shapes(synthetic_log())
+        assert [(s.literals, s.resolutions) for s in shapes] == [
+            (1, 1), (1, 1), (0, 1)]
+
+    def test_prefers_conflict_format(self):
+        shapes = clause_shapes(synthetic_log())
+        # The empty clause: 0 literals < 1 resolution.
+        assert shapes[2].prefers_conflict_format
+        assert not shapes[0].prefers_conflict_format
+
+
+class TestAnalyzeLog:
+    def test_aggregates(self):
+        stats = analyze_log(synthetic_log())
+        assert stats.num_clauses == 3
+        assert stats.total_literals == 2
+        assert stats.total_resolutions == 3
+        assert stats.max_clause_length == 1
+        assert stats.length_histogram == {0: 1, 1: 2}
+
+    def test_empty_log(self):
+        stats = analyze_log(ProofLog())
+        assert stats.num_clauses == 0
+        assert stats.global_fraction == 0.0
+
+    def test_explicit_threshold(self):
+        stats = analyze_log(synthetic_log(), local_threshold=0)
+        assert stats.global_clauses == 3
+        stats = analyze_log(synthetic_log(), local_threshold=10)
+        assert stats.global_clauses == 0
+
+    def test_decision_scheme_more_global(self):
+        formula = pigeonhole(5)
+        local = analyze_log(solve(formula, learning="1uip").log)
+        global_ = analyze_log(solve(formula, learning="decision").log)
+        assert global_.global_fraction > local.global_fraction
+        assert global_.mean_resolutions > local.mean_resolutions
+        # Global clauses are shorter on average (decision literals only).
+        assert global_.mean_clause_length < local.mean_clause_length
+
+    def test_totals_match_log(self):
+        formula = pigeonhole(4)
+        log = solve(formula).log
+        stats = analyze_log(log)
+        assert stats.total_literals == log.deduced_literal_count()
+        assert stats.total_resolutions == log.resolution_node_count()

@@ -1,0 +1,51 @@
+"""Unit tests for ProofLog and ProofStep."""
+
+import pytest
+
+from repro.proofs.log import ProofLog, ProofStep
+
+
+class TestProofStep:
+    def test_resolution_count(self):
+        step = ProofStep((1, 2), (0, 1, 2), (3, 4))
+        assert step.resolution_count == 2
+
+    def test_copy_step(self):
+        step = ProofStep((1,), (0,), ())
+        assert step.resolution_count == 0
+
+
+class TestProofLog:
+    def test_add_step_returns_ref(self):
+        log = ProofLog(input_clauses=[(1, 2), (-1,)])
+        ref = log.add_step((2,), (0, 1), (1,))
+        assert ref == 2
+        assert log.num_deduced == 1
+
+    def test_chain_arity_checked(self):
+        log = ProofLog()
+        with pytest.raises(ValueError):
+            log.add_step((1,), (0, 1), ())
+
+    def test_literals_of_input(self):
+        log = ProofLog(input_clauses=[(1, 2)])
+        assert log.literals_of(0) == (1, 2)
+
+    def test_literals_of_step(self):
+        log = ProofLog(input_clauses=[(1, 2)])
+        ref = log.add_step((5,), (0,), ())
+        assert log.literals_of(ref) == (5,)
+
+    def test_completion(self):
+        log = ProofLog()
+        assert not log.is_complete()
+        log.ending = "empty"
+        assert log.is_complete()
+
+    def test_counts(self):
+        log = ProofLog(input_clauses=[(1,), (-1, 2)])
+        log.add_step((2,), (0, 1), (1,))
+        log.add_step((), (2, 0), (2,))
+        assert log.num_input == 2
+        assert log.deduced_literal_count() == 1
+        assert log.resolution_node_count() == 2

@@ -1,0 +1,96 @@
+"""Tests for resolution-graph reconstruction from conflict clause proofs."""
+
+import random
+
+import pytest
+
+from repro.benchgen.php import pigeonhole
+from repro.benchgen.xor_chains import parity_contradiction
+from repro.core.exceptions import ReproError
+from repro.core.formula import CnfFormula
+from repro.proofs.conflict_clause import (
+    ENDING_EMPTY,
+    ENDING_FINAL_PAIR,
+    ConflictClauseProof,
+)
+from repro.solver.cdcl import solve
+from repro.verify.reconstruct import reconstruct_resolution_graph
+
+from tests.conftest import random_formula
+
+
+def proof_of(formula, **kwargs):
+    result = solve(formula, **kwargs)
+    assert result.is_unsat
+    return ConflictClauseProof.from_log(result.log)
+
+
+class TestReconstruction:
+    def test_handwritten_proof(self):
+        formula = CnfFormula([[1, 2], [1, -2], [-1, 2], [-1, -2]])
+        proof = ConflictClauseProof([(1,), (-1,)], ENDING_FINAL_PAIR)
+        result = reconstruct_resolution_graph(formula, proof)
+        check = result.graph.check()
+        assert check.ok, check.error
+        assert result.graph.node_count > 0
+
+    def test_solver_proof_php(self):
+        formula = pigeonhole(4)
+        result = reconstruct_resolution_graph(formula, proof_of(formula))
+        assert result.graph.check().ok
+
+    def test_parity_proof(self):
+        formula = parity_contradiction(8)
+        result = reconstruct_resolution_graph(formula, proof_of(formula))
+        assert result.graph.check().ok
+
+    def test_empty_ended_proof(self):
+        formula = CnfFormula([[1], [-1, 2], [-2]])
+        proof = ConflictClauseProof([()], ENDING_EMPTY)
+        result = reconstruct_resolution_graph(formula, proof)
+        assert result.graph.check().ok
+
+    def test_derived_clauses_subsume(self):
+        formula = pigeonhole(3)
+        proof = proof_of(formula)
+        result = reconstruct_resolution_graph(formula, proof)
+        for index, derived in result.derived_clauses.items():
+            assert derived <= frozenset(proof[index])
+
+    def test_strengthening_example(self):
+        # Proof clause (1, 3) where BCP derives the stronger (1): the
+        # graph node carries (1) and the sink still reaches empty.
+        formula = CnfFormula([[1, 2], [1, -2], [-1, 2], [-1, -2]])
+        proof = ConflictClauseProof([(1, 3), (1,), (-1,), ],
+                                    ENDING_FINAL_PAIR)
+        result = reconstruct_resolution_graph(formula, proof)
+        assert result.graph.check().ok
+
+    def test_incorrect_proof_rejected(self):
+        sat_formula = CnfFormula([[1, 2, 3]])
+        bogus = ConflictClauseProof([(1,), (-1,)], ENDING_FINAL_PAIR)
+        with pytest.raises(ReproError):
+            reconstruct_resolution_graph(sat_formula, bogus)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_proofs_reconstruct(self, seed):
+        rng = random.Random(700 + seed)
+        reconstructed = 0
+        for _ in range(20):
+            formula = random_formula(rng, 8, 35)
+            solved = solve(formula)
+            if not solved.is_unsat:
+                continue
+            proof = ConflictClauseProof.from_log(solved.log)
+            result = reconstruct_resolution_graph(formula, proof)
+            check = result.graph.check()
+            assert check.ok, (check.error, formula.clauses)
+            reconstructed += 1
+        assert reconstructed > 2
+
+    @pytest.mark.parametrize("learning", ["1uip", "decision", "adaptive"])
+    def test_all_schemes(self, learning):
+        formula = pigeonhole(4)
+        proof = proof_of(formula, learning=learning)
+        result = reconstruct_resolution_graph(formula, proof)
+        assert result.graph.check().ok

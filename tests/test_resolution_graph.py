@@ -1,0 +1,120 @@
+"""Unit tests for resolution graph proofs and their checker."""
+
+import pytest
+
+from repro.core.exceptions import ProofFormatError
+from repro.core.formula import CnfFormula
+from repro.proofs.log import ProofLog
+from repro.proofs.resolution import ResolutionGraphProof, ResolutionNode
+from repro.solver.cdcl import solve
+
+
+def refutation_log():
+    """(1 2), (-1 2), (1 -2), (-1 -2) refuted by hand."""
+    log = ProofLog(input_clauses=[(1, 2), (-1, 2), (1, -2), (-1, -2)])
+    log.add_step((2,), (0, 1), (1,))     # ref 4
+    log.add_step((-2,), (2, 3), (1,))    # ref 5
+    log.add_step((), (4, 5), (2,))       # ref 6
+    log.ending = "empty"
+    return log
+
+
+class TestFromLog:
+    def test_node_count(self):
+        graph = ResolutionGraphProof.from_log(refutation_log())
+        assert graph.node_count == 3
+        assert graph.num_sources == 4
+
+    def test_check_passes(self):
+        result = ResolutionGraphProof.from_log(refutation_log()).check()
+        assert result.ok
+        assert result.nodes_checked == 3
+        assert result.peak_stored_literals > 0
+
+    def test_copy_steps_create_no_nodes(self):
+        log = ProofLog(input_clauses=[(1,), (-1,)])
+        log.add_step((1,), (0,), ())        # copy of input 0
+        log.add_step((), (2, 1), (1,))
+        log.ending = "empty"
+        graph = ResolutionGraphProof.from_log(log)
+        assert graph.node_count == 1
+        assert graph.check().ok
+
+    def test_incomplete_log_rejected(self):
+        with pytest.raises(ProofFormatError):
+            ResolutionGraphProof.from_log(ProofLog())
+
+    def test_stored_size(self):
+        graph = ResolutionGraphProof.from_log(refutation_log())
+        assert graph.stored_size() == 3 * graph.node_count
+
+
+class TestChecker:
+    def test_invalid_pivot_rejected(self):
+        graph = ResolutionGraphProof(
+            [(1, 2), (-1, 3)], [ResolutionNode(0, 1, 2)], sink=2)
+        result = graph.check()
+        assert not result.ok
+        assert "pivot" in result.error
+
+    def test_non_clashing_parents_rejected(self):
+        graph = ResolutionGraphProof(
+            [(1, 2), (3, 4)], [ResolutionNode(0, 1, 1)], sink=2)
+        result = graph.check()
+        assert not result.ok
+        assert result.failed_node == 2
+
+    def test_double_clash_rejected(self):
+        graph = ResolutionGraphProof(
+            [(1, 2), (-1, -2)], [ResolutionNode(0, 1, 1)], sink=2)
+        assert not graph.check().ok
+
+    def test_nonempty_sink_rejected(self):
+        graph = ResolutionGraphProof(
+            [(1, 2), (-1, 3)], [ResolutionNode(0, 1, 1)], sink=2)
+        result = graph.check()
+        assert not result.ok
+        assert "sink" in result.error
+
+    def test_forward_reference_rejected(self):
+        with pytest.raises(ProofFormatError):
+            ResolutionGraphProof([(1,)], [ResolutionNode(0, 1, 1)], sink=1)
+
+    def test_sink_out_of_range(self):
+        with pytest.raises(ProofFormatError):
+            ResolutionGraphProof([(1,)], [], sink=5)
+
+    def test_clause_of_source(self):
+        graph = ResolutionGraphProof.from_log(refutation_log())
+        assert graph.clause_of(0).literals == (1, 2)
+
+    def test_peak_tracks_materialization(self):
+        graph = ResolutionGraphProof.from_log(refutation_log())
+        result = graph.check()
+        # Peak of *live* literals: while resolving node 5, sources 2 and
+        # 3 (4 lits), their resolvent (1 lit) and node 4's clause
+        # (1 lit) are live simultaneously.
+        assert result.peak_stored_literals == 6
+
+
+class TestSolverGraphs:
+    @pytest.mark.parametrize("learning", ["1uip", "decision", "hybrid",
+                                          "adaptive"])
+    def test_solver_graphs_check(self, learning, tiny_unsat):
+        result = solve(tiny_unsat, learning=learning)
+        graph = ResolutionGraphProof.from_log(result.log)
+        assert graph.check().ok
+
+    def test_php_graph_checks(self):
+        from repro.benchgen.php import pigeonhole
+        result = solve(pigeonhole(4))
+        graph = ResolutionGraphProof.from_log(result.log)
+        check = graph.check()
+        assert check.ok
+        assert graph.node_count == result.log.resolution_node_count()
+
+    def test_empty_clause_input(self):
+        result = solve(CnfFormula([[2], []]))
+        graph = ResolutionGraphProof.from_log(result.log)
+        assert graph.check().ok
+        assert graph.node_count == 0

@@ -1,0 +1,70 @@
+"""Unit tests for restart policies."""
+
+import pytest
+
+from repro.solver.restarts import (
+    GeometricRestarts,
+    LubyRestarts,
+    NoRestarts,
+    luby,
+    make_restart_policy,
+)
+
+
+class TestLubySequence:
+    def test_known_prefix(self):
+        expected = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]
+        assert [luby(i) for i in range(15)] == expected
+
+    def test_powers_of_two_only(self):
+        values = {luby(i) for i in range(200)}
+        assert all(v & (v - 1) == 0 for v in values)
+
+    def test_peak_positions(self):
+        # luby(2^k - 2) == 2^(k-1) (0-based peaks).
+        for k in range(2, 10):
+            assert luby((1 << k) - 2) == 1 << (k - 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            luby(-1)
+
+
+class TestPolicies:
+    def test_no_restarts(self):
+        policy = NoRestarts()
+        assert not policy.should_restart(10 ** 9)
+
+    def test_luby_policy(self):
+        policy = LubyRestarts(base=10)
+        assert not policy.should_restart(9)
+        assert policy.should_restart(10)
+        policy.on_restart()
+        assert policy.current_limit == 10  # luby(1) == 1
+        policy.on_restart()
+        assert policy.current_limit == 20  # luby(2) == 2
+
+    def test_luby_invalid_base(self):
+        with pytest.raises(ValueError):
+            LubyRestarts(base=0)
+
+    def test_geometric_policy(self):
+        policy = GeometricRestarts(first=10, factor=2.0)
+        assert policy.should_restart(10)
+        policy.on_restart()
+        assert not policy.should_restart(19)
+        assert policy.should_restart(20)
+
+    def test_geometric_invalid(self):
+        with pytest.raises(ValueError):
+            GeometricRestarts(first=0)
+        with pytest.raises(ValueError):
+            GeometricRestarts(first=10, factor=0.5)
+
+    def test_factory(self):
+        assert isinstance(make_restart_policy("luby", 5), LubyRestarts)
+        assert isinstance(make_restart_policy("geometric", 5),
+                          GeometricRestarts)
+        assert isinstance(make_restart_policy("none", 5), NoRestarts)
+        with pytest.raises(ValueError):
+            make_restart_policy("fibonacci", 5)

@@ -1,0 +1,187 @@
+"""Tests for the logic rewriting pass and random circuit generator."""
+
+import random
+
+import pytest
+
+from repro.circuits.library import (
+    alu,
+    barrel_rotator,
+    carry_select_adder,
+    parity_tree,
+    ripple_carry_adder,
+    wallace_multiplier,
+)
+from repro.circuits.miter import check_equivalence
+from repro.circuits.netlist import Circuit
+from repro.circuits.random_circuits import (
+    random_circuit,
+    random_equivalence_pair,
+)
+from repro.circuits.rewrite import rewrite_circuit, rewrite_statistics
+from repro.core.exceptions import CircuitError
+
+
+def assert_equivalent_by_simulation(original, optimized, trials=150,
+                                    seed=0):
+    rng = random.Random(seed)
+    for _ in range(trials):
+        assignment = {net: rng.random() < 0.5
+                      for net in original.inputs}
+        got = [optimized.simulate(assignment)[net]
+               for net in optimized.outputs]
+        want = [original.simulate(assignment)[net]
+                for net in original.outputs]
+        assert got == want, assignment
+
+
+class TestRewriteRules:
+    def build(self, builder):
+        c = Circuit("t")
+        builder(c)
+        return c
+
+    def test_constant_folding_and(self):
+        c = Circuit("t")
+        a = c.add_input("a")
+        c.set_output(c.AND(a, c.CONST0(), name="y"))
+        optimized = rewrite_circuit(c)
+        assert optimized.num_gates <= 2  # just a constant + buffer
+        assert_equivalent_by_simulation(c, optimized)
+
+    def test_identity_elimination_or(self):
+        c = Circuit("t")
+        a = c.add_input("a")
+        c.set_output(c.OR(a, c.CONST0(), name="y"))
+        optimized = rewrite_circuit(c)
+        assert_equivalent_by_simulation(c, optimized)
+        # y == a: only the output buffer remains.
+        assert optimized.num_gates == 1
+
+    def test_double_negation(self):
+        c = Circuit("t")
+        a = c.add_input("a")
+        c.set_output(c.NOT(c.NOT(a), name="y"))
+        optimized = rewrite_circuit(c)
+        assert optimized.num_gates == 1  # buffer only
+        assert_equivalent_by_simulation(c, optimized)
+
+    def test_duplicate_collapse(self):
+        c = Circuit("t")
+        a, b = c.add_inputs(["a", "b"])
+        c.set_output(c.AND(a, a, b, name="y"))
+        assert_equivalent_by_simulation(c, rewrite_circuit(c))
+
+    def test_complement_annihilation(self):
+        c = Circuit("t")
+        a, b = c.add_inputs(["a", "b"])
+        c.set_output(c.AND(a, c.NOT(a), b, name="y"))
+        optimized = rewrite_circuit(c)
+        assert_equivalent_by_simulation(c, optimized)
+
+    def test_xor_with_constant(self):
+        c = Circuit("t")
+        a = c.add_input("a")
+        c.set_output(c.add_gate("XOR", (a, c.CONST1()), name="y"))
+        optimized = rewrite_circuit(c)
+        assert_equivalent_by_simulation(c, optimized)
+
+    def test_xor_self_cancels(self):
+        c = Circuit("t")
+        a = c.add_input("a")
+        c.set_output(c.add_gate("XOR", (a, a), name="y"))
+        assert_equivalent_by_simulation(c, rewrite_circuit(c))
+
+    def test_xnor_handled(self):
+        c = Circuit("t")
+        a, b = c.add_inputs(["a", "b"])
+        c.set_output(c.XNOR(a, b, name="y"))
+        assert_equivalent_by_simulation(c, rewrite_circuit(c))
+
+    def test_mux_same_branches(self):
+        c = Circuit("t")
+        s, a = c.add_inputs(["s", "a"])
+        c.set_output(c.MUX(s, a, a, name="y"))
+        optimized = rewrite_circuit(c)
+        assert optimized.num_gates == 1
+        assert_equivalent_by_simulation(c, optimized)
+
+    def test_mux_as_passthrough(self):
+        c = Circuit("t")
+        s = c.add_input("s")
+        c.set_output(c.MUX(s, c.CONST0(), c.CONST1(), name="y"))
+        assert_equivalent_by_simulation(c, rewrite_circuit(c))
+
+    def test_mux_complement_branches_becomes_xor(self):
+        c = Circuit("t")
+        s, a = c.add_inputs(["s", "a"])
+        c.set_output(c.MUX(s, a, c.NOT(a), name="y"))
+        assert_equivalent_by_simulation(c, rewrite_circuit(c))
+
+    def test_common_subexpression_elimination(self):
+        c = Circuit("t")
+        a, b = c.add_inputs(["a", "b"])
+        first = c.AND(a, b)
+        second = c.AND(b, a)  # same function, swapped operands
+        c.set_output(c.OR(first, second, name="y"))
+        optimized = rewrite_circuit(c)
+        assert_equivalent_by_simulation(c, optimized)
+        # OR(x, x) collapsed after CSE: only AND + buffer remain.
+        assert optimized.num_gates == 2
+
+    def test_nand_nor_handled(self):
+        c = Circuit("t")
+        a, b = c.add_inputs(["a", "b"])
+        c.set_output(c.NAND(a, b, name="y1"))
+        c.set_output(c.NOR(a, b, name="y2"))
+        assert_equivalent_by_simulation(c, rewrite_circuit(c))
+
+
+@pytest.mark.parametrize("builder", [
+    lambda: ripple_carry_adder(5),
+    lambda: carry_select_adder(5),
+    lambda: wallace_multiplier(3),
+    lambda: alu(3),
+    lambda: barrel_rotator(8),
+    lambda: parity_tree(9),
+])
+class TestLibraryCircuits:
+    def test_rewrite_preserves_function(self, builder):
+        circuit = builder()
+        assert_equivalent_by_simulation(circuit,
+                                        rewrite_circuit(circuit))
+
+    def test_rewrite_never_grows(self, builder):
+        stats = rewrite_statistics(builder())
+        assert stats["gates_after"] <= stats["gates_before"]
+
+
+class TestRandomCircuits:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_pair_equivalent_by_sat(self, seed):
+        original, optimized = random_equivalence_pair(7, 50, seed=seed)
+        equivalent, counterexample = check_equivalence(original,
+                                                       optimized)
+        assert equivalent, counterexample
+
+    def test_rewriting_shrinks_redundant_circuits(self):
+        original = random_circuit(8, 120, seed=3, redundancy=0.4)
+        stats = rewrite_statistics(original)
+        assert stats["gates_after"] < stats["gates_before"]
+        assert stats["folds"] > 0
+
+    def test_deterministic(self):
+        a = random_circuit(6, 30, seed=9)
+        b = random_circuit(6, 30, seed=9)
+        assert [g.op for g in a.gates] == [g.op for g in b.gates]
+        assert a.outputs == b.outputs
+
+    def test_validation(self):
+        with pytest.raises(CircuitError):
+            random_circuit(1, 10)
+        with pytest.raises(CircuitError):
+            random_circuit(4, 0)
+
+    def test_output_count(self):
+        circuit = random_circuit(8, 40, num_outputs=3, seed=1)
+        assert len(circuit.outputs) == 3

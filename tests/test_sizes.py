@@ -1,0 +1,57 @@
+"""Unit tests for proof size accounting (Table 2's columns)."""
+
+import pytest
+
+from repro.proofs.log import ProofLog
+from repro.proofs.sizes import ProofSizeComparison, compare_proof_sizes
+
+
+def small_log():
+    log = ProofLog(input_clauses=[(1, 2), (-1, 2), (1, -2), (-1, -2)])
+    log.add_step((2,), (0, 1), (1,))
+    log.add_step((-2,), (2, 3), (1,))
+    log.add_step((), (4, 5), (2,))
+    log.ending = "empty"
+    return log
+
+
+class TestCompareProofSizes:
+    def test_counts(self):
+        sizes = compare_proof_sizes(small_log())
+        assert sizes.num_conflict_clauses == 3
+        assert sizes.conflict_proof_literals == 3  # (2), (-2), (-2)->pair
+        assert sizes.resolution_graph_nodes == 3
+        assert sizes.max_clause_length == 1
+
+    def test_ratio(self):
+        sizes = compare_proof_sizes(small_log())
+        assert sizes.ratio_percent == pytest.approx(100.0)
+
+    def test_matches_graph_node_count(self):
+        from repro.proofs.resolution import ResolutionGraphProof
+
+        log = small_log()
+        graph = ResolutionGraphProof.from_log(log)
+        assert compare_proof_sizes(log).resolution_graph_nodes \
+            == graph.node_count
+
+
+class TestRatioEdgeCases:
+    def test_zero_nodes_zero_literals(self):
+        sizes = ProofSizeComparison(
+            num_conflict_clauses=1, conflict_proof_literals=0,
+            resolution_graph_nodes=0, max_clause_length=0)
+        assert sizes.ratio_percent == 0.0
+
+    def test_zero_nodes_some_literals(self):
+        sizes = ProofSizeComparison(
+            num_conflict_clauses=1, conflict_proof_literals=5,
+            resolution_graph_nodes=0, max_clause_length=5)
+        assert sizes.ratio_percent == float("inf")
+
+    def test_paper_units(self):
+        """The paper's asymmetric units: literals vs nodes, in percent."""
+        sizes = ProofSizeComparison(
+            num_conflict_clauses=10, conflict_proof_literals=70,
+            resolution_graph_nodes=1000, max_clause_length=12)
+        assert sizes.ratio_percent == pytest.approx(7.0)

@@ -1,0 +1,194 @@
+"""Unit tests for the CDCL solver: basic behaviors and options."""
+
+import pytest
+
+from repro.benchgen.php import pigeonhole
+from repro.core.formula import CnfFormula
+from repro.solver.cdcl import CdclSolver, SolverOptions, solve
+from repro.solver.result import SAT, UNKNOWN, UNSAT
+
+
+class TestSmallFormulas:
+    def test_trivial_sat(self):
+        result = solve(CnfFormula([[1]]))
+        assert result.status == SAT
+        assert result.model[1] is True
+
+    def test_trivial_unsat(self):
+        result = solve(CnfFormula([[1], [-1]]))
+        assert result.status == UNSAT
+
+    def test_empty_formula_sat(self):
+        result = solve(CnfFormula(num_vars=3))
+        assert result.is_sat
+        assert set(result.model) == {1, 2, 3}
+
+    def test_empty_clause_unsat(self):
+        result = solve(CnfFormula([[1, 2], []]))
+        assert result.is_unsat
+
+    def test_all_combinations_unsat(self, tiny_unsat):
+        result = solve(tiny_unsat)
+        assert result.is_unsat
+
+    def test_model_satisfies(self, tiny_sat):
+        result = solve(tiny_sat)
+        assert result.is_sat
+        assert tiny_sat.is_satisfied_by(result.model)
+
+    def test_unit_conflict(self, unit_conflict):
+        result = solve(unit_conflict)
+        assert result.is_unsat
+
+    def test_model_covers_all_declared_vars(self):
+        formula = CnfFormula([[1]], num_vars=5)
+        result = solve(formula)
+        assert set(result.model) == {1, 2, 3, 4, 5}
+
+    def test_pigeonhole_unsat(self):
+        result = solve(pigeonhole(4))
+        assert result.is_unsat
+        assert result.stats.conflicts > 0
+
+
+class TestProofLogging:
+    def test_log_present_by_default(self, tiny_unsat):
+        result = solve(tiny_unsat)
+        assert result.log is not None
+        assert result.log.is_complete()
+        assert result.log.steps[-1].literals == ()
+
+    def test_log_disabled(self, tiny_unsat):
+        result = solve(tiny_unsat, log_proof=False)
+        assert result.is_unsat
+        assert result.log is None
+
+    def test_sat_log_incomplete(self, tiny_sat):
+        result = solve(tiny_sat)
+        assert not result.log.is_complete()
+
+    def test_unit_then_empty_tail(self, tiny_unsat):
+        steps = solve(tiny_unsat).log.steps
+        assert len(steps) >= 2
+        assert len(steps[-2].literals) == 1
+        assert steps[-1].literals == ()
+
+    def test_input_clauses_captured(self, tiny_unsat):
+        log = solve(tiny_unsat).log
+        assert log.num_input == tiny_unsat.num_clauses
+        assert log.input_clauses[0] == tiny_unsat[0].literals
+
+
+class TestOptions:
+    def test_bad_learning_rejected(self):
+        with pytest.raises(ValueError):
+            SolverOptions(learning="2uip")
+
+    def test_bad_engine_rejected(self):
+        with pytest.raises(ValueError):
+            SolverOptions(engine="magic")
+
+    def test_bad_hybrid_period_rejected(self):
+        with pytest.raises(ValueError):
+            SolverOptions(hybrid_period=0)
+
+    def test_bad_heuristic_rejected(self, tiny_sat):
+        with pytest.raises(ValueError):
+            solve(tiny_sat, heuristic="random")
+
+    def test_bad_restart_rejected(self, tiny_sat):
+        with pytest.raises(ValueError):
+            solve(tiny_sat, restart="sometimes")
+
+    def test_options_and_kwargs_exclusive(self, tiny_sat):
+        with pytest.raises(ValueError):
+            solve(tiny_sat, SolverOptions(), learning="1uip")
+
+    def test_conflict_budget(self):
+        result = solve(pigeonhole(7), max_conflicts=5)
+        assert result.status == UNKNOWN
+        assert result.stats.conflicts == 5
+
+    @pytest.mark.parametrize("learning", ["1uip", "decision", "hybrid"])
+    @pytest.mark.parametrize("heuristic", ["vsids", "berkmin"])
+    def test_all_configs_solve_php(self, learning, heuristic):
+        result = solve(pigeonhole(4), learning=learning,
+                       heuristic=heuristic)
+        assert result.is_unsat
+
+    @pytest.mark.parametrize("restart", ["luby", "geometric", "none"])
+    def test_restart_policies(self, restart):
+        result = solve(pigeonhole(4), restart=restart, restart_base=10)
+        assert result.is_unsat
+
+    def test_counting_engine(self):
+        result = solve(pigeonhole(4), engine="counting")
+        assert result.is_unsat
+
+    def test_counting_engine_disables_deletion(self):
+        solver = CdclSolver(pigeonhole(4),
+                            SolverOptions(engine="counting",
+                                          enable_deletion=True))
+        assert not solver.deletion_enabled
+
+
+class TestStats:
+    def test_stats_populated(self):
+        result = solve(pigeonhole(5))
+        stats = result.stats
+        assert stats.conflicts > 0
+        assert stats.decisions > 0
+        assert stats.propagations > 0
+        # The terminal level-0 conflict is counted but analyzed by the
+        # final analysis, not by clause learning.
+        assert stats.learned_clauses == stats.conflicts - 1
+        assert stats.solve_time > 0
+
+    def test_deletion_happens_under_pressure(self):
+        result = solve(pigeonhole(6), restart_base=10, reduce_base=30,
+                       reduce_growth=10)
+        assert result.is_unsat
+        assert result.stats.deleted_clauses > 0
+
+    def test_deleted_clauses_still_in_proof(self):
+        result = solve(pigeonhole(6), restart_base=10, reduce_base=30,
+                       reduce_growth=10)
+        # F* records every deduced clause, even deleted ones.
+        assert result.log.num_deduced == result.stats.conflicts + 1
+
+
+class TestHeuristicIntegration:
+    def test_berkmin_order_instantiated(self):
+        from repro.solver.heuristics import BerkMinOrder, VsidsOrder
+
+        solver = CdclSolver(pigeonhole(3),
+                            SolverOptions(heuristic="berkmin"))
+        assert isinstance(solver.order, BerkMinOrder)
+        solver = CdclSolver(pigeonhole(3),
+                            SolverOptions(heuristic="vsids"))
+        assert isinstance(solver.order, VsidsOrder)
+
+    def test_berkmin_stack_tracks_learned(self):
+        from repro.solver.heuristics import BerkMinOrder
+
+        solver = CdclSolver(pigeonhole(4),
+                            SolverOptions(heuristic="berkmin"))
+        solver.solve()
+        assert isinstance(solver.order, BerkMinOrder)
+        assert len(solver.order.learned_stack) \
+            == solver.stats.learned_clauses
+
+    def test_max_decision_level_recorded(self):
+        result = solve(pigeonhole(5))
+        assert result.stats.max_decision_level >= 2
+
+    def test_restarts_fire_with_small_base(self):
+        result = solve(pigeonhole(6), restart="geometric",
+                       restart_base=5)
+        assert result.is_unsat
+        assert result.stats.restarts > 0
+
+    def test_no_restarts_policy(self):
+        result = solve(pigeonhole(4), restart="none")
+        assert result.is_unsat
+        assert result.stats.restarts == 0

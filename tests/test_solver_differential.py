@@ -1,0 +1,107 @@
+"""Differential tests: CDCL vs reference DPLL vs brute force."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.clause import Clause
+from repro.proofs.conflict_clause import ConflictClauseProof
+from repro.solver.cdcl import solve
+from repro.solver.dpll import dpll_solve
+from repro.verify.verification import verify_proof_v2
+
+from tests.conftest import brute_force_sat, cnf_formulas, random_formula
+
+
+class TestDpllReference:
+    def test_dpll_sat(self, tiny_sat):
+        result = dpll_solve(tiny_sat)
+        assert result.is_sat
+        assert tiny_sat.is_satisfied_by(result.model)
+
+    def test_dpll_unsat(self, tiny_unsat):
+        assert dpll_solve(tiny_unsat).is_unsat
+
+    def test_dpll_empty_clause(self):
+        from repro.core.formula import CnfFormula
+        assert dpll_solve(CnfFormula([[]])).is_unsat
+
+    def test_dpll_vs_bruteforce(self):
+        rng = random.Random(100)
+        for _ in range(60):
+            formula = random_formula(rng, rng.randint(2, 7),
+                                     rng.randint(2, 20))
+            assert dpll_solve(formula).is_sat == brute_force_sat(formula)
+
+
+class TestCdclVsDpll:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_seeded_batches(self, seed):
+        rng = random.Random(seed)
+        for _ in range(40):
+            formula = random_formula(rng, rng.randint(2, 9),
+                                     rng.randint(3, 35))
+            cdcl = solve(formula)
+            dpll = dpll_solve(formula)
+            assert cdcl.status == dpll.status, formula.clauses
+            if cdcl.is_sat:
+                assert formula.is_satisfied_by(cdcl.model)
+
+    @settings(max_examples=40, deadline=None)
+    @given(cnf_formulas(max_vars=8, max_clauses=30))
+    def test_hypothesis_formulas(self, formula):
+        cdcl = solve(formula)
+        dpll = dpll_solve(formula)
+        assert cdcl.status == dpll.status
+        if cdcl.is_sat:
+            assert formula.is_satisfied_by(cdcl.model)
+
+    @pytest.mark.parametrize("learning", ["1uip", "decision", "hybrid"])
+    @pytest.mark.parametrize("engine", ["watched", "counting"])
+    def test_all_configs_agree(self, learning, engine):
+        rng = random.Random(hash((learning, engine)) & 0xFFFF)
+        for _ in range(15):
+            formula = random_formula(rng, rng.randint(3, 8),
+                                     rng.randint(4, 30))
+            result = solve(formula, learning=learning, engine=engine,
+                           enable_deletion=(engine == "watched"))
+            assert result.status == dpll_solve(formula).status
+
+
+class TestEveryUnsatProofVerifies:
+    """The central invariant: every UNSAT verdict carries a correct,
+    independently verifiable proof."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_proofs_verify(self, seed):
+        rng = random.Random(1000 + seed)
+        unsat_seen = 0
+        for _ in range(50):
+            formula = random_formula(rng, rng.randint(3, 9),
+                                     rng.randint(10, 40))
+            result = solve(formula)
+            if not result.is_unsat:
+                continue
+            unsat_seen += 1
+            proof = ConflictClauseProof.from_log(result.log)
+            report = verify_proof_v2(formula, proof)
+            assert report.ok, formula.clauses
+        assert unsat_seen > 0  # the batch must exercise the UNSAT path
+
+    def test_duplicate_and_tautology_clauses(self):
+        from repro.core.formula import CnfFormula
+        formula = CnfFormula([[1, -1, 2], [1, 2], [1, 2], [-1, 2],
+                              [1, -2], [-1, -2], [2, -2]])
+        result = solve(formula)
+        assert result.is_unsat
+        proof = ConflictClauseProof.from_log(result.log)
+        assert verify_proof_v2(formula, proof).ok
+
+    def test_clause_objects_preserved(self):
+        from repro.core.formula import CnfFormula
+        formula = CnfFormula([Clause([1]), Clause([-1])])
+        result = solve(formula)
+        assert result.is_unsat
+        proof = ConflictClauseProof.from_log(result.log)
+        assert verify_proof_v2(formula, proof).ok

@@ -1,0 +1,140 @@
+"""Tests for transition systems and BMC unrolling."""
+
+import pytest
+
+from repro.bmc.transition import TransitionSystem
+from repro.bmc.unroll import unroll
+from repro.circuits.netlist import Circuit
+from repro.core.exceptions import ModelError
+from repro.solver.cdcl import solve
+
+
+def toggle_system(bad_at_one=False):
+    """One-bit toggler; optionally flags bad when the bit is 1."""
+    c = Circuit("toggle_step")
+    s = c.add_input("s")
+    c.set_output(c.NOT(s, name="next_s"))
+    if bad_at_one:
+        c.set_output(c.BUF(s, name="bad"))
+    else:
+        c.set_output(c.CONST0(name="bad"))
+    return TransitionSystem("toggle", c, ["s"], init={"s": False})
+
+
+class TestValidation:
+    def test_missing_next_output(self):
+        c = Circuit()
+        c.add_input("s")
+        c.set_output(c.CONST0(name="bad"))
+        with pytest.raises(ModelError, match="next_s"):
+            TransitionSystem("broken", c, ["s"])
+
+    def test_missing_bad_output(self):
+        c = Circuit()
+        s = c.add_input("s")
+        c.set_output(c.BUF(s, name="next_s"))
+        with pytest.raises(ModelError, match="bad"):
+            TransitionSystem("broken", c, ["s"])
+
+    def test_input_mismatch(self):
+        c = Circuit()
+        s = c.add_input("s")
+        c.add_input("extra")
+        c.set_output(c.BUF(s, name="next_s"))
+        c.set_output(c.CONST0(name="bad"))
+        with pytest.raises(ModelError, match="do not match"):
+            TransitionSystem("broken", c, ["s"])
+
+    def test_init_unknown_var(self):
+        c = Circuit()
+        s = c.add_input("s")
+        c.set_output(c.BUF(s, name="next_s"))
+        c.set_output(c.CONST0(name="bad"))
+        with pytest.raises(ModelError, match="unknown state"):
+            TransitionSystem("broken", c, ["s"], init={"zz": True})
+
+    def test_init_circuit_non_state_inputs(self):
+        c = Circuit()
+        s = c.add_input("s")
+        c.set_output(c.BUF(s, name="next_s"))
+        c.set_output(c.CONST0(name="bad"))
+        bad_init = Circuit()
+        bad_init.add_input("notstate")
+        bad_init.set_output(bad_init.BUF("notstate", name="ok"))
+        with pytest.raises(ModelError, match="non-state"):
+            TransitionSystem("broken", c, ["s"], init_circuit=bad_init)
+
+
+class TestSimulation:
+    def test_toggle_trace(self):
+        ts = toggle_system()
+        trace, bads = ts.run({"s": False}, [{}] * 4)
+        assert [frame["s"] for frame in trace] == [False, True, False,
+                                                   True, False]
+        assert bads == [False] * 4
+
+    def test_bad_flag(self):
+        ts = toggle_system(bad_at_one=True)
+        _, bads = ts.run({"s": False}, [{}] * 3)
+        assert bads == [False, True, False]
+
+    def test_init_contradiction_rejected(self):
+        ts = toggle_system()
+        with pytest.raises(ModelError, match="contradicts"):
+            ts.run({"s": True}, [])
+
+    def test_missing_input_rejected(self):
+        c = Circuit()
+        s = c.add_input("s")
+        c.add_input("go")
+        c.set_output(c.MUX("go", s, c.NOT(s), name="next_s"))
+        c.set_output(c.CONST0(name="bad"))
+        ts = TransitionSystem("gated", c, ["s"], ["go"],
+                              init={"s": False})
+        with pytest.raises(ModelError, match="missing input"):
+            ts.run({"s": False}, [{}])
+
+
+class TestUnroll:
+    def test_safe_system_unsat(self):
+        instance = unroll(toggle_system(), 5)
+        assert solve(instance.formula).is_unsat
+
+    def test_buggy_system_sat(self):
+        instance = unroll(toggle_system(bad_at_one=True), 3)
+        assert solve(instance.formula).is_sat
+
+    def test_bound_one_reaches_nothing(self):
+        # bad fires only when s is 1; from s=0, one step evaluates bad
+        # at frame 0 where s=0 — UNSAT.
+        instance = unroll(toggle_system(bad_at_one=True), 1)
+        assert solve(instance.formula).is_unsat
+
+    def test_bound_validation(self):
+        with pytest.raises(ModelError):
+            unroll(toggle_system(), 0)
+
+    def test_frames_exposed(self):
+        instance = unroll(toggle_system(), 3)
+        assert len(instance.state_literals) == 4
+        assert len(instance.bad_literals) == 3
+        assert len(instance.input_literals) == 3
+
+    def test_without_bad_assertion_sat(self):
+        instance = unroll(toggle_system(), 3, assert_bad=False)
+        assert solve(instance.formula).is_sat
+
+    def test_init_circuit_constrains_frame0(self):
+        c = Circuit()
+        s = c.add_input("s")
+        t = c.add_input("t")
+        c.set_output(c.BUF(s, name="next_s"))
+        c.set_output(c.BUF(t, name="next_t"))
+        # bad when s == t: with init s != t (via circuit), UNSAT.
+        c.set_output(c.XNOR(s, t, name="bad"))
+        init = Circuit()
+        init.add_input("s")
+        init.add_input("t")
+        init.set_output(init.add_gate("XOR", ("s", "t"), name="ok"))
+        ts = TransitionSystem("pair", c, ["s", "t"], init_circuit=init)
+        assert solve(unroll(ts, 4).formula).is_unsat

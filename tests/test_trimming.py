@@ -1,0 +1,87 @@
+"""Tests for proof trimming (the Section 4 corollary)."""
+
+import random
+
+import pytest
+
+from repro.benchgen.php import pigeonhole
+from repro.core.exceptions import ReproError
+from repro.core.formula import CnfFormula
+from repro.proofs.conflict_clause import (
+    ENDING_FINAL_PAIR,
+    ConflictClauseProof,
+)
+from repro.solver.cdcl import solve
+from repro.verify.trimming import trim_proof
+from repro.verify.verification import verify_proof_v1, verify_proof_v2
+
+from tests.conftest import random_formula
+
+
+def proof_of(formula, **kwargs):
+    result = solve(formula, **kwargs)
+    assert result.is_unsat
+    return ConflictClauseProof.from_log(result.log)
+
+
+class TestTrim:
+    def test_junk_clause_removed(self):
+        formula = CnfFormula([[1, 2], [1, -2], [-1, 2], [-1, -2]])
+        proof = ConflictClauseProof([(1, 5), (1,), (-1,)],
+                                    ENDING_FINAL_PAIR)
+        result = trim_proof(formula, proof)
+        assert result.clauses_removed == 1
+        assert result.literals_removed == 2
+        assert result.trimmed.clauses == [(1,), (-1,)]
+
+    def test_trimmed_proof_verifies_both_ways(self):
+        formula = pigeonhole(4)
+        result = trim_proof(formula, proof_of(formula))
+        assert verify_proof_v1(formula, result.trimmed).ok
+        assert verify_proof_v2(formula, result.trimmed).ok
+
+    def test_trim_is_idempotent(self):
+        formula = pigeonhole(4)
+        once = trim_proof(formula, proof_of(formula))
+        twice = trim_proof(formula, once.trimmed)
+        # A second pass may shave a little more (different conflicts),
+        # but never grows the proof.
+        assert len(twice.trimmed) <= len(once.trimmed)
+
+    def test_order_preserved(self):
+        formula = pigeonhole(3)
+        proof = proof_of(formula)
+        result = trim_proof(formula, proof)
+        assert list(result.kept_indices) == sorted(result.kept_indices)
+        positions = [proof.clauses.index(c, 0)
+                     for c in result.trimmed.clauses[:3]]
+        assert positions == sorted(positions)
+
+    def test_incorrect_proof_rejected(self):
+        sat_formula = CnfFormula([[1, 2, 3]])
+        bogus = ConflictClauseProof([(1,), (-1,)], ENDING_FINAL_PAIR)
+        with pytest.raises(ReproError):
+            trim_proof(sat_formula, bogus)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_trims_verify(self, seed):
+        rng = random.Random(900 + seed)
+        unsat_seen = 0
+        for _ in range(20):
+            formula = random_formula(rng, 8, 35)
+            result = solve(formula)
+            if not result.is_unsat:
+                continue
+            unsat_seen += 1
+            proof = ConflictClauseProof.from_log(result.log)
+            trim = trim_proof(formula, proof)
+            assert verify_proof_v2(formula, trim.trimmed).ok
+            assert len(trim.trimmed) <= len(proof)
+        assert unsat_seen > 0
+
+    def test_real_instance_actually_shrinks(self):
+        formula = pigeonhole(5)
+        proof = proof_of(formula, restart_base=10)
+        trim = trim_proof(formula, proof)
+        assert trim.clauses_removed > 0
+        assert verify_proof_v2(formula, trim.trimmed).ok

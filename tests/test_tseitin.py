@@ -1,0 +1,126 @@
+"""Tests for the Tseitin encoder.
+
+The central property: for every input assignment, the encoding (with the
+inputs fixed by unit clauses) is satisfiable, and in any model the output
+literal's value equals the circuit simulation.
+"""
+
+import random
+
+import pytest
+
+from repro.circuits.library import ripple_carry_adder
+from repro.circuits.netlist import Circuit
+from repro.circuits.tseitin import TseitinEncoder, encode_circuit
+from repro.solver.cdcl import solve
+
+
+def simulation_consistent(circuit, trials=20, seed=0):
+    rng = random.Random(seed)
+    formula, literal = encode_circuit(circuit)
+    for _ in range(trials):
+        assignment = {net: rng.random() < 0.5 for net in circuit.inputs}
+        values = circuit.simulate(assignment)
+        probe = formula.copy()
+        for net in circuit.inputs:
+            lit = literal[net]
+            probe.add_clause([lit if assignment[net] else -lit])
+        result = solve(probe, log_proof=False)
+        assert result.is_sat, f"encoding UNSAT under {assignment}"
+        for net in circuit.outputs:
+            lit = literal[net]
+            value = (result.model[abs(lit)] if lit > 0
+                     else not result.model[abs(lit)])
+            assert value == values[net], (net, assignment)
+
+
+class TestGateEncodings:
+    def gate_circuit(self, op, arity):
+        c = Circuit(op)
+        ins = c.add_inputs([f"i{k}" for k in range(arity)])
+        c.set_output(c.add_gate(op, ins, name="y"))
+        return c
+
+    @pytest.mark.parametrize("op,arity", [
+        ("AND", 3), ("OR", 3), ("NAND", 2), ("NOR", 3),
+        ("XOR", 2), ("XNOR", 2), ("MUX", 3), ("BUF", 1), ("NOT", 1),
+    ])
+    def test_single_gate(self, op, arity):
+        simulation_consistent(self.gate_circuit(op, arity), trials=16)
+
+    def test_constants(self):
+        c = Circuit()
+        c.add_input("a")  # unused input so trials vary
+        c.set_output(c.CONST1(name="one"))
+        c.set_output(c.CONST0(name="zero"))
+        simulation_consistent(c, trials=4)
+
+    def test_not_uses_no_new_variable(self):
+        c = Circuit()
+        a = c.add_input("a")
+        c.set_output(c.NOT(a, name="y"))
+        formula, literal = encode_circuit(c)
+        assert literal["y"] == -literal["a"]
+
+    def test_buf_aliases(self):
+        c = Circuit()
+        a = c.add_input("a")
+        c.set_output(c.BUF(a, name="y"))
+        _, literal = encode_circuit(c)
+        assert literal["y"] == literal["a"]
+
+
+class TestComposite:
+    def test_adder_encoding(self):
+        simulation_consistent(ripple_carry_adder(3), trials=25)
+
+    def test_forced_output_unsat_when_impossible(self):
+        c = Circuit()
+        a = c.add_input("a")
+        y = c.AND(a, c.NOT(a), name="y")
+        c.set_output(y)
+        encoder = TseitinEncoder()
+        literal = encoder.encode(c)
+        encoder.assert_true(literal["y"])
+        assert solve(encoder.formula).is_unsat
+
+
+class TestEncoderMechanics:
+    def test_new_vars_sequential(self):
+        encoder = TseitinEncoder()
+        assert encoder.new_var("x") == 1
+        assert encoder.new_var() == 2
+        assert encoder.names[1] == "x"
+
+    def test_new_bus(self):
+        encoder = TseitinEncoder()
+        assert encoder.new_bus("b", 3) == [1, 2, 3]
+
+    def test_true_var_singleton(self):
+        encoder = TseitinEncoder()
+        assert encoder.true_var() == encoder.true_var()
+        assert encoder.constant(True) == -encoder.constant(False)
+
+    def test_binding_shares_variables(self):
+        c = Circuit()
+        a = c.add_input("a")
+        c.set_output(c.NOT(a, name="y"))
+        encoder = TseitinEncoder()
+        shared = encoder.new_var("shared")
+        first = encoder.encode(c, {"a": shared})
+        second = encoder.encode(c, {"a": shared})
+        assert first["a"] == second["a"] == shared
+
+    def test_two_instances_consistent(self):
+        """Two instantiations over shared inputs are equal: the miter
+        XOR of their outputs is UNSAT when asserted."""
+        circuit = ripple_carry_adder(2)
+        encoder = TseitinEncoder()
+        first = encoder.encode(circuit)
+        binding = {net: first[net] for net in circuit.inputs}
+        second = encoder.encode(circuit, binding, prefix="b.")
+        x = first["s[0]"]
+        y = second["s[0]"]
+        encoder.add_clause([x, y])
+        encoder.add_clause([-x, -y])
+        assert solve(encoder.formula).is_unsat
