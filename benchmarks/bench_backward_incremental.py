@@ -1,0 +1,151 @@
+"""Benchmark: rebuild vs incremental vs parallel Proof_verification1.
+
+Measures what the incremental backward engine buys on the paper's
+Table 1 instances: wall-clock verification time plus the engine's
+propagation counters (assignments, watch visits, clause visits, purged
+watch entries).  The ``rebuild`` rows re-pay the full unit pass per
+check; ``incremental`` keeps the persistent root trail and retires
+clauses behind the moving ceiling; ``parallel`` runs the incremental
+checker sharded across a process pool.
+
+Runs in two forms:
+
+* under pytest (``pytest benchmarks/ --benchmark-only``) as table rows
+  alongside the other paper-table benchmarks;
+* standalone (``python benchmarks/bench_backward_incremental.py``),
+  appending one JSON record per (instance, variant) to
+  ``BENCH_verification.json`` for trend tracking in CI.
+"""
+
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if __name__ == "__main__":  # standalone: make src/ + repo root importable
+    for path in (REPO_ROOT / "src", REPO_ROOT):
+        if str(path) not in sys.path:
+            sys.path.insert(0, str(path))
+
+import pytest
+
+from repro.verify.parallel import default_jobs
+from repro.verify.verification import verify_proof_v1
+
+from benchmarks.conftest import (
+    TableCollector,
+    register_collector,
+    solved_instance,
+)
+
+INCREMENTAL_INSTANCES = ("eq_add8", "barrel5", "stack8_8", "w6_10",
+                         "pipe_2")
+VARIANTS = ("rebuild", "incremental", "parallel")
+
+_table = register_collector(TableCollector(
+    "Backward verification1: rebuild vs incremental vs parallel",
+    f"{'Name':<10} {'variant':<12} {'jobs':>4} {'time(s)':>8} "
+    f"{'assigns':>10} {'watch_vis':>10} {'purged':>8}"))
+
+# rebuild-variant counters per instance, for the reduction assertion.
+_rebuild_counters: dict[str, dict[str, int]] = {}
+
+
+def run_variant(formula, proof, variant: str, jobs: int):
+    if variant == "rebuild":
+        return verify_proof_v1(formula, proof, mode="rebuild")
+    if variant == "incremental":
+        return verify_proof_v1(formula, proof, mode="incremental")
+    return verify_proof_v1(formula, proof, mode="incremental", jobs=jobs)
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+@pytest.mark.parametrize("name", INCREMENTAL_INSTANCES)
+def test_backward_incremental(benchmark, name, variant):
+    data = solved_instance(name)
+    jobs = default_jobs() if variant == "parallel" else 1
+
+    report = benchmark.pedantic(
+        run_variant, args=(data.formula, data.proof, variant, jobs),
+        rounds=1, iterations=1)
+
+    assert report.ok
+    assert report.num_checked == len(data.proof)
+    counters = report.bcp_counters
+    if variant == "rebuild":
+        _rebuild_counters[name] = counters
+    elif variant == "incremental" and name in _rebuild_counters:
+        base = _rebuild_counters[name]
+        assert counters["assignments"] + counters["watch_visits"] \
+            < base["assignments"] + base["watch_visits"], (
+            "incremental mode must reduce propagation work vs rebuild")
+    _table.add(
+        f"{name:<10} {variant:<12} {jobs:>4} "
+        f"{report.verification_time:>8.3f} "
+        f"{counters['assignments']:>10,} "
+        f"{counters['watch_visits']:>10,} {counters['purged']:>8,}")
+
+
+# -- standalone entry point ---------------------------------------------------
+
+def bench_records(instances, jobs: int) -> list[dict]:
+    """One record per (instance, variant), ready for JSON appending."""
+    records = []
+    for name in instances:
+        data = solved_instance(name)
+        for variant in VARIANTS:
+            used_jobs = jobs if variant == "parallel" else 1
+            report = run_variant(data.formula, data.proof, variant,
+                                 used_jobs)
+            assert report.ok, f"{name}/{variant} failed verification"
+            records.append({
+                "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ",
+                                           time.gmtime()),
+                "instance": name,
+                "variant": variant,
+                "mode": report.mode,
+                "jobs": report.jobs,
+                "ok": report.ok,
+                "num_checked": report.num_checked,
+                "verification_time": round(report.verification_time, 6),
+                "counters": report.bcp_counters,
+            })
+            print(f"{name:<10} {variant:<12} jobs={report.jobs} "
+                  f"time={report.verification_time:.3f}s "
+                  f"assignments={report.bcp_counters['assignments']:,} "
+                  f"watch_visits={report.bcp_counters['watch_visits']:,}")
+    return records
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Benchmark rebuild/incremental/parallel backward "
+                    "verification and append records to a JSON log.")
+    parser.add_argument("--instances", nargs="+",
+                        default=list(INCREMENTAL_INSTANCES),
+                        help="registry instance names "
+                             f"(default: {' '.join(INCREMENTAL_INSTANCES)})")
+    parser.add_argument("--jobs", type=int,
+                        default=max(2, default_jobs()),
+                        help="worker processes for the parallel variant "
+                             "(min 2, so the pool path always runs)")
+    parser.add_argument("--output", type=Path,
+                        default=REPO_ROOT / "BENCH_verification.json",
+                        help="JSON file to append records to")
+    args = parser.parse_args(argv)
+
+    records = bench_records(args.instances, args.jobs)
+    existing = []
+    if args.output.exists():
+        existing = json.loads(args.output.read_text())
+    existing.extend(records)
+    args.output.write_text(json.dumps(existing, indent=2) + "\n")
+    print(f"appended {len(records)} records to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

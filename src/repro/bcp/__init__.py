@@ -10,14 +10,23 @@ prerequisite (Section 2):
 """
 
 from repro.bcp.counting import CountingPropagator
-from repro.bcp.engine import FALSE, TRUE, UNDEF, PropagatorBase
+from repro.bcp.engine import (
+    FALSE,
+    NO_CEILING,
+    TRUE,
+    UNDEF,
+    PropagationCounters,
+    PropagatorBase,
+)
 from repro.bcp.watched import WatchedPropagator
 
 __all__ = [
     "PropagatorBase",
     "WatchedPropagator",
     "CountingPropagator",
+    "PropagationCounters",
     "TRUE",
     "FALSE",
     "UNDEF",
+    "NO_CEILING",
 ]

@@ -17,11 +17,17 @@ Counters are maintained at *enqueue* time, so they always agree with the
 ``values`` array.  Limitation: clause removal is unsupported (counters
 would need a rebuild), so a solver using this engine must disable
 learned-clause deletion.
+
+Retirement (:meth:`PropagatorBase.retire_above`) lazily purges retired
+cids from the occurrence lists as they are scanned; the n_true/n_false
+counters of *retired* clauses are allowed to drift afterwards (their
+occurrence entries disappear asymmetrically), which is harmless because
+retired clauses are never consulted again.
 """
 
 from __future__ import annotations
 
-from repro.bcp.engine import FALSE, TRUE, UNDEF, PropagatorBase
+from repro.bcp.engine import FALSE, NO_CEILING, TRUE, UNDEF, PropagatorBase
 
 
 class CountingPropagator(PropagatorBase):
@@ -58,6 +64,18 @@ class CountingPropagator(PropagatorBase):
         raise NotImplementedError(
             "CountingPropagator does not support clause removal")
 
+    def _purge_retired(self, occs: list[int]) -> None:
+        """Drop retired cids from an occurrence list in place."""
+        retire = self.retire_ceiling
+        j = 0
+        for cid in occs:
+            if cid < retire:
+                occs[j] = cid
+                j += 1
+        if j != len(occs):
+            self.counters.purged += len(occs) - j
+            del occs[j:]
+
     def enqueue(self, enc: int, reason: int | None) -> bool:
         current = self.values[enc]
         if current == TRUE:
@@ -65,21 +83,27 @@ class CountingPropagator(PropagatorBase):
         if current == FALSE:
             return False
         super().enqueue(enc, reason)
+        retire = self.retire_ceiling
         n_true = self.n_true
         n_false = self.n_false
         for cid in self.occurrences[enc]:
-            n_true[cid] += 1
+            if cid < retire:
+                n_true[cid] += 1
         for cid in self.occurrences[enc ^ 1]:
-            n_false[cid] += 1
+            if cid < retire:
+                n_false[cid] += 1
         return True
 
     def _on_unassign(self, enc: int, pos: int) -> None:
+        retire = self.retire_ceiling
         n_true = self.n_true
         n_false = self.n_false
         for cid in self.occurrences[enc]:
-            n_true[cid] -= 1
+            if cid < retire:
+                n_true[cid] -= 1
         for cid in self.occurrences[enc ^ 1]:
-            n_false[cid] -= 1
+            if cid < retire:
+                n_false[cid] -= 1
 
     def propagate(self, ceiling: int | None = None) -> int | None:
         standing = self._standing_conflict(ceiling)
@@ -89,23 +113,36 @@ class CountingPropagator(PropagatorBase):
         clauses = self.clauses
         n_false = self.n_false
         n_true = self.n_true
-        while self.qhead < len(self.trail):
-            enc = self.trail[self.qhead]
-            self.qhead += 1
-            # Clauses containing ¬enc just lost a literal; find the ones
-            # that became unit or empty.
-            for cid in self.occurrences[enc ^ 1]:
-                if ceiling is not None and cid >= ceiling:
-                    continue
-                if n_true[cid]:
-                    continue
-                clause = clauses[cid]
-                remaining = len(clause) - n_false[cid]
-                if remaining == 0:
-                    return cid
-                if remaining == 1:
-                    for lit in clause:
-                        if values[lit] == UNDEF:
-                            self.enqueue(lit, cid)
-                            break
-        return None
+        retire = self.retire_ceiling
+        counters = self.counters
+        visits = 0
+        body_visits = 0
+        try:
+            while self.qhead < len(self.trail):
+                enc = self.trail[self.qhead]
+                self.qhead += 1
+                # Clauses containing ¬enc just lost a literal; find the
+                # ones that became unit or empty.
+                occs = self.occurrences[enc ^ 1]
+                if retire != NO_CEILING:
+                    self._purge_retired(occs)
+                for cid in occs:
+                    visits += 1
+                    if ceiling is not None and cid >= ceiling:
+                        continue
+                    if n_true[cid]:
+                        continue
+                    body_visits += 1
+                    clause = clauses[cid]
+                    remaining = len(clause) - n_false[cid]
+                    if remaining == 0:
+                        return cid
+                    if remaining == 1:
+                        for lit in clause:
+                            if values[lit] == UNDEF:
+                                self.enqueue(lit, cid)
+                                break
+            return None
+        finally:
+            counters.watch_visits += visits
+            counters.clause_visits += body_visits

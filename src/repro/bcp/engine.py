@@ -21,9 +21,51 @@ Conventions
 
 from __future__ import annotations
 
+import sys
+from dataclasses import asdict, dataclass
+
 TRUE = 1
 FALSE = -1
 UNDEF = 0
+
+# Sentinel for "no clause is retired": larger than any clause id, so the
+# hot loops can compare against it without a None test.
+NO_CEILING = sys.maxsize
+
+
+@dataclass
+class PropagationCounters:
+    """Observable BCP work, accumulated across propagate() calls.
+
+    The backward-verification speedups (persistent root trail, watch
+    purging) are claimed in these units, so both engines maintain them:
+
+    * ``assignments`` — literals actually assigned (enqueued and new);
+    * ``watch_visits`` — watch-list / occurrence-list entries scanned;
+    * ``clause_visits`` — clause bodies inspected (past the ceiling and
+      retirement filters);
+    * ``purged`` — retired entries lazily dropped from watch/occurrence
+      lists by :meth:`PropagatorBase.retire_above`;
+    * ``detach_misses`` — ``_detach`` calls that found a watch entry
+      already gone (e.g. purged after retirement); a nonzero value is
+      normal only for retired clauses.
+    """
+
+    assignments: int = 0
+    watch_visits: int = 0
+    clause_visits: int = 0
+    purged: int = 0
+    detach_misses: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return asdict(self)
+
+    def reset(self) -> None:
+        self.assignments = 0
+        self.watch_visits = 0
+        self.clause_visits = 0
+        self.purged = 0
+        self.detach_misses = 0
 
 
 class PropagatorBase:
@@ -46,6 +88,11 @@ class PropagatorBase:
         # (unit clauses carry no watches, so this cannot be detected by
         # the watch machinery).
         self.conflict_unit_cid: int | None = None
+        # Clauses with id >= retire_ceiling are permanently out of play:
+        # they neither propagate nor conflict, and their watch/occurrence
+        # entries are lazily purged as the lists are scanned.
+        self.retire_ceiling: int = NO_CEILING
+        self.counters = PropagationCounters()
         self.ensure_vars(num_vars)
 
     # -- variable / clause management ------------------------------------
@@ -101,9 +148,24 @@ class PropagatorBase:
         """A conflict that exists independently of the propagation queue:
         an empty clause, or a level-0-falsified unit clause."""
         for cid in (self.empty_clause_cid, self.conflict_unit_cid):
-            if cid is not None and (ceiling is None or cid < ceiling):
+            if cid is not None and (ceiling is None or cid < ceiling) \
+                    and cid < self.retire_ceiling:
                 return cid
         return None
+
+    def retire_above(self, ceiling: int) -> None:
+        """Permanently exclude clauses with id ``>= ceiling`` from BCP.
+
+        Backward proof verification moves its clause ceiling monotonically
+        down, so clauses above the frontier are never needed again.
+        Retiring them lets the propagation loops *drop* their
+        watch/occurrence entries on the next scan (counted in
+        ``counters.purged``) instead of re-testing a per-call ceiling on
+        every visit forever.  The retirement ceiling only moves down;
+        raising it again is impossible because purged entries are gone.
+        """
+        if ceiling < self.retire_ceiling:
+            self.retire_ceiling = ceiling
 
     def _attach(self, cid: int) -> None:
         """Subclass hook: register the clause with the propagation index."""
@@ -151,6 +213,7 @@ class PropagatorBase:
         self.levels[var] = len(self.trail_lim)
         self.reasons[var] = reason
         self.trail.append(enc)
+        self.counters.assignments += 1
         return True
 
     def assume(self, enc: int) -> bool:
@@ -179,6 +242,32 @@ class PropagatorBase:
         del self.trail[limit:]
         del self.trail_lim[level:]
         self.qhead = limit
+
+    def unwind_to(self, pos: int) -> None:
+        """Unassign ``trail[pos:]`` without closing any decision level.
+
+        The incremental backward checker uses this to retract only the
+        suffix of the persistent root trail whose reasons crossed the
+        moving ceiling; ``pos`` must not cut below an open decision level
+        boundary (the caller retracts within the root level only).
+        """
+        if pos >= len(self.trail):
+            return
+        if self.trail_lim and pos < self.trail_lim[-1]:
+            raise ValueError(
+                f"unwind_to({pos}) would cross the decision-level "
+                f"boundary at {self.trail_lim[-1]}; use backtrack()")
+        values = self.values
+        for p in range(len(self.trail) - 1, pos - 1, -1):
+            enc = self.trail[p]
+            values[enc] = UNDEF
+            values[enc ^ 1] = UNDEF
+            var = enc >> 1
+            self.levels[var] = -1
+            self.reasons[var] = None
+            self._on_unassign(enc, p)
+        del self.trail[pos:]
+        self.qhead = min(self.qhead, pos)
 
     def _on_unassign(self, enc: int, pos: int) -> None:
         """Subclass hook: undo per-assignment state (counters).

@@ -46,7 +46,11 @@ class WatchedPropagator(PropagatorBase):
             try:
                 watchlist.remove(cid)
             except ValueError:
-                pass
+                # A missing entry is legitimate only when retirement
+                # already purged it from the list; it is counted rather
+                # than silently swallowed so double-scan bugs surface in
+                # the instrumentation.
+                self.counters.detach_misses += 1
 
     def propagate(self, ceiling: int | None = None) -> int | None:
         standing = self._standing_conflict(ceiling)
@@ -55,58 +59,78 @@ class WatchedPropagator(PropagatorBase):
         values = self.values
         clauses = self.clauses
         watches = self.watches
-        while self.qhead < len(self.trail):
-            enc = self.trail[self.qhead]
-            self.qhead += 1
-            false_lit = enc ^ 1
-            watchlist = watches[false_lit]
-            i = 0
-            j = 0
-            end = len(watchlist)
-            while i < end:
-                cid = watchlist[i]
-                i += 1
-                if ceiling is not None and cid >= ceiling:
-                    watchlist[j] = cid
-                    j += 1
-                    continue
-                clause = clauses[cid]
-                # Normalize: the false watch sits at position 1.
-                if clause[0] == false_lit:
-                    clause[0] = clause[1]
-                    clause[1] = false_lit
-                first = clause[0]
-                if values[first] == TRUE:
-                    watchlist[j] = cid
-                    j += 1
-                    continue
-                moved = False
-                for k in range(2, len(clause)):
-                    other = clause[k]
-                    if values[other] != FALSE:
-                        clause[1] = other
-                        clause[k] = false_lit
-                        watches[other].append(cid)
-                        moved = True
-                        break
-                if moved:
-                    continue
-                # No replacement: the clause is unit or conflicting.
-                watchlist[j] = cid
-                j += 1
-                if values[first] == FALSE:
-                    # Conflict: keep the rest of the watch list intact.
-                    while i < end:
-                        watchlist[j] = watchlist[i]
+        retire = self.retire_ceiling
+        counters = self.counters
+        visits = 0
+        body_visits = 0
+        assigns = 0
+        purged = 0
+        try:
+            while self.qhead < len(self.trail):
+                enc = self.trail[self.qhead]
+                self.qhead += 1
+                false_lit = enc ^ 1
+                watchlist = watches[false_lit]
+                i = 0
+                j = 0
+                end = len(watchlist)
+                while i < end:
+                    cid = watchlist[i]
+                    i += 1
+                    visits += 1
+                    if cid >= retire:
+                        # Lazily purge the retired entry: do not copy it
+                        # back, so this list never re-visits it.
+                        purged += 1
+                        continue
+                    if ceiling is not None and cid >= ceiling:
+                        watchlist[j] = cid
                         j += 1
-                        i += 1
-                    del watchlist[j:]
-                    return cid
-                self.values[first] = TRUE
-                self.values[first ^ 1] = FALSE
-                var = first >> 1
-                self.levels[var] = len(self.trail_lim)
-                self.reasons[var] = cid
-                self.trail.append(first)
-            del watchlist[j:]
-        return None
+                        continue
+                    body_visits += 1
+                    clause = clauses[cid]
+                    # Normalize: the false watch sits at position 1.
+                    if clause[0] == false_lit:
+                        clause[0] = clause[1]
+                        clause[1] = false_lit
+                    first = clause[0]
+                    if values[first] == TRUE:
+                        watchlist[j] = cid
+                        j += 1
+                        continue
+                    moved = False
+                    for k in range(2, len(clause)):
+                        other = clause[k]
+                        if values[other] != FALSE:
+                            clause[1] = other
+                            clause[k] = false_lit
+                            watches[other].append(cid)
+                            moved = True
+                            break
+                    if moved:
+                        continue
+                    # No replacement: the clause is unit or conflicting.
+                    watchlist[j] = cid
+                    j += 1
+                    if values[first] == FALSE:
+                        # Conflict: keep the rest of the watch list intact.
+                        while i < end:
+                            watchlist[j] = watchlist[i]
+                            j += 1
+                            i += 1
+                        del watchlist[j:]
+                        return cid
+                    assigns += 1
+                    self.values[first] = TRUE
+                    self.values[first ^ 1] = FALSE
+                    var = first >> 1
+                    self.levels[var] = len(self.trail_lim)
+                    self.reasons[var] = cid
+                    self.trail.append(first)
+                del watchlist[j:]
+            return None
+        finally:
+            counters.watch_visits += visits
+            counters.clause_visits += body_visits
+            counters.assignments += assigns
+            counters.purged += purged

@@ -68,6 +68,18 @@ def _build_parser() -> argparse.ArgumentParser:
     verify_cmd.add_argument("proof", help="the proof trace file")
     verify_cmd.add_argument("--procedure", default="verification2",
                             choices=["verification1", "verification2"])
+    verify_cmd.add_argument("--order", default="backward",
+                            choices=["backward", "forward"],
+                            help="check order (verification1 only; the "
+                                 "verdict is order-independent)")
+    verify_cmd.add_argument("--mode", default="incremental",
+                            choices=["rebuild", "incremental"],
+                            help="checker state management: keep a "
+                                 "persistent root trail (incremental, "
+                                 "default) or re-assert units per check")
+    verify_cmd.add_argument("--jobs", type=int, default=1, metavar="N",
+                            help="worker processes for verification1 "
+                                 "(default 1: sequential)")
 
     core_cmd = sub.add_parser(
         "core", help="extract an unsat core from a verified proof")
@@ -146,10 +158,25 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 def _cmd_verify(args: argparse.Namespace) -> int:
     formula = read_dimacs(args.cnf)
     proof = read_proof(args.proof)
-    report = verify_proof(formula, proof, procedure=args.procedure)
+    if args.jobs < 1:
+        print("c --jobs must be >= 1", file=sys.stderr)
+        return 2
+    if args.procedure == "verification2" and (args.order != "backward"
+                                              or args.jobs != 1):
+        print("c --order/--jobs require --procedure verification1",
+              file=sys.stderr)
+        return 2
+    report = verify_proof(formula, proof, procedure=args.procedure,
+                          order=args.order, mode=args.mode,
+                          jobs=args.jobs)
     print(f"s {report.outcome.upper()}")
     print(f"c checked={report.num_checked} skipped={report.num_skipped}"
-          f" time={report.verification_time:.3f}s")
+          f" time={report.verification_time:.3f}s"
+          f" mode={report.mode} jobs={report.jobs}")
+    if report.bcp_counters is not None:
+        pairs = " ".join(f"{key}={value}"
+                         for key, value in report.bcp_counters.items())
+        print(f"c bcp: {pairs}")
     if not report.ok:
         print(f"c questionable clause at chronological index "
               f"{report.failed_clause_index}: "

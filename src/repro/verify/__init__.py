@@ -1,6 +1,6 @@
 """Conflict clause proof verification — the paper's contribution."""
 
-from repro.verify.checker import CheckOutcome, ProofChecker
+from repro.verify.checker import CHECKER_MODES, CheckOutcome, ProofChecker
 from repro.verify.conflict_analysis import mark_responsible
 from repro.verify.core_extraction import extract_core, validate_core
 from repro.verify.report import (
@@ -33,6 +33,7 @@ __all__ = [
     "ReconstructionResult",
     "ProofChecker",
     "CheckOutcome",
+    "CHECKER_MODES",
     "mark_responsible",
     "extract_core",
     "validate_core",

@@ -6,14 +6,36 @@ position ``i``, it falsifies ``C`` (assigns the paper's ``R``) and runs
 BCP over ``F ∪ F*_{<i}`` — realized with the engine's clause *ceiling*,
 so no clauses are ever re-added or removed between checks.
 
-Decision level 0 is kept empty (unit clauses are re-asserted inside each
-check, filtered by the ceiling), which makes checks fully independent:
-each one opens level 1, enqueues assumptions and applicable units,
-propagates, and is undone by a single backtrack.
+Two state-management modes are supported:
+
+``rebuild`` (the original, order-agnostic path)
+    Decision level 0 is kept empty; each check opens level 1, enqueues
+    the assumptions *and* every applicable unit clause, propagates, and
+    is undone by a single backtrack.  Every check re-pays the full unit
+    pass, but checks are completely independent of order and history.
+
+``incremental`` (the backward-verification fast path)
+    The unit closure of ``F ∪ F*_{<ceiling}`` is kept as a *persistent
+    root trail* on its own decision level.  While the ceiling moves
+    monotonically (down during a backward pass, up during a forward
+    one), only the root suffix whose reason cids crossed the ceiling is
+    retracted and re-propagated; each check then only asserts ``R`` on a
+    fresh level above the root.  With ``retire=True`` (valid for
+    monotonically *decreasing* ceilings only) the checker additionally
+    calls :meth:`PropagatorBase.retire_above`, letting the engine purge
+    dead clauses from its watch/occurrence lists.  This is the
+    DRAT-trim/window-shifting observation: backward checking is
+    monotone, so root state and watch lists only ever shrink.
+
+Both modes produce the same verdict for every check (BCP conflict
+existence is order-invariant); the conflicting clause they report — and
+hence the marked sets of ``Proof_verification2`` — may differ when a
+check admits several distinct conflicts.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass
 
 from repro.bcp.engine import FALSE, TRUE, PropagatorBase
@@ -21,6 +43,8 @@ from repro.bcp.watched import WatchedPropagator
 from repro.core.formula import CnfFormula
 from repro.core.literals import encode
 from repro.proofs.conflict_clause import ConflictClauseProof
+
+CHECKER_MODES = ("rebuild", "incremental")
 
 
 @dataclass
@@ -41,9 +65,19 @@ class ProofChecker:
     """BCP-based checker over ``F ∪ F*`` with a movable clause ceiling."""
 
     def __init__(self, formula: CnfFormula, proof: ConflictClauseProof,
-                 engine_cls: type[PropagatorBase] = WatchedPropagator):
+                 engine_cls: type[PropagatorBase] = WatchedPropagator,
+                 mode: str = "rebuild", retire: bool = True):
+        if mode not in CHECKER_MODES:
+            raise ValueError(f"unknown checker mode {mode!r}; "
+                             f"expected one of {CHECKER_MODES}")
         self.formula = formula
         self.proof = proof
+        self.mode = mode
+        # Retirement permanently removes clauses above the ceiling from
+        # the engine, which is only sound when the ceiling never rises
+        # again (a pure backward pass).  Shard workers that may revisit
+        # higher ceilings pass retire=False.
+        self.retire = retire and mode == "incremental"
         num_vars = max(formula.num_vars, proof.max_var())
         self.engine = engine_cls(num_vars)
         self.num_input = formula.num_clauses
@@ -53,6 +87,14 @@ class ProofChecker:
             self._load([encode(lit) for lit in clause.literals])
         for lits in proof:
             self._load([encode(lit) for lit in lits])
+        self._unit_cids = [cid for cid, _ in self.units]
+        # Persistent-root bookkeeping (incremental mode only).
+        self._root_ceiling: int | None = None
+        self._root_conflict: int | None = None
+        # reason cid -> trail position of the root assignment it
+        # justifies (each asserted clause justifies at most one literal).
+        self._root_reason_pos: dict[int, int] = {}
+        self._prop_ceiling: int | None = None
 
     def _load(self, enc_lits: list[int]) -> int:
         cid = self.engine.add_clause(enc_lits, propagate_units=False)
@@ -70,6 +112,8 @@ class ProofChecker:
         Leaves the engine at the post-propagation state so the caller can
         run conflict analysis for marking; call :meth:`reset` afterwards.
         """
+        if self.mode == "incremental":
+            return self._check_incremental(index)
         engine = self.engine
         ceiling = self.num_input + index
         engine.new_level()
@@ -100,5 +144,166 @@ class ProofChecker:
         return CheckOutcome(conflict=False)
 
     def reset(self) -> None:
-        """Undo the last check (the engine keeps nothing at level 0)."""
-        self.engine.backtrack(0)
+        """Undo the last check (the persistent root, if any, survives)."""
+        if self.mode == "incremental":
+            self.engine.backtrack(1)
+        else:
+            self.engine.backtrack(0)
+
+    # -- incremental mode -------------------------------------------------
+
+    def _check_incremental(self, index: int) -> CheckOutcome:
+        ceiling = self.num_input + index
+        self._sync_root(ceiling)
+        engine = self.engine
+        if self._root_conflict is not None:
+            # F ∪ F*_{<index} is unit-refutable on its own: every check
+            # at this ceiling trivially conflicts.
+            return CheckOutcome(conflict=True,
+                                confl_cid=self._root_conflict)
+        engine.new_level()
+        for lit in self.proof[index]:
+            enc_neg = encode(lit) ^ 1
+            value = engine.value(enc_neg)
+            if value == TRUE:
+                continue
+            if value == FALSE:
+                # Falsified either by a sibling assumption (tautological
+                # clause — nothing responsible) or by a root assignment,
+                # whose reason clause then carries the conflict.
+                return CheckOutcome(conflict=True,
+                                    confl_cid=engine.reasons[enc_neg >> 1])
+            engine.enqueue(enc_neg, None)
+        confl = engine.propagate(self._prop_ceiling)
+        if confl is not None:
+            return CheckOutcome(conflict=True, confl_cid=confl)
+        return CheckOutcome(conflict=False)
+
+    def _sync_root(self, ceiling: int) -> None:
+        """Bring the persistent root level to the given ceiling."""
+        if self._root_ceiling is None:
+            self._build_root(ceiling)
+        elif ceiling == self._root_ceiling:
+            return
+        elif self._root_conflict is not None:
+            # The old root stopped at a conflict, so its trail is not a
+            # usable fixpoint; rebuild from scratch at the new ceiling.
+            self._build_root(ceiling)
+        elif ceiling < self._root_ceiling:
+            self._lower_root(ceiling)
+        else:
+            self._raise_root(ceiling)
+        self._root_ceiling = ceiling
+
+    def _apply_ceiling(self, ceiling: int) -> None:
+        if self.retire:
+            if ceiling > self.engine.retire_ceiling:
+                raise ValueError(
+                    "incremental checker with retire=True requires "
+                    "monotonically decreasing check ceilings "
+                    f"(ceiling {ceiling} is above the retirement floor "
+                    f"{self.engine.retire_ceiling}); "
+                    "use retire=False for non-monotone orders")
+            self.engine.retire_above(ceiling)
+            self._prop_ceiling = None
+        else:
+            self._prop_ceiling = ceiling
+
+    def _record_root_positions(self, start: int) -> None:
+        trail = self.engine.trail
+        reasons = self.engine.reasons
+        positions = self._root_reason_pos
+        for pos in range(start, len(trail)):
+            positions[reasons[trail[pos] >> 1]] = pos
+
+    def _assert_units(self, lo_cid: int, ceiling: int) -> bool:
+        """Enqueue unasserted units with ``lo_cid <= cid < ceiling``.
+
+        Returns False (setting the root conflict) if a unit is already
+        falsified by the standing root assignment.
+        """
+        engine = self.engine
+        start = bisect_left(self._unit_cids, lo_cid)
+        stop = bisect_left(self._unit_cids, ceiling)
+        for cid, enc in self.units[start:stop]:
+            value = engine.value(enc)
+            if value == TRUE:
+                continue
+            if value == FALSE:
+                self._root_conflict = cid
+                return False
+            engine.enqueue(enc, cid)
+        return True
+
+    def _build_root(self, ceiling: int) -> None:
+        engine = self.engine
+        engine.backtrack(0)
+        self._root_reason_pos.clear()
+        self._root_conflict = None
+        self._apply_ceiling(ceiling)
+        engine.new_level()
+        if not self._assert_units(0, ceiling):
+            return
+        confl = engine.propagate(self._prop_ceiling)
+        if confl is not None:
+            self._root_conflict = confl
+            return
+        self._record_root_positions(0)
+
+    def _lower_root(self, ceiling: int) -> None:
+        """Move the root down: retract assignments whose reason cid
+        crossed the ceiling (plus their trail suffix) and re-close."""
+        old_ceiling = self._root_ceiling
+        self._apply_ceiling(ceiling)
+        positions = self._root_reason_pos
+        cut: int | None = None
+        for cid in range(ceiling, old_ceiling):
+            pos = positions.get(cid)
+            if pos is not None and (cut is None or pos < cut):
+                cut = pos
+        if cut is None:
+            # Every root assignment is still justified below the new
+            # ceiling; a fixpoint of the larger clause set over the same
+            # trail is a fixpoint of any subset.
+            return
+        engine = self.engine
+        trail = engine.trail
+        reasons = engine.reasons
+        for pos in range(cut, len(trail)):
+            reason = reasons[trail[pos] >> 1]
+            if positions.get(reason) == pos:
+                del positions[reason]
+        engine.unwind_to(cut)
+        # Re-assert the retracted units that survive the new ceiling and
+        # re-close from the *start* of the trail: a retracted assignment
+        # may still be implied by a clause whose falsified literals all
+        # sit below the cut (derived literals land after every batched
+        # unit, so trail position does not bound derivation depth), and
+        # only a full rescan of the surviving prefix re-fires it.
+        if not self._assert_units(0, ceiling):
+            return
+        engine.qhead = 0
+        confl = engine.propagate(self._prop_ceiling)
+        if confl is not None:
+            self._root_conflict = confl
+            return
+        self._record_root_positions(cut)
+
+    def _raise_root(self, ceiling: int) -> None:
+        """Move the root up (forward pass): assert the newly admitted
+        units and extend the closure.  Requires retire=False."""
+        old_ceiling = self._root_ceiling
+        start = len(self.engine.trail)
+        self._apply_ceiling(ceiling)
+        if not self._assert_units(old_ceiling, ceiling):
+            return
+        # Newly admitted clauses may already be unit under the standing
+        # root assignment without any fresh enqueue to trigger them;
+        # rescan the whole trail so their (previously ceiling-skipped)
+        # watch entries are finally inspected.
+        self.engine.qhead = 0
+        confl = self.engine.propagate(self._prop_ceiling)
+        if confl is not None:
+            self._root_conflict = confl
+            return
+        self._record_root_positions(start)

@@ -1,0 +1,113 @@
+"""Process-parallel backend for ``Proof_verification1``.
+
+The checks of Proof_verification1 are independent by construction (each
+one is a self-contained BCP run over ``F ∪ F*_{<i}``), so the proof
+indices can be sharded across a pool of worker processes.  Each worker
+builds its checker once — the formula and proof are inherited through
+fork-time copy-on-write, so nothing large is pickled — and streams shard
+verdicts back.
+
+Failure reporting stays deterministic regardless of pool scheduling:
+every shard scans in the requested direction and reports the first
+failure it meets, and the parent reduces shard failures with max (for a
+backward pass: the first failure a sequential backward scan would hit is
+the *highest* failing index) or min (forward).
+
+Workers run the incremental checker with ``retire=False``: a worker may
+receive non-adjacent shards in any order, so clauses must never be
+permanently retired, but the persistent root trail still amortizes the
+unit pass within each shard.
+"""
+
+from __future__ import annotations
+
+import os
+from multiprocessing import get_context
+
+from repro.bcp.engine import PropagatorBase
+from repro.core.formula import CnfFormula
+from repro.proofs.conflict_clause import ConflictClauseProof
+from repro.verify.checker import ProofChecker
+
+# Worker state: populated in the parent immediately before the fork so
+# children inherit it, then extended per-process with the lazily built
+# checker (and the last counter snapshot, to report per-shard deltas).
+_SHARED: dict = {}
+
+
+def default_jobs() -> int:
+    """A sensible worker count for ``jobs=None`` (CPU count, capped)."""
+    return min(os.cpu_count() or 1, 8)
+
+
+def make_shards(num_indices: int, jobs: int) -> list[tuple[int, int]]:
+    """Split ``range(num_indices)`` into contiguous ``(lo, hi)`` shards.
+
+    More shards than workers (4x) so the pool can balance the uneven
+    per-check cost (high indices propagate over more clauses).
+    """
+    if num_indices <= 0:
+        return []
+    num_shards = min(num_indices, max(1, jobs) * 4)
+    bounds = [round(i * num_indices / num_shards)
+              for i in range(num_shards + 1)]
+    return [(bounds[i], bounds[i + 1]) for i in range(num_shards)
+            if bounds[i] < bounds[i + 1]]
+
+
+def _shard_worker(shard: tuple[int, int]) -> tuple[int | None, int,
+                                                   dict[str, int]]:
+    lo, hi = shard
+    checker = _SHARED.get("checker")
+    if checker is None:
+        checker = ProofChecker(
+            _SHARED["formula"], _SHARED["proof"], _SHARED["engine_cls"],
+            mode=_SHARED["mode"], retire=False)
+        _SHARED["checker"] = checker
+    before = checker.engine.counters.as_dict()
+    indices = (range(hi - 1, lo - 1, -1)
+               if _SHARED["order"] == "backward" else range(lo, hi))
+    first_failure = None
+    checked = 0
+    for index in indices:
+        outcome = checker.check_clause(index)
+        checker.reset()
+        checked += 1
+        if not outcome.conflict:
+            first_failure = index
+            break
+    after = checker.engine.counters.as_dict()
+    delta = {key: after[key] - before[key] for key in after}
+    return first_failure, checked, delta
+
+
+def run_sharded_v1(formula: CnfFormula, proof: ConflictClauseProof,
+                   engine_cls: type[PropagatorBase], order: str,
+                   mode: str, jobs: int,
+                   ) -> tuple[int | None, int, dict[str, int]]:
+    """Check every proof index across a process pool.
+
+    Returns ``(failed_index, num_checked, summed_counters)`` where
+    ``failed_index`` matches what a sequential scan in ``order`` would
+    report (None when every check passes).  ``num_checked`` can exceed a
+    failing sequential run's count — shards past the failure still ran.
+    """
+    shards = make_shards(len(proof), jobs)
+    _SHARED.update(formula=formula, proof=proof, engine_cls=engine_cls,
+                   order=order, mode=mode)
+    try:
+        context = get_context("fork")
+        with context.Pool(processes=jobs) as pool:
+            results = pool.map(_shard_worker, shards, chunksize=1)
+    finally:
+        _SHARED.clear()
+    failures = [failed for failed, _, _ in results if failed is not None]
+    num_checked = sum(checked for _, checked, _ in results)
+    counters: dict[str, int] = {}
+    for _, _, delta in results:
+        for key, value in delta.items():
+            counters[key] = counters.get(key, 0) + value
+    if not failures:
+        return None, num_checked, counters
+    failed = max(failures) if order == "backward" else min(failures)
+    return failed, num_checked, counters

@@ -54,6 +54,13 @@ class VerificationReport:
     form.  For ``Proof_verification2`` runs, ``num_skipped`` counts the
     redundant conflict clauses that were never checked and ``core`` holds
     the extracted unsatisfiable core.
+
+    ``mode`` records the checker state-management strategy (``rebuild``
+    or ``incremental``), ``jobs`` the number of worker processes (1 for
+    the sequential path), and ``bcp_counters`` the engine's propagation
+    instrumentation (assignments, watch visits, clause visits, purged
+    entries) summed over all workers — the units in which the
+    incremental backward engine's savings are observable.
     """
 
     outcome: str
@@ -66,6 +73,9 @@ class VerificationReport:
     verification_time: float = 0.0
     core: UnsatCore | None = None
     marked_proof_indices: tuple[int, ...] = field(default=())
+    mode: str = "rebuild"
+    jobs: int = 1
+    bcp_counters: dict[str, int] | None = None
 
     @property
     def ok(self) -> bool:

@@ -2,17 +2,27 @@
 
 ``verify_proof_v1`` is Proof_verification1 (Section 3): every clause of
 ``F*`` is checked, in reverse chronological order, by falsifying it and
-running BCP over the formula plus the earlier-deduced clauses.
+running BCP over the formula plus the earlier-deduced clauses.  Because
+its checks are independent by construction, it also offers a
+process-parallel backend (``jobs > 1``) that shards the proof indices
+across a worker pool with deterministic first-failure reporting.
 
 ``verify_proof_v2`` is Proof_verification2 (Section 4): only clauses
 marked as contributing to the refutation are checked — marking starts
 from the final conflicting pair and is extended by conflict analysis of
 each BCP conflict — and the marked clauses of ``F`` are returned as an
 unsatisfiable core.
+
+Both procedures accept ``mode``: ``"rebuild"`` re-asserts the unit
+clauses inside every check (the original behavior), while
+``"incremental"`` keeps a persistent root trail and retires clauses
+behind the moving ceiling (see :mod:`repro.verify.checker`), which is
+markedly cheaper on backward passes.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import time
 
 from repro.bcp.engine import PropagatorBase
@@ -20,7 +30,7 @@ from repro.bcp.watched import WatchedPropagator
 from repro.core.formula import CnfFormula
 from repro.proofs.conflict_clause import ENDING_FINAL_PAIR, \
     ConflictClauseProof
-from repro.verify.checker import ProofChecker
+from repro.verify.checker import CHECKER_MODES, ProofChecker
 from repro.verify.conflict_analysis import mark_responsible
 from repro.verify.report import (
     PROOF_IS_CORRECT,
@@ -30,10 +40,18 @@ from repro.verify.report import (
 )
 
 
+def _check_mode(mode: str) -> None:
+    if mode not in CHECKER_MODES:
+        raise ValueError(f"unknown checker mode {mode!r}; "
+                         f"expected one of {CHECKER_MODES}")
+
+
 def verify_proof_v1(
         formula: CnfFormula, proof: ConflictClauseProof,
         engine_cls: type[PropagatorBase] = WatchedPropagator,
         order: str = "backward",
+        mode: str = "rebuild",
+        jobs: int = 1,
 ) -> VerificationReport:
     """Proof_verification1: check the correctness of *every* clause of F*.
 
@@ -45,11 +63,23 @@ def verify_proof_v1(
     directions (``"backward"``, the paper's default, or ``"forward"``)
     — the verdict is order-independent, only the index of the first
     failure reported can differ.
+
+    ``jobs > 1`` shards the independent checks across worker processes;
+    the verdict and the reported failure index match the sequential scan
+    (``num_checked`` may exceed it on failing proofs, since shards past
+    the failure still ran).
     """
     if order not in ("backward", "forward"):
         raise ValueError(f"unknown order {order!r}")
+    _check_mode(mode)
+    if jobs > 1 and len(proof) > 1 \
+            and "fork" in multiprocessing.get_all_start_methods():
+        return _verify_proof_v1_parallel(formula, proof, engine_cls,
+                                         order, mode, jobs)
     start = time.perf_counter()
-    checker = ProofChecker(formula, proof, engine_cls)
+    # Retirement requires a monotone-decreasing ceiling, i.e. backward.
+    checker = ProofChecker(formula, proof, engine_cls, mode=mode,
+                           retire=(order == "backward"))
     checked = 0
     indices = (range(len(proof) - 1, -1, -1) if order == "backward"
                else range(len(proof)))
@@ -67,18 +97,54 @@ def verify_proof_v1(
                 failure_reason=(
                     f"BCP on the falsified clause {proof[index]} did not "
                     "produce a conflict"),
-                verification_time=time.perf_counter() - start)
+                verification_time=time.perf_counter() - start,
+                mode=mode,
+                bcp_counters=checker.engine.counters.as_dict())
     return VerificationReport(
         outcome=PROOF_IS_CORRECT,
         procedure="verification1",
         num_proof_clauses=len(proof),
         num_checked=checked,
-        verification_time=time.perf_counter() - start)
+        verification_time=time.perf_counter() - start,
+        mode=mode,
+        bcp_counters=checker.engine.counters.as_dict())
+
+
+def _verify_proof_v1_parallel(
+        formula: CnfFormula, proof: ConflictClauseProof,
+        engine_cls: type[PropagatorBase], order: str, mode: str,
+        jobs: int) -> VerificationReport:
+    from repro.verify.parallel import run_sharded_v1
+
+    start = time.perf_counter()
+    jobs = min(jobs, len(proof))
+    failed, num_checked, counters = run_sharded_v1(
+        formula, proof, engine_cls, order, mode, jobs)
+    if failed is not None:
+        return VerificationReport(
+            outcome=PROOF_IS_NOT_CORRECT,
+            procedure="verification1",
+            num_proof_clauses=len(proof),
+            num_checked=num_checked,
+            failed_clause_index=failed,
+            failure_reason=(
+                f"BCP on the falsified clause {proof[failed]} did not "
+                "produce a conflict"),
+            verification_time=time.perf_counter() - start,
+            mode=mode, jobs=jobs, bcp_counters=counters)
+    return VerificationReport(
+        outcome=PROOF_IS_CORRECT,
+        procedure="verification1",
+        num_proof_clauses=len(proof),
+        num_checked=num_checked,
+        verification_time=time.perf_counter() - start,
+        mode=mode, jobs=jobs, bcp_counters=counters)
 
 
 def verify_proof_v2(
         formula: CnfFormula, proof: ConflictClauseProof,
         engine_cls: type[PropagatorBase] = WatchedPropagator,
+        mode: str = "rebuild",
 ) -> VerificationReport:
     """Proof_verification2: check only marked clauses; extract a core.
 
@@ -89,8 +155,9 @@ def verify_proof_v2(
     redundant and skipped; marked clauses of ``F`` form the unsatisfiable
     core.
     """
+    _check_mode(mode)
     start = time.perf_counter()
-    checker = ProofChecker(formula, proof, engine_cls)
+    checker = ProofChecker(formula, proof, engine_cls, mode=mode)
     num_input = formula.num_clauses
     marked: set[int] = set()
     if proof.ending == ENDING_FINAL_PAIR:
@@ -122,7 +189,9 @@ def verify_proof_v2(
                 failure_reason=(
                     f"BCP on the falsified clause {proof[index]} did not "
                     "produce a conflict"),
-                verification_time=time.perf_counter() - start)
+                verification_time=time.perf_counter() - start,
+                mode=mode,
+                bcp_counters=checker.engine.counters.as_dict())
 
     core_indices = tuple(sorted(cid for cid in marked if cid < num_input))
     marked_proof = tuple(sorted(cid - num_input for cid in marked
@@ -135,16 +204,36 @@ def verify_proof_v2(
         num_skipped=skipped,
         verification_time=time.perf_counter() - start,
         core=UnsatCore(core_indices, formula),
-        marked_proof_indices=marked_proof)
+        marked_proof_indices=marked_proof,
+        mode=mode,
+        bcp_counters=checker.engine.counters.as_dict())
 
 
 def verify_proof(formula: CnfFormula, proof: ConflictClauseProof,
                  procedure: str = "verification2",
                  engine_cls: type[PropagatorBase] = WatchedPropagator,
+                 order: str = "backward",
+                 mode: str = "rebuild",
+                 jobs: int = 1,
                  ) -> VerificationReport:
-    """Verify a conflict clause proof (``verification2`` by default)."""
+    """Verify a conflict clause proof (``verification2`` by default).
+
+    The dispatcher forwards every option the selected procedure
+    understands: ``order`` and ``jobs`` apply to ``verification1`` only
+    (``verification2``'s marking pass is inherently backward and
+    sequential), ``mode`` and ``engine_cls`` to both.
+    """
     if procedure == "verification1":
-        return verify_proof_v1(formula, proof, engine_cls)
+        return verify_proof_v1(formula, proof, engine_cls, order=order,
+                               mode=mode, jobs=jobs)
     if procedure == "verification2":
-        return verify_proof_v2(formula, proof, engine_cls)
+        if order != "backward":
+            raise ValueError(
+                "verification2 is inherently backward; "
+                f"order={order!r} is only valid with verification1")
+        if jobs != 1:
+            raise ValueError(
+                "verification2's marking pass is sequential; "
+                f"jobs={jobs!r} is only valid with verification1")
+        return verify_proof_v2(formula, proof, engine_cls, mode=mode)
     raise ValueError(f"unknown verification procedure {procedure!r}")

@@ -228,6 +228,129 @@ class TestDifferential:
 
 
 @pytest.mark.parametrize("engine_cls", ENGINES)
+class TestRetirement:
+    def test_retired_clause_does_not_propagate(self, engine_cls):
+        engine = engine_cls()
+        engine.add_clause(enc_clause([1, 2]), propagate_units=False)
+        engine.add_clause(enc_clause([-1, 3]), propagate_units=False)
+        engine.retire_above(1)
+        engine.new_level()
+        engine.enqueue(encode(-2), None)
+        assert engine.propagate() is None
+        assert engine.value(encode(1)) == TRUE   # clause 0 is live
+        assert engine.value(encode(3)) == UNDEF  # clause 1 is retired
+
+    def test_retire_ceiling_only_lowers(self, engine_cls):
+        engine = engine_cls(3)
+        engine.retire_above(5)
+        engine.retire_above(10)
+        assert engine.retire_ceiling == 5
+        engine.retire_above(2)
+        assert engine.retire_ceiling == 2
+
+    def test_retired_empty_clause_no_standing_conflict(self, engine_cls):
+        engine = engine_cls()
+        engine.add_clause(enc_clause([1]), propagate_units=False)
+        cid = engine.add_clause([])
+        engine.retire_above(cid)
+        assert engine.propagate() is None
+
+    def test_purge_counted(self, engine_cls):
+        engine = engine_cls()
+        engine.add_clause(enc_clause([1, 2]), propagate_units=False)
+        engine.add_clause(enc_clause([1, 3]), propagate_units=False)
+        engine.retire_above(1)
+        engine.new_level()
+        engine.enqueue(encode(-1), None)
+        assert engine.propagate() is None
+        assert engine.counters.purged >= 1
+        assert engine.value(encode(2)) == TRUE
+        assert engine.value(encode(3)) == UNDEF
+
+
+class TestWatchedLazyPurge:
+    def test_retired_entry_dropped_from_watch_list(self):
+        engine = WatchedPropagator()
+        engine.add_clause(enc_clause([1, 2]), propagate_units=False)
+        cid = engine.add_clause(enc_clause([1, 3]),
+                                propagate_units=False)
+        assert cid in engine.watches[encode(1)]
+        engine.retire_above(cid)
+        engine.new_level()
+        engine.enqueue(encode(-1), None)
+        engine.propagate()
+        assert cid not in engine.watches[encode(1)]
+
+    def test_detach_after_purge_counts_miss(self):
+        engine = WatchedPropagator()
+        cid = engine.add_clause(enc_clause([1, 2]),
+                                propagate_units=False)
+        engine.retire_above(cid)
+        engine.new_level()
+        engine.enqueue(encode(-1), None)
+        engine.propagate()  # purges the watches[1] entry
+        engine.backtrack(0)
+        engine.remove_clause(cid)
+        assert engine.counters.detach_misses == 1
+
+
+@pytest.mark.parametrize("engine_cls", ENGINES)
+class TestUnwindTo:
+    def test_partial_unwind_and_rescan(self, engine_cls):
+        engine = engine_cls()
+        engine.add_clause(enc_clause([1]))
+        engine.add_clause(enc_clause([-1, 2]))
+        assert engine.propagate() is None
+        assert engine.trail == [encode(1), encode(2)]
+        engine.unwind_to(1)
+        assert engine.value(encode(1)) == TRUE
+        assert engine.value(encode(2)) == UNDEF
+        assert engine.reasons[2] is None
+        # The surviving prefix was already scanned; re-closing the
+        # trail requires an explicit rescan from the start.
+        engine.qhead = 0
+        assert engine.propagate() is None
+        assert engine.value(encode(2)) == TRUE
+
+    def test_unwind_noop_past_end(self, engine_cls):
+        engine = engine_cls()
+        engine.add_clause(enc_clause([1]))
+        engine.propagate()
+        engine.unwind_to(5)
+        assert engine.trail == [encode(1)]
+
+    def test_unwind_below_open_level_rejected(self, engine_cls):
+        engine = engine_cls(2)
+        engine.add_clause(enc_clause([1]))
+        engine.propagate()
+        engine.assume(encode(2))
+        with pytest.raises(ValueError):
+            engine.unwind_to(0)
+
+
+@pytest.mark.parametrize("engine_cls", ENGINES)
+class TestCounters:
+    def test_assignments_counted(self, engine_cls):
+        engine = engine_cls()
+        engine.add_clause(enc_clause([1]))
+        engine.add_clause(enc_clause([-1, 2]))
+        engine.propagate()
+        assert engine.counters.assignments == 2
+
+    def test_counter_reset_and_dict(self, engine_cls):
+        engine = engine_cls()
+        engine.add_clause(enc_clause([1]))
+        engine.propagate()
+        snapshot = engine.counters.as_dict()
+        assert snapshot["assignments"] == 1
+        assert set(snapshot) == {"assignments", "watch_visits",
+                                 "clause_visits", "purged",
+                                 "detach_misses"}
+        engine.counters.reset()
+        assert engine.counters.assignments == 0
+
+
+@pytest.mark.parametrize("engine_cls", ENGINES)
 class TestAssignmentView:
     def test_assignment_mapping(self, engine_cls):
         engine = engine_cls()
