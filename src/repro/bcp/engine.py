@@ -60,6 +60,16 @@ class PropagationCounters:
     def as_dict(self) -> dict[str, int]:
         return asdict(self)
 
+    def total_work(self) -> int:
+        """Machine-independent BCP effort: assignments + clause visits.
+
+        This is the unit :class:`~repro.verify.budget.CheckBudget`'s
+        ``max_props`` limit is charged in — unlike wall-clock time it is
+        deterministic for a given formula/proof/engine, so budgets stay
+        portable across hardware.
+        """
+        return self.assignments + self.clause_visits
+
     def reset(self) -> None:
         self.assignments = 0
         self.watch_visits = 0

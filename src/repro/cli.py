@@ -10,7 +10,11 @@ ships a CLI making that workflow literal::
 
 Exit codes: ``solve`` exits 10 for SAT and 20 for UNSAT (the SAT
 competition convention); ``verify`` exits 0 when the proof is correct
-and 1 when it is not.
+and 1 when it is not.  A run that exhausts its ``--timeout``/
+``--max-props`` budget exits 3 (no verdict either way); malformed
+input files exit 65 (``EX_DATAERR``) and every other operational
+error exits 2 — always as a one-line ``c error:`` diagnostic, never a
+traceback.
 """
 
 from __future__ import annotations
@@ -19,15 +23,26 @@ import argparse
 import sys
 
 from repro.core.dimacs import read_dimacs, write_dimacs
+from repro.core.exceptions import (
+    DimacsParseError,
+    ProofFormatError,
+    ReproError,
+)
 from repro.proofs.conflict_clause import ConflictClauseProof
 from repro.proofs.sizes import compare_proof_sizes
 from repro.proofs.trace_format import read_proof, write_proof
 from repro.solver.cdcl import SolverOptions, solve
+from repro.verify.budget import CheckBudget
 from repro.verify.verification import verify_proof
 
 EXIT_SAT = 10
 EXIT_UNSAT = 20
 EXIT_UNKNOWN = 30
+EXIT_PROOF_BAD = 1
+EXIT_ERROR = 2
+EXIT_RESOURCE_LIMIT = 3
+EXIT_PARSE_ERROR = 65   # sysexits.h EX_DATAERR: malformed input file
+EXIT_INTERRUPT = 130    # 128 + SIGINT
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -80,6 +95,15 @@ def _build_parser() -> argparse.ArgumentParser:
     verify_cmd.add_argument("--jobs", type=int, default=1, metavar="N",
                             help="worker processes for verification1 "
                                  "(default 1: sequential)")
+    strictness = verify_cmd.add_mutually_exclusive_group()
+    strictness.add_argument("--strict", action="store_true",
+                            help="require a DIMACS header whose counts "
+                                 "match the body exactly")
+    strictness.add_argument("--lenient", action="store_false",
+                            dest="strict",
+                            help="accept header-less or miscounted "
+                                 "DIMACS (default)")
+    _add_budget_arguments(verify_cmd)
 
     core_cmd = sub.add_parser(
         "core", help="extract an unsat core from a verified proof")
@@ -93,7 +117,25 @@ def _build_parser() -> argparse.ArgumentParser:
                             "deletions)")
     drup_cmd.add_argument("cnf")
     drup_cmd.add_argument("drup")
+    _add_budget_arguments(drup_cmd)
     return parser
+
+
+def _add_budget_arguments(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument("--timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="abort with exit code 3 (no verdict) once "
+                          "this much wall-clock time has elapsed")
+    cmd.add_argument("--max-props", type=int, default=None, metavar="N",
+                     help="abort with exit code 3 (no verdict) once "
+                          "the engines have performed N propagation "
+                          "work units")
+
+
+def _budget_from(args: argparse.Namespace) -> CheckBudget | None:
+    if args.timeout is None and args.max_props is None:
+        return None
+    return CheckBudget(timeout=args.timeout, max_props=args.max_props)
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
@@ -156,32 +198,40 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
-    formula = read_dimacs(args.cnf)
+    formula = read_dimacs(args.cnf, strict=args.strict)
     proof = read_proof(args.proof)
     if args.jobs < 1:
-        print("c --jobs must be >= 1", file=sys.stderr)
-        return 2
+        print("c error: --jobs must be >= 1", file=sys.stderr)
+        return EXIT_ERROR
     if args.procedure == "verification2" and (args.order != "backward"
                                               or args.jobs != 1):
-        print("c --order/--jobs require --procedure verification1",
-              file=sys.stderr)
-        return 2
+        print("c error: --order/--jobs require --procedure "
+              "verification1", file=sys.stderr)
+        return EXIT_ERROR
     report = verify_proof(formula, proof, procedure=args.procedure,
                           order=args.order, mode=args.mode,
-                          jobs=args.jobs)
+                          jobs=args.jobs, budget=_budget_from(args))
     print(f"s {report.outcome.upper()}")
     print(f"c checked={report.num_checked} skipped={report.num_skipped}"
           f" time={report.verification_time:.3f}s"
           f" mode={report.mode} jobs={report.jobs}")
+    for warning in report.warnings:
+        print(f"c warning: {warning}")
+    if report.worker_failures:
+        print(f"c warning: {report.worker_failures} worker failure(s) "
+              "were recovered")
     if report.bcp_counters is not None:
         pairs = " ".join(f"{key}={value}"
                          for key, value in report.bcp_counters.items())
         print(f"c bcp: {pairs}")
+    if report.exhausted:
+        print(f"c budget exhausted: {report.failure_reason}")
+        return EXIT_RESOURCE_LIMIT
     if not report.ok:
         print(f"c questionable clause at chronological index "
               f"{report.failed_clause_index}: "
               f"{proof[report.failed_clause_index]}")
-        return 1
+        return EXIT_PROOF_BAD
     if report.core is not None:
         print(f"c unsat core: {report.core.size}/"
               f"{formula.num_clauses} clauses "
@@ -213,24 +263,39 @@ def _cmd_verify_drup(args: argparse.Namespace) -> int:
 
     formula = read_dimacs(args.cnf)
     trace = read_drup(args.drup)
-    report = check_drup(formula, trace)
+    report = check_drup(formula, trace, budget=_budget_from(args))
     print(f"s {report.outcome.upper()}")
     print(f"c additions={report.num_additions} "
           f"deletions={report.num_deletions} "
           f"peak_active={report.peak_active_clauses} "
           f"time={report.verification_time:.3f}s")
+    if report.exhausted:
+        print(f"c budget exhausted: {report.failure_reason}")
+        return EXIT_RESOURCE_LIMIT
     if not report.ok:
         print(f"c failed at event {report.failed_event_index}: "
               f"{report.failure_reason}")
-        return 1
+        return EXIT_PROOF_BAD
     return 0
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Run a CLI command; operational failures become one-line
+    ``c error:`` diagnostics and typed exit codes, never tracebacks."""
     args = _build_parser().parse_args(argv)
     handlers = {"solve": _cmd_solve, "verify": _cmd_verify,
                 "core": _cmd_core, "verify-drup": _cmd_verify_drup}
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except (DimacsParseError, ProofFormatError) as exc:
+        print(f"c error: {exc}", file=sys.stderr)
+        return EXIT_PARSE_ERROR
+    except (ReproError, OSError, ValueError) as exc:
+        print(f"c error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    except KeyboardInterrupt:
+        print("c error: interrupted", file=sys.stderr)
+        return EXIT_INTERRUPT
 
 
 if __name__ == "__main__":

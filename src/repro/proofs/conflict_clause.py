@@ -58,6 +58,13 @@ class ConflictClauseProof:
 
     def validate_structure(self) -> None:
         """Check the proof's shape (not its logical correctness)."""
+        for clause in self._clauses:
+            if any(lit == 0 for lit in clause):
+                # 0 is the clause terminator in every trace format; as a
+                # literal it would silently map to the reserved variable
+                # 0 inside the BCP engines.
+                raise ProofFormatError(
+                    f"literal 0 inside proof clause {clause}")
         if self.ending == ENDING_FINAL_PAIR:
             if len(self._clauses) < 2:
                 raise ProofFormatError(

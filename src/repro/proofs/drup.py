@@ -37,6 +37,11 @@ class DrupEvent:
     def __post_init__(self) -> None:
         if self.kind not in (ADD, DELETE):
             raise ProofFormatError(f"unknown event kind {self.kind!r}")
+        if any(lit == 0 for lit in self.literals):
+            # 0 terminates trace lines; as a literal it would alias the
+            # engines' reserved variable 0.
+            raise ProofFormatError(
+                f"literal 0 inside {self.kind} event {self.literals}")
 
 
 @dataclass

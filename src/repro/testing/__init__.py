@@ -1,0 +1,39 @@
+"""Fault-injection tooling: adversarial mutation of known-good proofs.
+
+See :mod:`repro.testing.mutate` for the operator roster and the
+differential driver.
+"""
+
+from repro.testing.mutate import (
+    DEFAULT_V1_CONFIGS,
+    EXPECT_ACCEPT,
+    EXPECT_ANY,
+    EXPECT_REJECT_ALL,
+    EXPECT_REJECT_V1,
+    KIND_CC,
+    KIND_DRUP,
+    LIGHT_V1_CONFIGS,
+    DifferentialSummary,
+    MutationVerdict,
+    ProofMutation,
+    ProofMutator,
+    check_mutation,
+    run_differential,
+)
+
+__all__ = [
+    "ProofMutator",
+    "ProofMutation",
+    "MutationVerdict",
+    "DifferentialSummary",
+    "check_mutation",
+    "run_differential",
+    "DEFAULT_V1_CONFIGS",
+    "LIGHT_V1_CONFIGS",
+    "EXPECT_REJECT_ALL",
+    "EXPECT_REJECT_V1",
+    "EXPECT_ACCEPT",
+    "EXPECT_ANY",
+    "KIND_CC",
+    "KIND_DRUP",
+]

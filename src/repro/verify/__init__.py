@@ -1,11 +1,13 @@
 """Conflict clause proof verification — the paper's contribution."""
 
+from repro.verify.budget import BudgetExhausted, BudgetMeter, CheckBudget
 from repro.verify.checker import CHECKER_MODES, CheckOutcome, ProofChecker
 from repro.verify.conflict_analysis import mark_responsible
 from repro.verify.core_extraction import extract_core, validate_core
 from repro.verify.report import (
     PROOF_IS_CORRECT,
     PROOF_IS_NOT_CORRECT,
+    RESOURCE_LIMIT_EXCEEDED,
     UnsatCore,
     VerificationReport,
 )
@@ -41,4 +43,8 @@ __all__ = [
     "UnsatCore",
     "PROOF_IS_CORRECT",
     "PROOF_IS_NOT_CORRECT",
+    "RESOURCE_LIMIT_EXCEEDED",
+    "CheckBudget",
+    "BudgetMeter",
+    "BudgetExhausted",
 ]

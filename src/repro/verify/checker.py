@@ -37,12 +37,16 @@ from __future__ import annotations
 
 from bisect import bisect_left
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.bcp.engine import FALSE, TRUE, PropagatorBase
 from repro.bcp.watched import WatchedPropagator
 from repro.core.formula import CnfFormula
 from repro.core.literals import encode
 from repro.proofs.conflict_clause import ConflictClauseProof
+
+if TYPE_CHECKING:
+    from repro.verify.budget import BudgetMeter
 
 CHECKER_MODES = ("rebuild", "incremental")
 
@@ -66,13 +70,19 @@ class ProofChecker:
 
     def __init__(self, formula: CnfFormula, proof: ConflictClauseProof,
                  engine_cls: type[PropagatorBase] = WatchedPropagator,
-                 mode: str = "rebuild", retire: bool = True):
+                 mode: str = "rebuild", retire: bool = True,
+                 meter: "BudgetMeter | None" = None):
         if mode not in CHECKER_MODES:
             raise ValueError(f"unknown checker mode {mode!r}; "
                              f"expected one of {CHECKER_MODES}")
         self.formula = formula
         self.proof = proof
         self.mode = mode
+        # Budget enforcement point: with a meter attached, every
+        # check_clause() call first verifies the budget and raises
+        # BudgetExhausted once it runs out.  The drivers catch it and
+        # report the resource_limit_exceeded outcome.
+        self.meter = meter
         # Retirement permanently removes clauses above the ceiling from
         # the engine, which is only sound when the ceiling never rises
         # again (a pure backward pass).  Shard workers that may revisit
@@ -111,7 +121,13 @@ class ProofChecker:
 
         Leaves the engine at the post-propagation state so the caller can
         run conflict analysis for marking; call :meth:`reset` afterwards.
+
+        Raises :class:`~repro.verify.budget.BudgetExhausted` when the
+        attached budget meter has run out (checked *before* the BCP run,
+        so a completed check is never retroactively voided).
         """
+        if self.meter is not None:
+            self.meter.ensure(self.engine.counters)
         if self.mode == "incremental":
             return self._check_incremental(index)
         engine = self.engine

@@ -22,12 +22,23 @@ from repro.bcp.watched import WatchedPropagator
 from repro.core.formula import CnfFormula
 from repro.core.literals import encode
 from repro.proofs.drup import ADD, DELETE, DrupProof
-from repro.verify.report import PROOF_IS_CORRECT, PROOF_IS_NOT_CORRECT
+from repro.verify.budget import CheckBudget
+from repro.verify.report import (
+    PROOF_IS_CORRECT,
+    PROOF_IS_NOT_CORRECT,
+    RESOURCE_LIMIT_EXCEEDED,
+)
 
 
 @dataclass
 class ForwardCheckReport:
-    """Outcome of a forward DRUP check."""
+    """Outcome of a forward DRUP check.
+
+    With an exhausted :class:`~repro.verify.budget.CheckBudget` the
+    outcome is ``resource_limit_exceeded``: ``stopped_at_event`` names
+    the first unprocessed trace event and the addition/deletion counts
+    report partial progress.
+    """
 
     outcome: str
     num_additions: int = 0
@@ -36,17 +47,36 @@ class ForwardCheckReport:
     failure_reason: str | None = None
     peak_active_clauses: int = 0
     verification_time: float = 0.0
+    stopped_at_event: int | None = None
 
     @property
     def ok(self) -> bool:
         return self.outcome == PROOF_IS_CORRECT
 
+    @property
+    def exhausted(self) -> bool:
+        return self.outcome == RESOURCE_LIMIT_EXCEEDED
 
-def check_drup(formula: CnfFormula,
-               proof: DrupProof) -> ForwardCheckReport:
-    """Check a DRUP trace forward; report the first bad event."""
+
+def check_drup(formula: CnfFormula, proof: DrupProof,
+               budget: CheckBudget | None = None) -> ForwardCheckReport:
+    """Check a DRUP trace forward; report the first bad event.
+
+    The ``budget`` (if given) is consulted before every trace event;
+    when it runs out the check aborts with ``resource_limit_exceeded``
+    and partial progress instead of a verdict.
+    """
     start = time.perf_counter()
-    engine = WatchedPropagator(formula.num_vars)
+    # Size the engine over the trace's variables too: a (corrupt or
+    # merely foreign) trace may mention variables the formula never
+    # does, and those must be assignable rather than crash the checker.
+    num_vars = formula.num_vars
+    for event in proof.events:
+        for lit in event.literals:
+            if abs(lit) > num_vars:
+                num_vars = abs(lit)
+    engine = WatchedPropagator(num_vars)
+    meter = budget.start() if budget is not None else None
     # Active units, kept separately (units carry no watches).
     units: dict[int, int] = {}   # cid -> encoded literal
     # Clause key -> list of active cids (for deletion lookup).
@@ -99,6 +129,16 @@ def check_drup(formula: CnfFormula,
     deletions = 0
     derived_empty = False
     for index, event in enumerate(proof.events):
+        if meter is not None:
+            reason = meter.exhausted(engine.counters)
+            if reason is not None:
+                return ForwardCheckReport(
+                    outcome=RESOURCE_LIMIT_EXCEEDED,
+                    num_additions=additions, num_deletions=deletions,
+                    stopped_at_event=index,
+                    failure_reason=reason,
+                    peak_active_clauses=peak,
+                    verification_time=time.perf_counter() - start)
         if event.kind == ADD:
             additions += 1
             if not rup_check(event.literals):

@@ -1,4 +1,4 @@
-"""Process-parallel backend for ``Proof_verification1``.
+"""Fault-tolerant process-parallel backend for ``Proof_verification1``.
 
 The checks of Proof_verification1 are independent by construction (each
 one is a self-contained BCP run over ``F ∪ F*_{<i}``), so the proof
@@ -17,27 +17,77 @@ Workers run the incremental checker with ``retire=False``: a worker may
 receive non-adjacent shards in any order, so clauses must never be
 permanently retired, but the persistent root trail still amortizes the
 unit pass within each shard.
+
+Fault tolerance
+---------------
+A production verifier cannot assume its workers survive: an OOM kill or
+a segfault in a worker must degrade the run, not wedge it.  Shards are
+therefore dispatched individually through a
+:class:`~concurrent.futures.ProcessPoolExecutor`, whose prompt
+``BrokenProcessPool`` signal detects a dead worker.  The recovery
+ladder is:
+
+1. shards completed before the crash keep their results;
+2. lost shards are retried once on a fresh pool;
+3. shards still unfinished after the retry are checked *in process*,
+   sequentially — correctness is never sacrificed, only parallelism.
+
+Every lost shard execution is counted in
+:attr:`ShardRunResult.worker_failures` and each degradation step is
+described in :attr:`ShardRunResult.warnings`, both of which surface in
+the :class:`~repro.verify.report.VerificationReport`.
+
+Budgets: the parent's :class:`~repro.verify.budget.BudgetMeter` is
+inherited by the forked workers, each of which rebases it onto its own
+engine counters and aborts its shard cleanly when the shared deadline
+(or its per-process ``max_props`` share) runs out; the parent then
+reports ``resource_limit_exceeded`` with the work that did complete.
 """
 
 from __future__ import annotations
 
 import os
-from multiprocessing import get_context
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from multiprocessing import get_all_start_methods, get_context
 
 from repro.bcp.engine import PropagatorBase
 from repro.core.formula import CnfFormula
 from repro.proofs.conflict_clause import ConflictClauseProof
+from repro.verify.budget import BudgetMeter
 from repro.verify.checker import ProofChecker
 
-# Worker state: populated in the parent immediately before the fork so
-# children inherit it, then extended per-process with the lazily built
-# checker (and the last counter snapshot, to report per-shard deltas).
+# Worker state: populated in the parent immediately before the pool's
+# workers fork so children inherit it, then extended per-process with
+# the lazily built checker (and the rebased budget meter).
 _SHARED: dict = {}
+
+# Test-only fault injection: shard -> number of times a worker should
+# die (hard exit, as an OOM kill would) before executing it.  Populated
+# in the parent before the fork; workers consult it with the attempt
+# number the parent passes along, so a retried shard survives.
+_FAULTS: dict[tuple[int, int], int] = {}
+
+
+def fork_available() -> bool:
+    """Whether the fork-based pool backend can run on this platform."""
+    return "fork" in get_all_start_methods()
 
 
 def default_jobs() -> int:
     """A sensible worker count for ``jobs=None`` (CPU count, capped)."""
     return min(os.cpu_count() or 1, 8)
+
+
+def install_fault(shard: tuple[int, int], deaths: int = 1) -> None:
+    """Arrange for the worker executing ``shard`` to die ``deaths``
+    times (testing hook; cleared with :func:`clear_faults`)."""
+    _FAULTS[shard] = deaths
+
+
+def clear_faults() -> None:
+    _FAULTS.clear()
 
 
 def make_shards(num_indices: int, jobs: int) -> list[tuple[int, int]]:
@@ -55,22 +105,66 @@ def make_shards(num_indices: int, jobs: int) -> list[tuple[int, int]]:
             if bounds[i] < bounds[i + 1]]
 
 
-def _shard_worker(shard: tuple[int, int]) -> tuple[int | None, int,
-                                                   dict[str, int]]:
-    lo, hi = shard
+@dataclass
+class ShardResult:
+    """One shard's verdict: first failure (if any), progress, counters."""
+
+    first_failure: int | None
+    num_checked: int
+    counter_delta: dict[str, int]
+    budget_reason: str | None = None
+    stopped_at_index: int | None = None
+
+
+@dataclass
+class ShardRunResult:
+    """Aggregated outcome of a sharded verification run."""
+
+    failed_index: int | None
+    num_checked: int
+    counters: dict[str, int]
+    worker_failures: int = 0
+    warnings: tuple[str, ...] = ()
+    budget_reason: str | None = None
+    stopped_at_index: int | None = None
+
+
+def _worker_checker() -> ProofChecker:
     checker = _SHARED.get("checker")
     if checker is None:
+        meter: BudgetMeter | None = _SHARED.get("meter")
         checker = ProofChecker(
             _SHARED["formula"], _SHARED["proof"], _SHARED["engine_cls"],
             mode=_SHARED["mode"], retire=False)
+        if meter is not None:
+            # Fresh engine in this process: keep the shared deadline but
+            # charge work units against this worker's own counters.
+            checker.meter = meter.rebase(checker.engine.counters)
         _SHARED["checker"] = checker
+    return checker
+
+
+def _run_shard(checker: ProofChecker, shard: tuple[int, int],
+               order: str) -> ShardResult:
+    """Scan one shard in the requested direction (shared by the pool
+    workers and the in-process degraded fallback)."""
+    from repro.verify.budget import BudgetExhausted
+
+    lo, hi = shard
     before = checker.engine.counters.as_dict()
-    indices = (range(hi - 1, lo - 1, -1)
-               if _SHARED["order"] == "backward" else range(lo, hi))
+    indices = (range(hi - 1, lo - 1, -1) if order == "backward"
+               else range(lo, hi))
     first_failure = None
+    budget_reason = None
+    stopped_at = None
     checked = 0
     for index in indices:
-        outcome = checker.check_clause(index)
+        try:
+            outcome = checker.check_clause(index)
+        except BudgetExhausted as exc:
+            budget_reason = str(exc)
+            stopped_at = index
+            break
         checker.reset()
         checked += 1
         if not outcome.conflict:
@@ -78,36 +172,160 @@ def _shard_worker(shard: tuple[int, int]) -> tuple[int | None, int,
             break
     after = checker.engine.counters.as_dict()
     delta = {key: after[key] - before[key] for key in after}
-    return first_failure, checked, delta
+    return ShardResult(first_failure, checked, delta,
+                       budget_reason=budget_reason,
+                       stopped_at_index=stopped_at)
+
+
+def _shard_worker(shard: tuple[int, int], attempt: int) -> ShardResult:
+    deaths = _FAULTS.get(shard, 0)
+    if attempt < deaths:
+        # Simulate an OOM kill / segfault: bypass Python teardown so the
+        # parent sees exactly what a hard worker death looks like.
+        os._exit(1)
+    return _run_shard(_worker_checker(), shard, _SHARED["order"])
+
+
+def _reduce(results: dict[tuple[int, int], ShardResult],
+            order: str, worker_failures: int,
+            warnings: list[str]) -> ShardRunResult:
+    failures = [r.first_failure for r in results.values()
+                if r.first_failure is not None]
+    num_checked = sum(r.num_checked for r in results.values())
+    counters: dict[str, int] = {}
+    for result in results.values():
+        for key, value in result.counter_delta.items():
+            counters[key] = counters.get(key, 0) + value
+    budget_reasons = [r.budget_reason for r in results.values()
+                      if r.budget_reason is not None]
+    budget_reason = budget_reasons[0] if budget_reasons else None
+    stopped = [r.stopped_at_index for r in results.values()
+               if r.stopped_at_index is not None]
+    # The most informative "where it stopped": the first index (in scan
+    # order) that some shard had to abandon.
+    stopped_at = (None if not stopped
+                  else max(stopped) if order == "backward"
+                  else min(stopped))
+    if failures:
+        failed = max(failures) if order == "backward" else min(failures)
+    else:
+        failed = None
+    return ShardRunResult(
+        failed_index=failed, num_checked=num_checked, counters=counters,
+        worker_failures=worker_failures, warnings=tuple(warnings),
+        budget_reason=budget_reason, stopped_at_index=stopped_at)
 
 
 def run_sharded_v1(formula: CnfFormula, proof: ConflictClauseProof,
                    engine_cls: type[PropagatorBase], order: str,
                    mode: str, jobs: int,
-                   ) -> tuple[int | None, int, dict[str, int]]:
-    """Check every proof index across a process pool.
+                   meter: BudgetMeter | None = None) -> ShardRunResult:
+    """Check every proof index across a process pool, surviving faults.
 
-    Returns ``(failed_index, num_checked, summed_counters)`` where
-    ``failed_index`` matches what a sequential scan in ``order`` would
-    report (None when every check passes).  ``num_checked`` can exceed a
-    failing sequential run's count — shards past the failure still ran.
+    Returns a :class:`ShardRunResult` whose ``failed_index`` matches
+    what a sequential scan in ``order`` would report (None when every
+    check passes); ``num_checked`` can exceed a failing sequential run's
+    count — shards past the failure still ran.  Dead workers are
+    retried once and the leftovers checked in process (counted in
+    ``worker_failures`` / ``warnings``); an exhausted budget surfaces as
+    ``budget_reason`` plus partial progress.
     """
+    if not fork_available():
+        # The caller (verify_proof_v1) normally degrades before getting
+        # here; degrade identically for direct users instead of letting
+        # get_context() raise ValueError.
+        return _run_degraded(formula, proof, engine_cls, order, mode,
+                             make_shards(len(proof), jobs), {}, 0,
+                             ["parallel backend unavailable: no 'fork' "
+                              "start method on this platform; checked "
+                              "sequentially in process"], meter)
     shards = make_shards(len(proof), jobs)
+    results: dict[tuple[int, int], ShardResult] = {}
+    worker_failures = 0
+    warnings: list[str] = []
     _SHARED.update(formula=formula, proof=proof, engine_cls=engine_cls,
-                   order=order, mode=mode)
+                   order=order, mode=mode, meter=meter)
+    context = get_context("fork")
     try:
-        context = get_context("fork")
-        with context.Pool(processes=jobs) as pool:
-            results = pool.map(_shard_worker, shards, chunksize=1)
+        for attempt in (0, 1):
+            pending = [s for s in shards if s not in results]
+            if not pending or _budget_hit(results):
+                break
+            if attempt == 1:
+                warnings.append(
+                    f"worker died; retrying {len(pending)} shard(s) "
+                    "on a fresh pool")
+            executor = ProcessPoolExecutor(
+                max_workers=min(jobs, len(pending)), mp_context=context)
+            try:
+                futures = {
+                    executor.submit(_shard_worker, shard, attempt): shard
+                    for shard in pending}
+                not_done = set(futures)
+                while not_done:
+                    timeout = (meter.remaining_time()
+                               if meter is not None else None)
+                    if timeout is not None and timeout <= 0:
+                        break  # deadline passed: stop collecting
+                    done, not_done = wait(not_done, timeout=timeout,
+                                          return_when=FIRST_COMPLETED)
+                    if not done:
+                        break  # wait() timed out at the deadline
+                    for future in done:
+                        shard = futures[future]
+                        try:
+                            results[shard] = future.result()
+                        except BrokenProcessPool:
+                            # A shard execution lost to a dead worker;
+                            # anything else a worker raises is a checker
+                            # bug and propagates unmasked.
+                            worker_failures += 1
+            finally:
+                # cancel_futures covers the deadline-passed early exit;
+                # wait=False so a straggler cannot wedge the parent.
+                executor.shutdown(wait=False, cancel_futures=True)
     finally:
         _SHARED.clear()
-    failures = [failed for failed, _, _ in results if failed is not None]
-    num_checked = sum(checked for _, checked, _ in results)
-    counters: dict[str, int] = {}
-    for _, _, delta in results:
-        for key, value in delta.items():
-            counters[key] = counters.get(key, 0) + value
-    if not failures:
-        return None, num_checked, counters
-    failed = max(failures) if order == "backward" else min(failures)
-    return failed, num_checked, counters
+    remaining = [s for s in shards if s not in results]
+    if remaining and not _budget_hit(results):
+        if meter is not None and meter.remaining_time() is not None \
+                and meter.remaining_time() <= 0:
+            # Deadline elapsed while shards were still queued: report
+            # exhaustion rather than silently dropping coverage.
+            run = _reduce(results, order, worker_failures, warnings)
+            run.budget_reason = (run.budget_reason
+                                 or "wall-clock budget exhausted before "
+                                    f"{len(remaining)} shard(s) ran")
+            return run
+        warnings.append(
+            f"{len(remaining)} shard(s) degraded to in-process "
+            "sequential checking after repeated worker failures")
+        return _run_degraded(formula, proof, engine_cls, order, mode,
+                             remaining, results, worker_failures,
+                             warnings, meter)
+    return _reduce(results, order, worker_failures, warnings)
+
+
+def _budget_hit(results: dict[tuple[int, int], ShardResult]) -> bool:
+    return any(r.budget_reason is not None for r in results.values())
+
+
+def _run_degraded(formula: CnfFormula, proof: ConflictClauseProof,
+                  engine_cls: type[PropagatorBase], order: str,
+                  mode: str, remaining: list[tuple[int, int]],
+                  results: dict[tuple[int, int], ShardResult],
+                  worker_failures: int, warnings: list[str],
+                  meter: BudgetMeter | None) -> ShardRunResult:
+    """In-process sequential fallback for shards the pool never
+    finished.  Scans shards in deterministic scan order so the reduced
+    failure index still matches a sequential run."""
+    checker = ProofChecker(formula, proof, engine_cls, mode=mode,
+                           retire=False)
+    if meter is not None:
+        checker.meter = meter.rebase(checker.engine.counters)
+    ordered = sorted(remaining, reverse=(order == "backward"))
+    for shard in ordered:
+        results[shard] = _run_shard(checker, shard, order)
+        if results[shard].budget_reason is not None:
+            break
+    return _reduce(results, order, worker_failures, warnings)

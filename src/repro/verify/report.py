@@ -9,6 +9,9 @@ from repro.core.formula import CnfFormula
 
 PROOF_IS_CORRECT = "proof_is_correct"
 PROOF_IS_NOT_CORRECT = "proof_is_not_correct"
+# The run stopped at a CheckBudget limit before reaching a verdict; the
+# report carries partial progress (num_checked, stopped_at_index).
+RESOURCE_LIMIT_EXCEEDED = "resource_limit_exceeded"
 
 
 @dataclass
@@ -61,6 +64,14 @@ class VerificationReport:
     instrumentation (assignments, watch visits, clause visits, purged
     entries) summed over all workers — the units in which the
     incremental backward engine's savings are observable.
+
+    Robustness fields: an exhausted :class:`~repro.verify.budget.
+    CheckBudget` yields ``outcome == resource_limit_exceeded`` with
+    ``stopped_at_index`` naming the first proof index left unchecked
+    (None when the parallel backend cannot pin one down).  The
+    fault-tolerant parallel backend records every shard execution lost
+    to a dead worker in ``worker_failures`` and explains each degraded
+    step (retry, sequential fallback) in ``warnings``.
     """
 
     outcome: str
@@ -76,10 +87,18 @@ class VerificationReport:
     mode: str = "rebuild"
     jobs: int = 1
     bcp_counters: dict[str, int] | None = None
+    stopped_at_index: int | None = None
+    worker_failures: int = 0
+    warnings: tuple[str, ...] = field(default=())
 
     @property
     def ok(self) -> bool:
         return self.outcome == PROOF_IS_CORRECT
+
+    @property
+    def exhausted(self) -> bool:
+        """True when the run stopped at a resource budget, verdict-less."""
+        return self.outcome == RESOURCE_LIMIT_EXCEEDED
 
     @property
     def tested_fraction(self) -> float:

@@ -18,6 +18,11 @@ clauses inside every check (the original behavior), while
 ``"incremental"`` keeps a persistent root trail and retires clauses
 behind the moving ceiling (see :mod:`repro.verify.checker`), which is
 markedly cheaper on backward passes.
+
+Both also accept an optional :class:`~repro.verify.budget.CheckBudget`:
+when the budget runs out mid-verification the run aborts cleanly with
+the ``resource_limit_exceeded`` outcome and partial progress
+(``num_checked``, ``stopped_at_index``) instead of running unbounded.
 """
 
 from __future__ import annotations
@@ -30,14 +35,18 @@ from repro.bcp.watched import WatchedPropagator
 from repro.core.formula import CnfFormula
 from repro.proofs.conflict_clause import ENDING_FINAL_PAIR, \
     ConflictClauseProof
+from repro.verify.budget import BudgetExhausted, BudgetMeter, CheckBudget
 from repro.verify.checker import CHECKER_MODES, ProofChecker
 from repro.verify.conflict_analysis import mark_responsible
 from repro.verify.report import (
     PROOF_IS_CORRECT,
     PROOF_IS_NOT_CORRECT,
+    RESOURCE_LIMIT_EXCEEDED,
     UnsatCore,
     VerificationReport,
 )
+
+V1_ORDERS = ("backward", "forward")
 
 
 def _check_mode(mode: str) -> None:
@@ -46,12 +55,34 @@ def _check_mode(mode: str) -> None:
                          f"expected one of {CHECKER_MODES}")
 
 
+def _check_order(order: str) -> None:
+    if order not in V1_ORDERS:
+        raise ValueError(f"unknown order {order!r}; "
+                         f"expected one of {V1_ORDERS}")
+
+
+def _resolve_jobs(jobs: int | None) -> int:
+    """Validate the worker count; ``None`` means "pick a default"."""
+    if jobs is None:
+        from repro.verify.parallel import default_jobs
+
+        return default_jobs()
+    if isinstance(jobs, bool) or not isinstance(jobs, int):
+        raise ValueError(f"jobs must be a positive int or None "
+                         f"(auto-detect), got {jobs!r}")
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1 or None (auto-detect), "
+                         f"got {jobs!r}")
+    return jobs
+
+
 def verify_proof_v1(
         formula: CnfFormula, proof: ConflictClauseProof,
         engine_cls: type[PropagatorBase] = WatchedPropagator,
         order: str = "backward",
         mode: str = "rebuild",
-        jobs: int = 1,
+        jobs: int | None = 1,
+        budget: CheckBudget | None = None,
 ) -> VerificationReport:
     """Proof_verification1: check the correctness of *every* clause of F*.
 
@@ -64,27 +95,52 @@ def verify_proof_v1(
     — the verdict is order-independent, only the index of the first
     failure reported can differ.
 
-    ``jobs > 1`` shards the independent checks across worker processes;
-    the verdict and the reported failure index match the sequential scan
-    (``num_checked`` may exceed it on failing proofs, since shards past
-    the failure still ran).
+    ``jobs > 1`` shards the independent checks across worker processes
+    (``jobs=None`` auto-sizes to the machine); the verdict and the
+    reported failure index match the sequential scan (``num_checked``
+    may exceed it on failing proofs, since shards past the failure
+    still ran).  The parallel backend is fault-tolerant: a dead worker's
+    shards are retried once and then fall back to in-process sequential
+    checking (see :mod:`repro.verify.parallel`), and the whole call
+    degrades to sequential — with a report warning — on platforms
+    without the ``fork`` start method.
+
+    An exhausted ``budget`` aborts with ``resource_limit_exceeded`` and
+    partial progress instead of a verdict.
     """
-    if order not in ("backward", "forward"):
-        raise ValueError(f"unknown order {order!r}")
+    _check_order(order)
     _check_mode(mode)
-    if jobs > 1 and len(proof) > 1 \
-            and "fork" in multiprocessing.get_all_start_methods():
-        return _verify_proof_v1_parallel(formula, proof, engine_cls,
-                                         order, mode, jobs)
+    jobs = _resolve_jobs(jobs)
+    meter = budget.start() if budget is not None else None
+    warnings: tuple[str, ...] = ()
+    if jobs > 1 and len(proof) > 1:
+        if "fork" in multiprocessing.get_all_start_methods():
+            return _verify_proof_v1_parallel(formula, proof, engine_cls,
+                                             order, mode, jobs, meter)
+        warnings = (
+            "parallel backend unavailable: no 'fork' start method on "
+            "this platform; degraded to a sequential run",)
     start = time.perf_counter()
     # Retirement requires a monotone-decreasing ceiling, i.e. backward.
     checker = ProofChecker(formula, proof, engine_cls, mode=mode,
-                           retire=(order == "backward"))
+                           retire=(order == "backward"), meter=meter)
     checked = 0
     indices = (range(len(proof) - 1, -1, -1) if order == "backward"
                else range(len(proof)))
     for index in indices:
-        outcome = checker.check_clause(index)
+        try:
+            outcome = checker.check_clause(index)
+        except BudgetExhausted as exc:
+            return VerificationReport(
+                outcome=RESOURCE_LIMIT_EXCEEDED,
+                procedure="verification1",
+                num_proof_clauses=len(proof),
+                num_checked=checked,
+                stopped_at_index=index,
+                failure_reason=str(exc),
+                verification_time=time.perf_counter() - start,
+                mode=mode, warnings=warnings,
+                bcp_counters=checker.engine.counters.as_dict())
         checker.reset()
         checked += 1
         if not outcome.conflict:
@@ -98,7 +154,7 @@ def verify_proof_v1(
                     f"BCP on the falsified clause {proof[index]} did not "
                     "produce a conflict"),
                 verification_time=time.perf_counter() - start,
-                mode=mode,
+                mode=mode, warnings=warnings,
                 bcp_counters=checker.engine.counters.as_dict())
     return VerificationReport(
         outcome=PROOF_IS_CORRECT,
@@ -106,45 +162,59 @@ def verify_proof_v1(
         num_proof_clauses=len(proof),
         num_checked=checked,
         verification_time=time.perf_counter() - start,
-        mode=mode,
+        mode=mode, warnings=warnings,
         bcp_counters=checker.engine.counters.as_dict())
 
 
 def _verify_proof_v1_parallel(
         formula: CnfFormula, proof: ConflictClauseProof,
         engine_cls: type[PropagatorBase], order: str, mode: str,
-        jobs: int) -> VerificationReport:
+        jobs: int, meter: BudgetMeter | None) -> VerificationReport:
     from repro.verify.parallel import run_sharded_v1
 
     start = time.perf_counter()
     jobs = min(jobs, len(proof))
-    failed, num_checked, counters = run_sharded_v1(
-        formula, proof, engine_cls, order, mode, jobs)
-    if failed is not None:
+    run = run_sharded_v1(formula, proof, engine_cls, order, mode, jobs,
+                         meter)
+    if run.budget_reason is not None:
+        return VerificationReport(
+            outcome=RESOURCE_LIMIT_EXCEEDED,
+            procedure="verification1",
+            num_proof_clauses=len(proof),
+            num_checked=run.num_checked,
+            stopped_at_index=run.stopped_at_index,
+            failure_reason=run.budget_reason,
+            verification_time=time.perf_counter() - start,
+            mode=mode, jobs=jobs, bcp_counters=run.counters,
+            worker_failures=run.worker_failures, warnings=run.warnings)
+    if run.failed_index is not None:
         return VerificationReport(
             outcome=PROOF_IS_NOT_CORRECT,
             procedure="verification1",
             num_proof_clauses=len(proof),
-            num_checked=num_checked,
-            failed_clause_index=failed,
+            num_checked=run.num_checked,
+            failed_clause_index=run.failed_index,
             failure_reason=(
-                f"BCP on the falsified clause {proof[failed]} did not "
-                "produce a conflict"),
+                f"BCP on the falsified clause {proof[run.failed_index]} "
+                "did not produce a conflict"),
             verification_time=time.perf_counter() - start,
-            mode=mode, jobs=jobs, bcp_counters=counters)
+            mode=mode, jobs=jobs, bcp_counters=run.counters,
+            worker_failures=run.worker_failures, warnings=run.warnings)
     return VerificationReport(
         outcome=PROOF_IS_CORRECT,
         procedure="verification1",
         num_proof_clauses=len(proof),
-        num_checked=num_checked,
+        num_checked=run.num_checked,
         verification_time=time.perf_counter() - start,
-        mode=mode, jobs=jobs, bcp_counters=counters)
+        mode=mode, jobs=jobs, bcp_counters=run.counters,
+        worker_failures=run.worker_failures, warnings=run.warnings)
 
 
 def verify_proof_v2(
         formula: CnfFormula, proof: ConflictClauseProof,
         engine_cls: type[PropagatorBase] = WatchedPropagator,
         mode: str = "rebuild",
+        budget: CheckBudget | None = None,
 ) -> VerificationReport:
     """Proof_verification2: check only marked clauses; extract a core.
 
@@ -154,10 +224,15 @@ def verify_proof_v2(
     responsible for its conflict.  Unmarked clauses of ``F*`` are
     redundant and skipped; marked clauses of ``F`` form the unsatisfiable
     core.
+
+    An exhausted ``budget`` aborts with ``resource_limit_exceeded``; no
+    core is reported for a partial run (marking is incomplete).
     """
     _check_mode(mode)
     start = time.perf_counter()
-    checker = ProofChecker(formula, proof, engine_cls, mode=mode)
+    meter = budget.start() if budget is not None else None
+    checker = ProofChecker(formula, proof, engine_cls, mode=mode,
+                           meter=meter)
     num_input = formula.num_clauses
     marked: set[int] = set()
     if proof.ending == ENDING_FINAL_PAIR:
@@ -173,7 +248,20 @@ def verify_proof_v2(
         if cid not in marked:
             skipped += 1
             continue
-        outcome = checker.check_clause(index)
+        try:
+            outcome = checker.check_clause(index)
+        except BudgetExhausted as exc:
+            return VerificationReport(
+                outcome=RESOURCE_LIMIT_EXCEEDED,
+                procedure="verification2",
+                num_proof_clauses=len(proof),
+                num_checked=checked,
+                num_skipped=skipped,
+                stopped_at_index=index,
+                failure_reason=str(exc),
+                verification_time=time.perf_counter() - start,
+                mode=mode,
+                bcp_counters=checker.engine.counters.as_dict())
         if outcome.conflict and outcome.confl_cid is not None:
             mark_responsible(checker.engine, outcome.confl_cid, marked)
         checker.reset()
@@ -214,26 +302,28 @@ def verify_proof(formula: CnfFormula, proof: ConflictClauseProof,
                  engine_cls: type[PropagatorBase] = WatchedPropagator,
                  order: str = "backward",
                  mode: str = "rebuild",
-                 jobs: int = 1,
+                 jobs: int | None = 1,
+                 budget: CheckBudget | None = None,
                  ) -> VerificationReport:
     """Verify a conflict clause proof (``verification2`` by default).
 
     The dispatcher forwards every option the selected procedure
     understands: ``order`` and ``jobs`` apply to ``verification1`` only
     (``verification2``'s marking pass is inherently backward and
-    sequential), ``mode`` and ``engine_cls`` to both.
+    sequential), ``mode``, ``engine_cls`` and ``budget`` to both.
     """
     if procedure == "verification1":
         return verify_proof_v1(formula, proof, engine_cls, order=order,
-                               mode=mode, jobs=jobs)
+                               mode=mode, jobs=jobs, budget=budget)
     if procedure == "verification2":
         if order != "backward":
             raise ValueError(
                 "verification2 is inherently backward; "
                 f"order={order!r} is only valid with verification1")
-        if jobs != 1:
+        if jobs not in (1, None):
             raise ValueError(
                 "verification2's marking pass is sequential; "
                 f"jobs={jobs!r} is only valid with verification1")
-        return verify_proof_v2(formula, proof, engine_cls, mode=mode)
+        return verify_proof_v2(formula, proof, engine_cls, mode=mode,
+                               budget=budget)
     raise ValueError(f"unknown verification procedure {procedure!r}")

@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.pipelines",
     "repro.benchgen",
     "repro.experiments",
+    "repro.testing",
 ]
 
 

@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.cli import EXIT_SAT, EXIT_UNSAT, main
+from repro.cli import (
+    EXIT_ERROR,
+    EXIT_PARSE_ERROR,
+    EXIT_RESOURCE_LIMIT,
+    EXIT_SAT,
+    EXIT_UNSAT,
+    main,
+)
 from repro.core.dimacs import read_dimacs, write_dimacs
 from repro.core.formula import CnfFormula
 from repro.solver.dpll import dpll_solve
@@ -110,6 +117,94 @@ class TestDrupCli:
         code = main(["verify-drup", str(sat_cnf), str(drup_path)])
         assert code == 1
         assert "failed at event" in capsys.readouterr().out
+
+
+@pytest.fixture
+def good_proof(unsat_cnf, tmp_path):
+    proof_path = tmp_path / "good.ccp"
+    main(["solve", str(unsat_cnf), "--proof", str(proof_path)])
+    return proof_path
+
+
+class TestErrorHandling:
+    """Operational failures exit with typed codes and a one-line
+    ``c error:`` diagnostic on stderr — never a traceback."""
+
+    def test_garbage_cnf_exits_65(self, tmp_path, good_proof, capsys):
+        bad = tmp_path / "bad.cnf"
+        bad.write_text("garbage !! not dimacs\n")
+        code = main(["verify", str(bad), str(good_proof)])
+        assert code == EXIT_PARSE_ERROR
+        err = capsys.readouterr().err
+        assert err.startswith("c error:")
+        assert len(err.strip().splitlines()) == 1
+        assert "Traceback" not in err
+
+    def test_truncated_proof_exits_65(self, unsat_cnf, good_proof,
+                                      tmp_path, capsys):
+        truncated = tmp_path / "trunc.ccp"
+        truncated.write_bytes(good_proof.read_bytes()[:-2])
+        code = main(["verify", str(unsat_cnf), str(truncated)])
+        assert code == EXIT_PARSE_ERROR
+        err = capsys.readouterr().err
+        assert err.startswith("c error:")
+        assert "Traceback" not in err
+
+    def test_binary_garbage_proof_exits_65(self, unsat_cnf, tmp_path,
+                                           capsys):
+        bad = tmp_path / "bad.ccp"
+        bad.write_bytes(b"\x01\x02\x03 not a proof")
+        code = main(["verify", str(unsat_cnf), str(bad)])
+        assert code == EXIT_PARSE_ERROR
+        assert capsys.readouterr().err.startswith("c error:")
+
+    def test_missing_file_exits_2(self, good_proof, capsys):
+        code = main(["verify", "/nonexistent/f.cnf", str(good_proof)])
+        assert code == EXIT_ERROR
+        assert capsys.readouterr().err.startswith("c error:")
+
+    def test_strict_flag_rejects_headerless(self, tmp_path, good_proof,
+                                            capsys):
+        headerless = tmp_path / "nohead.cnf"
+        headerless.write_text("1 2 0\n1 -2 0\n-1 2 0\n-1 -2 0\n3 4 0\n")
+        assert main(["verify", str(headerless), str(good_proof)]) == 0
+        capsys.readouterr()
+        code = main(["verify", str(headerless), str(good_proof),
+                     "--strict"])
+        assert code == EXIT_PARSE_ERROR
+        assert capsys.readouterr().err.startswith("c error:")
+
+    def test_garbage_drup_exits_65(self, unsat_cnf, tmp_path, capsys):
+        bad = tmp_path / "bad.drup"
+        bad.write_text("1 2 without terminator\n")
+        code = main(["verify-drup", str(unsat_cnf), str(bad)])
+        assert code == EXIT_PARSE_ERROR
+        assert capsys.readouterr().err.startswith("c error:")
+
+
+class TestBudgetCli:
+    def test_verify_budget_exits_3(self, unsat_cnf, good_proof, capsys):
+        code = main(["verify", str(unsat_cnf), str(good_proof),
+                     "--max-props", "1"])
+        assert code == EXIT_RESOURCE_LIMIT
+        out = capsys.readouterr().out
+        assert "s RESOURCE_LIMIT_EXCEEDED" in out
+        assert "c budget exhausted:" in out
+
+    def test_verify_drup_timeout_exits_3(self, unsat_cnf, tmp_path,
+                                         capsys):
+        drup_path = tmp_path / "t.drup"
+        main(["solve", str(unsat_cnf), "--drup", str(drup_path)])
+        capsys.readouterr()
+        code = main(["verify-drup", str(unsat_cnf), str(drup_path),
+                     "--timeout", "0.000001"])
+        assert code == EXIT_RESOURCE_LIMIT
+        assert "s RESOURCE_LIMIT_EXCEEDED" in capsys.readouterr().out
+
+    def test_generous_budget_still_verifies(self, unsat_cnf, good_proof):
+        code = main(["verify", str(unsat_cnf), str(good_proof),
+                     "--timeout", "3600", "--max-props", "1000000000"])
+        assert code == 0
 
 
 class TestSolveVariants:

@@ -23,9 +23,57 @@ class TestReadme:
     def test_links_resolve(self):
         readme = (REPO / "README.md").read_text()
         for target in ("EXPERIMENTS.md", "DESIGN.md",
-                       "docs/proof_format.md", "docs/verification.md"):
+                       "docs/proof_format.md", "docs/verification.md",
+                       "docs/robustness.md"):
             assert target in readme
             assert (REPO / target).exists(), target
+
+    def test_robustness_section(self):
+        readme = (REPO / "README.md").read_text()
+        assert "## Robustness" in readme
+
+
+class TestRobustnessDoc:
+    def test_error_taxonomy_is_complete(self):
+        """Every ReproError subclass the library defines is documented."""
+        import repro.core.exceptions as exceptions
+        from repro.core.exceptions import ReproError
+
+        doc = (REPO / "docs" / "robustness.md").read_text()
+        for name in dir(exceptions):
+            obj = getattr(exceptions, name)
+            if (isinstance(obj, type) and issubclass(obj, ReproError)
+                    and obj is not ReproError):
+                assert name in doc, f"{name} missing from robustness.md"
+
+    def test_exit_codes_documented(self):
+        from repro import cli
+
+        doc = (REPO / "docs" / "robustness.md").read_text()
+        codes = {name: getattr(cli, name) for name in dir(cli)
+                 if name.startswith("EXIT_")}
+        assert codes  # the CLI defines typed exit codes
+        for name, value in codes.items():
+            assert f"| {value} " in doc, \
+                f"exit code {value} ({name}) missing from robustness.md"
+
+    def test_budget_semantics_documented(self):
+        doc = (REPO / "docs" / "robustness.md").read_text()
+        for term in ("max_props", "timeout", "resource_limit_exceeded",
+                     "assignments + clause_visits"):
+            assert term in doc
+
+    def test_mutation_harness_documented(self):
+        doc = (REPO / "docs" / "robustness.md").read_text()
+        for term in ("run_differential", "ProofMutator",
+                     "EXPECT_REJECT_ALL", "EXPECT_ACCEPT"):
+            assert term in doc
+
+    def test_referenced_test_files_exist(self):
+        doc = (REPO / "docs" / "robustness.md").read_text()
+        for piece in doc.split("`"):
+            if piece.startswith(("tests/", "benchmarks/")):
+                assert (REPO / piece).exists(), piece
 
 
 class TestDesign:

@@ -1,0 +1,150 @@
+"""Fault tolerance of the parallel verification1 backend.
+
+Worker death (simulated with a hard ``os._exit``, as an OOM kill would
+look) must never wedge a run or change its verdict: lost shards are
+retried once on a fresh pool, then fall back to in-process sequential
+checking, each step leaving a trace in the report's ``warnings`` /
+``worker_failures``.
+"""
+
+import pytest
+
+from repro.benchgen.registry import pigeonhole
+from repro.proofs.conflict_clause import ConflictClauseProof
+from repro.solver.cdcl import solve
+from repro.verify import RESOURCE_LIMIT_EXCEEDED, CheckBudget
+from repro.verify import parallel
+from repro.verify.parallel import (
+    clear_faults,
+    fork_available,
+    install_fault,
+    make_shards,
+    run_sharded_v1,
+)
+from repro.verify.verification import verify_proof_v1
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(),
+    reason="fault-tolerance tests need the fork start method")
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    yield
+    clear_faults()
+
+
+@pytest.fixture(scope="module")
+def instance():
+    formula = pigeonhole(5)
+    result = solve(formula, reduce_base=20, reduce_growth=10)
+    assert result.is_unsat
+    return formula, ConflictClauseProof.from_log(result.log)
+
+
+@pytest.fixture(scope="module")
+def bad_instance(instance):
+    """The same proof with a unit over a fresh variable injected at
+    position 0: F alone cannot derive it by BCP, so verification1 must
+    fail exactly there (every genuine check still passes — its prefix
+    only gained a clause)."""
+    formula, proof = instance
+    fresh = max(formula.num_vars, proof.max_var()) + 1
+    clauses = [(fresh,)] + list(proof.clauses)
+    return formula, ConflictClauseProof(clauses)
+
+
+class TestShards:
+    @pytest.mark.parametrize("num_indices,jobs",
+                             [(1, 1), (7, 4), (100, 4), (3, 8)])
+    def test_cover_exactly_once(self, num_indices, jobs):
+        shards = make_shards(num_indices, jobs)
+        seen = [index for lo, hi in shards for index in range(lo, hi)]
+        assert sorted(seen) == list(range(num_indices))
+        assert len(seen) == len(set(seen))
+
+    def test_empty(self):
+        assert make_shards(0, 4) == []
+
+
+class TestWorkerDeath:
+    def test_retry_recovers(self, instance):
+        formula, proof = instance
+        shards = make_shards(len(proof), 4)
+        install_fault(shards[0], deaths=1)
+        report = verify_proof_v1(formula, proof, jobs=4,
+                                 mode="incremental")
+        assert report.ok
+        assert report.num_checked == len(proof)
+        assert report.worker_failures >= 1
+        assert any("retrying" in w for w in report.warnings)
+
+    def test_repeated_death_degrades_in_process(self, instance):
+        formula, proof = instance
+        shards = make_shards(len(proof), 4)
+        install_fault(shards[0], deaths=2)
+        report = verify_proof_v1(formula, proof, jobs=4,
+                                 mode="incremental")
+        assert report.ok
+        assert report.num_checked == len(proof)
+        assert any("degraded" in w for w in report.warnings)
+
+    def test_verdict_matches_sequential_on_bad_proof(self, bad_instance):
+        formula, proof = bad_instance
+        sequential = verify_proof_v1(formula, proof, jobs=1)
+        assert not sequential.ok
+        shards = make_shards(len(proof), 4)
+        install_fault(shards[-1], deaths=2)
+        parallel_report = verify_proof_v1(formula, proof, jobs=4)
+        assert not parallel_report.ok
+        assert (parallel_report.failed_clause_index
+                == sequential.failed_clause_index)
+
+
+class TestDegradedPlatform:
+    def test_no_fork_falls_back_to_sequential(self, instance,
+                                              monkeypatch):
+        formula, proof = instance
+        monkeypatch.setattr(
+            "repro.verify.verification.multiprocessing."
+            "get_all_start_methods", lambda: ["spawn"])
+        report = verify_proof_v1(formula, proof, jobs=4)
+        assert report.ok
+        assert any("parallel backend unavailable" in w
+                   for w in report.warnings)
+
+    def test_run_sharded_degrades_without_fork(self, instance,
+                                               monkeypatch):
+        from repro.bcp.watched import WatchedPropagator
+
+        formula, proof = instance
+        monkeypatch.setattr(parallel, "get_all_start_methods",
+                            lambda: ["spawn"])
+        run = run_sharded_v1(formula, proof, WatchedPropagator,
+                             "backward", "incremental", 4)
+        assert run.failed_index is None
+        assert run.num_checked == len(proof)
+        assert any("unavailable" in w for w in run.warnings)
+
+
+class TestParallelBudget:
+    def test_deadline_yields_clean_partial_report(self, instance):
+        formula, proof = instance
+        report = verify_proof_v1(formula, proof, jobs=4,
+                                 budget=CheckBudget(timeout=1e-6))
+        assert report.outcome == RESOURCE_LIMIT_EXCEEDED
+        assert not report.ok
+        assert report.num_checked <= len(proof)
+        assert report.failure_reason
+
+    def test_props_budget_with_worker_death(self, instance):
+        """Budget exhaustion and fault recovery compose: the run still
+        ends in a well-formed partial report."""
+        formula, proof = instance
+        shards = make_shards(len(proof), 4)
+        install_fault(shards[0], deaths=1)
+        report = verify_proof_v1(formula, proof, jobs=4,
+                                 budget=CheckBudget(max_props=50))
+        assert report.outcome in (RESOURCE_LIMIT_EXCEEDED,
+                                  "proof_is_correct")
+        assert report.num_checked <= len(proof)
