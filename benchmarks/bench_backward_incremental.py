@@ -30,6 +30,7 @@ if __name__ == "__main__":  # standalone: make src/ + repo root importable
 
 import pytest
 
+from repro.obs import MetricsRegistry, Obs, metrics_document
 from repro.verify.parallel import default_jobs
 from repro.verify.verification import verify_proof_v1
 
@@ -52,12 +53,14 @@ _table = register_collector(TableCollector(
 _rebuild_counters: dict[str, dict[str, int]] = {}
 
 
-def run_variant(formula, proof, variant: str, jobs: int):
+def run_variant(formula, proof, variant: str, jobs: int, obs=None):
     if variant == "rebuild":
-        return verify_proof_v1(formula, proof, mode="rebuild")
+        return verify_proof_v1(formula, proof, mode="rebuild", obs=obs)
     if variant == "incremental":
-        return verify_proof_v1(formula, proof, mode="incremental")
-    return verify_proof_v1(formula, proof, mode="incremental", jobs=jobs)
+        return verify_proof_v1(formula, proof, mode="incremental",
+                               obs=obs)
+    return verify_proof_v1(formula, proof, mode="incremental",
+                           jobs=jobs, obs=obs)
 
 
 @pytest.mark.parametrize("variant", VARIANTS)
@@ -90,7 +93,12 @@ def test_backward_incremental(benchmark, name, variant):
 # -- standalone entry point ---------------------------------------------------
 
 def bench_records(instances, jobs: int) -> list[dict]:
-    """One record per (instance, variant), ready for JSON appending."""
+    """One record per (instance, variant), ready for JSON appending.
+
+    Each record carries the report's per-phase ``stats`` breakdown —
+    the same numbers the CLI's ``--stats`` footer prints — so the
+    trend log separates setup from check time.
+    """
     records = []
     for name in instances:
         data = solved_instance(name)
@@ -99,6 +107,8 @@ def bench_records(instances, jobs: int) -> list[dict]:
             report = run_variant(data.formula, data.proof, variant,
                                  used_jobs)
             assert report.ok, f"{name}/{variant} failed verification"
+            stats = (report.stats.as_dict()
+                     if report.stats is not None else None)
             records.append({
                 "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ",
                                            time.gmtime()),
@@ -110,12 +120,83 @@ def bench_records(instances, jobs: int) -> list[dict]:
                 "num_checked": report.num_checked,
                 "verification_time": round(report.verification_time, 6),
                 "counters": report.bcp_counters,
+                "stats": stats,
             })
             print(f"{name:<10} {variant:<12} jobs={report.jobs} "
                   f"time={report.verification_time:.3f}s "
                   f"assignments={report.bcp_counters['assignments']:,} "
                   f"watch_visits={report.bcp_counters['watch_visits']:,}")
     return records
+
+
+def overhead_record(name: str, repeats: int = 3) -> dict:
+    """Measure what attaching instrumentation costs on one instance.
+
+    Runs the incremental variant ``repeats`` times plain (``obs=None``,
+    the disabled fast path) and ``repeats`` times with a metrics
+    registry attached, takes the best of each (noise floor), and
+    reports the enabled-vs-disabled overhead.  The instrumented run's
+    metrics document (schema ``repro.obs.metrics/v1`` — the same
+    artifact ``repro verify --metrics-out`` writes) is embedded so the
+    trend log carries the full metric set.
+    """
+    data = solved_instance(name)
+    disabled = min(
+        run_variant(data.formula, data.proof,
+                    "incremental", 1).verification_time
+        for _ in range(repeats))
+    enabled_times = []
+    doc = None
+    for _ in range(repeats):
+        obs = Obs(metrics=MetricsRegistry())
+        report = run_variant(data.formula, data.proof, "incremental",
+                             1, obs=obs)
+        assert report.ok
+        enabled_times.append(report.verification_time)
+        doc = metrics_document(
+            obs.metrics,
+            run={"id": obs.run_id, "command": "bench", "instance": name},
+            stats=report.stats.as_dict())
+    enabled = min(enabled_times)
+    return {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "kind": "instrumentation_overhead",
+        "instance": name,
+        "disabled_time": round(disabled, 6),
+        "enabled_time": round(enabled, 6),
+        "enabled_overhead_pct": round(
+            100.0 * (enabled - disabled) / disabled, 2)
+        if disabled > 0 else None,
+        "metrics": doc,
+    }
+
+
+def compare_to_baseline(records: list[dict],
+                        baseline: list[dict]) -> list[str]:
+    """Per-(instance, variant) time delta vs a prior record list.
+
+    Matches each new record to the latest baseline record of the same
+    instance/variant and reports the percent change — the acceptance
+    guard for "the disabled path costs nothing".
+    """
+    latest: dict[tuple[str, str], float] = {}
+    for rec in baseline:
+        if "instance" in rec and "variant" in rec \
+                and "verification_time" in rec:
+            latest[(rec["instance"], rec["variant"])] = \
+                rec["verification_time"]
+    lines = []
+    for rec in records:
+        key = (rec.get("instance"), rec.get("variant"))
+        before = latest.get(key)
+        if before is None or not before:
+            continue
+        delta = 100.0 * (rec["verification_time"] - before) / before
+        rec["baseline_delta_pct"] = round(delta, 2)
+        lines.append(f"{key[0]}/{key[1]}: {before:.3f}s -> "
+                     f"{rec['verification_time']:.3f}s "
+                     f"({delta:+.1f}%)")
+    return lines
 
 
 def main(argv=None) -> int:
@@ -135,9 +216,29 @@ def main(argv=None) -> int:
     parser.add_argument("--output", type=Path,
                         default=REPO_ROOT / "BENCH_verification.json",
                         help="JSON file to append records to")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="prior record list to diff the disabled-"
+                             "path times against (percent deltas are "
+                             "stamped into the new records)")
+    parser.add_argument("--overhead-instance", default=None,
+                        metavar="NAME",
+                        help="also measure instrumentation overhead "
+                             "(enabled vs disabled obs) on this "
+                             "instance and append the record")
     args = parser.parse_args(argv)
 
     records = bench_records(args.instances, args.jobs)
+    if args.baseline is not None and args.baseline.exists():
+        for line in compare_to_baseline(
+                records, json.loads(args.baseline.read_text())):
+            print(f"baseline: {line}")
+    if args.overhead_instance:
+        record = overhead_record(args.overhead_instance)
+        print(f"instrumentation overhead on {record['instance']}: "
+              f"disabled={record['disabled_time']:.3f}s "
+              f"enabled={record['enabled_time']:.3f}s "
+              f"({record['enabled_overhead_pct']:+.1f}%)")
+        records.append(record)
     existing = []
     if args.output.exists():
         existing = json.loads(args.output.read_text())

@@ -28,6 +28,13 @@ from repro.core.exceptions import (
     ProofFormatError,
     ReproError,
 )
+from repro.obs import (
+    METRICS_FORMATS,
+    Obs,
+    stats_footer,
+    write_metrics_json,
+    write_metrics_prometheus,
+)
 from repro.proofs.conflict_clause import ConflictClauseProof
 from repro.proofs.sizes import compare_proof_sizes
 from repro.proofs.trace_format import read_proof, write_proof
@@ -104,6 +111,7 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="accept header-less or miscounted "
                                  "DIMACS (default)")
     _add_budget_arguments(verify_cmd)
+    _add_obs_arguments(verify_cmd)
 
     core_cmd = sub.add_parser(
         "core", help="extract an unsat core from a verified proof")
@@ -118,6 +126,7 @@ def _build_parser() -> argparse.ArgumentParser:
     drup_cmd.add_argument("cnf")
     drup_cmd.add_argument("drup")
     _add_budget_arguments(drup_cmd)
+    _add_obs_arguments(drup_cmd)
     return parser
 
 
@@ -136,6 +145,72 @@ def _budget_from(args: argparse.Namespace) -> CheckBudget | None:
     if args.timeout is None and args.max_props is None:
         return None
     return CheckBudget(timeout=args.timeout, max_props=args.max_props)
+
+
+def _add_obs_arguments(cmd: argparse.ArgumentParser) -> None:
+    group = cmd.add_argument_group("observability")
+    group.add_argument("--metrics-out", metavar="PATH", default=None,
+                       help="write a metrics artifact here after the "
+                            "run (see --metrics-format)")
+    group.add_argument("--metrics-format", default="json",
+                       choices=list(METRICS_FORMATS),
+                       help="metrics artifact format (default: json, "
+                            "schema repro.obs.metrics/v1)")
+    group.add_argument("--trace-out", metavar="PATH", default=None,
+                       help="write a JSONL span/event trace here "
+                            "(schema repro.obs.trace/v1)")
+    group.add_argument("--progress", action="store_true",
+                       help="heartbeat 'c progress:' lines on stderr")
+    group.add_argument("--stats", action="store_true",
+                       help="print a 'c stats:' footer with per-phase "
+                            "times, props, and slowest checks")
+
+
+def _obs_from(args: argparse.Namespace) -> Obs | None:
+    """Build the instrumentation bundle the flags ask for (or None).
+
+    ``--stats`` alone still enables metrics: the footer's props and
+    slowest-check lines come from the instrumented per-check path.
+    """
+    from repro.obs import MetricsRegistry, Tracer
+
+    wants_metrics = (args.metrics_out is not None or args.stats)
+    wants_trace = args.trace_out is not None
+    if not (wants_metrics or wants_trace or args.progress):
+        return None
+    return Obs(
+        metrics=MetricsRegistry() if wants_metrics else None,
+        tracer=Tracer() if wants_trace else None,
+        progress_stream=sys.stderr if args.progress else None)
+
+
+def _write_obs_artifacts(obs: Obs | None, args: argparse.Namespace,
+                         report) -> None:
+    """Write --metrics-out / --trace-out artifacts for a finished run."""
+    if obs is None:
+        return
+    stats = report.stats.as_dict() if report.stats is not None else None
+    if args.metrics_out is not None and obs.metrics is not None:
+        if args.metrics_format == "prometheus":
+            write_metrics_prometheus(args.metrics_out, obs.metrics)
+        else:
+            run = {"id": obs.run_id, "command": args.command,
+                   "elapsed": report.verification_time}
+            write_metrics_json(args.metrics_out, obs.metrics, run,
+                               stats)
+        print(f"c metrics written to {args.metrics_out}")
+    if args.trace_out is not None and obs.tracer is not None:
+        obs.tracer.write_jsonl(args.trace_out)
+        print(f"c trace written to {args.trace_out}")
+
+
+def _print_stats_footer(args: argparse.Namespace, report,
+                        bcp_counters: dict | None) -> None:
+    if not args.stats:
+        return
+    stats = report.stats.as_dict() if report.stats is not None else None
+    for line in stats_footer(stats, bcp_counters):
+        print(line)
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
@@ -208,9 +283,11 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         print("c error: --order/--jobs require --procedure "
               "verification1", file=sys.stderr)
         return EXIT_ERROR
+    obs = _obs_from(args)
     report = verify_proof(formula, proof, procedure=args.procedure,
                           order=args.order, mode=args.mode,
-                          jobs=args.jobs, budget=_budget_from(args))
+                          jobs=args.jobs, budget=_budget_from(args),
+                          obs=obs)
     print(f"s {report.outcome.upper()}")
     print(f"c checked={report.num_checked} skipped={report.num_skipped}"
           f" time={report.verification_time:.3f}s"
@@ -224,6 +301,8 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         pairs = " ".join(f"{key}={value}"
                          for key, value in report.bcp_counters.items())
         print(f"c bcp: {pairs}")
+    _print_stats_footer(args, report, report.bcp_counters)
+    _write_obs_artifacts(obs, args, report)
     if report.exhausted:
         print(f"c budget exhausted: {report.failure_reason}")
         return EXIT_RESOURCE_LIMIT
@@ -263,12 +342,16 @@ def _cmd_verify_drup(args: argparse.Namespace) -> int:
 
     formula = read_dimacs(args.cnf)
     trace = read_drup(args.drup)
-    report = check_drup(formula, trace, budget=_budget_from(args))
+    obs = _obs_from(args)
+    report = check_drup(formula, trace, budget=_budget_from(args),
+                        obs=obs)
     print(f"s {report.outcome.upper()}")
     print(f"c additions={report.num_additions} "
           f"deletions={report.num_deletions} "
           f"peak_active={report.peak_active_clauses} "
           f"time={report.verification_time:.3f}s")
+    _print_stats_footer(args, report, None)
+    _write_obs_artifacts(obs, args, report)
     if report.exhausted:
         print(f"c budget exhausted: {report.failure_reason}")
         return EXIT_RESOURCE_LIMIT

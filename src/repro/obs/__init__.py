@@ -1,0 +1,68 @@
+"""``repro.obs`` — tracing, metrics, and progress instrumentation.
+
+A zero-dependency observability layer for the verification pipeline:
+
+* :class:`MetricsRegistry` with :class:`Counter` / :class:`Gauge` /
+  :class:`Histogram` and associative snapshot merging (worker
+  aggregation);
+* :class:`Tracer` spans emitting a structured JSONL event log;
+* :class:`ProgressReporter` heartbeat lines;
+* exporters (JSON summary, Prometheus text, ``c stats:`` footer) and
+  schema validators for both artifact kinds.
+
+Instrumentation is strictly opt-in: every entry point takes
+``obs: Obs | None = None`` and the disabled path never touches this
+package (see :mod:`repro.obs.context`).
+"""
+
+from repro.obs.context import Obs
+from repro.obs.export import (
+    METRICS_FORMATS,
+    metrics_document,
+    prometheus_text,
+    stats_footer,
+    write_metrics_json,
+    write_metrics_prometheus,
+)
+from repro.obs.progress import ProgressReporter
+from repro.obs.registry import (
+    DEFAULT_TIME_BUCKETS,
+    DEFAULT_WORK_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.schema import (
+    METRICS_SCHEMA,
+    TRACE_SCHEMA,
+    deterministic_view,
+    validate_metrics,
+    validate_trace,
+)
+from repro.obs.spans import Tracer, make_run_id, read_jsonl
+
+__all__ = [
+    "Obs",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Tracer",
+    "ProgressReporter",
+    "metrics_document",
+    "write_metrics_json",
+    "write_metrics_prometheus",
+    "prometheus_text",
+    "stats_footer",
+    "validate_metrics",
+    "validate_trace",
+    "deterministic_view",
+    "read_jsonl",
+    "make_run_id",
+    "METRICS_SCHEMA",
+    "TRACE_SCHEMA",
+    "METRICS_FORMATS",
+    "DEFAULT_TIME_BUCKETS",
+    "DEFAULT_WORK_BUCKETS",
+]

@@ -1,0 +1,141 @@
+"""The ``Obs`` bundle: what a verification run carries around.
+
+Every instrumented entry point accepts ``obs: Obs | None = None``.
+``None`` — the default everywhere — is the *disabled fast path*: the
+drivers branch on it once per check at most, the BCP hot loops never
+see it at all, and no registry, tracer, or clock is touched.  An
+:class:`Obs` carries up to three optional facilities:
+
+* ``metrics`` — a :class:`~repro.obs.registry.MetricsRegistry`;
+* ``tracer`` — a :class:`~repro.obs.spans.Tracer` (JSONL event log);
+* ``progress`` — heartbeat configuration (stream + interval); the
+  drivers instantiate one
+  :class:`~repro.obs.progress.ProgressReporter` per run once the
+  total check count is known.
+
+The helpers (`span`, `event`, `counter_add`, ...) are null-safe with
+respect to the *facilities* — an ``Obs`` with only a tracer ignores
+metric calls — so drivers guard on ``obs is not None`` once and then
+call helpers unconditionally.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager, nullcontext
+
+from repro.obs.progress import ProgressReporter
+from repro.obs.registry import (
+    DEFAULT_TIME_BUCKETS,
+    DEFAULT_WORK_BUCKETS,
+    MetricsRegistry,
+)
+from repro.obs.spans import Tracer, make_run_id
+
+_NULL = nullcontext()
+
+
+class Obs:
+    """Optional instrumentation facilities threaded through a run."""
+
+    def __init__(self, metrics: MetricsRegistry | None = None,
+                 tracer: Tracer | None = None,
+                 progress_stream=None,
+                 progress_interval: float = 0.5,
+                 run_id: str | None = None):
+        if run_id is None:
+            run_id = tracer.run_id if tracer is not None else make_run_id()
+        self.run_id = run_id
+        self.metrics = metrics
+        self.tracer = tracer
+        self.progress_stream = progress_stream
+        self.progress_interval = progress_interval
+        self.wants_progress = progress_stream is not None
+        self.started = time.perf_counter()
+
+    @classmethod
+    def enabled(cls, tracing: bool = True, progress_stream=None) -> "Obs":
+        """An Obs with everything on — the library-user one-liner."""
+        return cls(metrics=MetricsRegistry(),
+                   tracer=Tracer() if tracing else None,
+                   progress_stream=progress_stream)
+
+    # -- tracing -----------------------------------------------------------
+
+    def span(self, name: str, **attrs):
+        if self.tracer is None:
+            return _NULL
+        return self.tracer.span(name, **attrs)
+
+    def event(self, name: str, **attrs) -> None:
+        if self.tracer is not None:
+            self.tracer.event(name, **attrs)
+
+    # -- metrics -----------------------------------------------------------
+
+    def counter_add(self, name: str, amount: int = 1,
+                    help: str = "") -> None:
+        # amount == 0 still registers the counter: a zero-valued
+        # worker_failures_total in the artifact says "measured, none"
+        # rather than "never measured".
+        if self.metrics is not None:
+            self.metrics.counter(name, help=help).inc(amount)
+
+    def gauge_set(self, name: str, value: float, help: str = "") -> None:
+        if self.metrics is not None:
+            self.metrics.gauge(name, help=help).set(value)
+
+    def observe_seconds(self, name: str, value: float,
+                        help: str = "") -> None:
+        if self.metrics is not None:
+            self.metrics.histogram(
+                name, help=help,
+                buckets=DEFAULT_TIME_BUCKETS).observe(value)
+
+    def observe_work(self, name: str, value: int, help: str = "") -> None:
+        if self.metrics is not None:
+            self.metrics.histogram(
+                name, help=help,
+                buckets=DEFAULT_WORK_BUCKETS).observe(value)
+
+    def record_bcp_counters(self, counters: dict[str, int]) -> None:
+        """Publish engine ``PropagationCounters`` totals as counters.
+
+        The hot loops keep maintaining their plain-int counters; the
+        drivers call this once per run (or the parallel parent once
+        per merged result), so the registry stays off the hot path.
+        """
+        if self.metrics is None:
+            return
+        for key, value in counters.items():
+            self.metrics.counter(
+                f"repro_bcp_{key}_total",
+                help=f"BCP engine counter: {key}").inc(value)
+
+    def merge_worker_metrics(self, snapshot: dict | None) -> None:
+        """Fold a worker's registry snapshot into this run's registry."""
+        if self.metrics is not None and snapshot:
+            self.metrics.merge(snapshot)
+
+    # -- progress ----------------------------------------------------------
+
+    def progress_reporter(self, total: int,
+                          label: str = "checks") -> ProgressReporter | None:
+        if not self.wants_progress:
+            return None
+        return ProgressReporter(total, label=label,
+                                stream=self.progress_stream,
+                                interval=self.progress_interval)
+
+    # -- timed phases ------------------------------------------------------
+
+    @contextmanager
+    def phase(self, name: str, sink: dict[str, float], **attrs):
+        """Time a named phase into ``sink`` (and a trace span)."""
+        start = time.perf_counter()
+        with self.span(name, **attrs):
+            try:
+                yield
+            finally:
+                sink[name] = sink.get(name, 0.0) \
+                    + time.perf_counter() - start

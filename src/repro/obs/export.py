@@ -1,0 +1,132 @@
+"""Exporters: JSON summary, Prometheus text format, human footer.
+
+Three consumers, three formats, one registry snapshot:
+
+* :func:`metrics_document` / :func:`write_metrics_json` — the JSON
+  summary the CLI writes for ``--metrics-out`` and the benchmarks embed
+  in ``BENCH_verification.json`` (schema ``repro.obs.metrics/v1``);
+* :func:`prometheus_text` — the Prometheus exposition text format, for
+  scraping or pushing from a long-running verification service;
+* :func:`stats_footer` — the human ``c stats:`` lines the CLI prints
+  with ``--stats`` (DIMACS-style comment lines, like DRAT-trim's
+  verbose statistics).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.schema import METRICS_SCHEMA
+
+METRICS_FORMATS = ("json", "prometheus")
+
+
+def metrics_document(registry: MetricsRegistry, run: dict,
+                     stats: dict | None = None) -> dict:
+    """Assemble the JSON metrics document from a registry snapshot.
+
+    ``run`` is the per-run header (id, command, elapsed wall time...);
+    ``stats`` is the report's per-phase breakdown, embedded verbatim so
+    one artifact carries the whole picture.
+    """
+    doc = {"schema": METRICS_SCHEMA, "run": dict(run),
+           "metrics": registry.snapshot()}
+    if stats is not None:
+        doc["stats"] = dict(stats)
+    return doc
+
+
+def write_metrics_json(path, registry: MetricsRegistry, run: dict,
+                       stats: dict | None = None) -> dict:
+    doc = metrics_document(registry, run, stats)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return doc
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and value == int(value) \
+            and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """The registry in the Prometheus exposition text format.
+
+    Histograms follow the convention: cumulative ``_bucket`` series
+    with ``le`` labels (ending at ``le="+Inf"``), plus ``_sum`` and
+    ``_count``.  Gauge maxima are exported as a sibling ``_max``
+    gauge.
+    """
+    lines: list[str] = []
+    for metric in registry:
+        name = metric.name
+        if metric.help:
+            lines.append(f"# HELP {name} {metric.help}")
+        if metric.kind == "counter":
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name} {metric.value}")
+        elif metric.kind == "gauge":
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {_format_value(metric.value)}")
+            snap = metric.snapshot()
+            lines.append(f"# TYPE {name}_max gauge")
+            lines.append(f"{name}_max {_format_value(snap['max'])}")
+        elif metric.kind == "histogram":
+            lines.append(f"# TYPE {name} histogram")
+            cumulative = 0
+            for bound, count in zip(metric.buckets, metric.counts):
+                cumulative += count
+                lines.append(
+                    f'{name}_bucket{{le="{_format_value(float(bound))}"}}'
+                    f" {cumulative}")
+            cumulative += metric.counts[-1]
+            lines.append(f'{name}_bucket{{le="+Inf"}} {cumulative}')
+            lines.append(f"{name}_sum {_format_value(metric.sum)}")
+            lines.append(f"{name}_count {metric.count}")
+    return "\n".join(lines) + "\n"
+
+
+def write_metrics_prometheus(path, registry: MetricsRegistry) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(prometheus_text(registry))
+
+
+def stats_footer(stats: dict | None,
+                 bcp_counters: dict | None = None) -> list[str]:
+    """Human-readable ``c stats:`` lines from a report's breakdown.
+
+    ``stats`` is a :meth:`~repro.verify.report.VerificationStats.
+    as_dict` mapping; ``bcp_counters`` the engine counter totals.
+    Returns the lines without trailing newlines; empty input, empty
+    output.
+    """
+    lines: list[str] = []
+    if stats:
+        phases = stats.get("phase_times") or {}
+        phase_text = " ".join(f"{name}={seconds:.3f}s"
+                              for name, seconds in phases.items())
+        line = f"c stats: total={stats.get('total_time', 0.0):.3f}s"
+        if phase_text:
+            line += f" ({phase_text})"
+        lines.append(line)
+        checks = stats.get("checks", 0)
+        props = stats.get("props", 0)
+        detail = f"c stats: checks={checks} props={props}"
+        total = stats.get("total_time") or 0.0
+        if checks and total > 0:
+            detail += f" checks_per_sec={checks / total:.0f}"
+        lines.append(detail)
+        slowest = stats.get("slowest_checks") or []
+        if slowest:
+            worst = " ".join(f"#{index}={seconds * 1000:.1f}ms"
+                             for index, seconds in slowest)
+            lines.append(f"c stats: slowest checks: {worst}")
+    if bcp_counters:
+        pairs = " ".join(f"{key}={value}"
+                         for key, value in bcp_counters.items())
+        lines.append(f"c stats: bcp {pairs}")
+    return lines

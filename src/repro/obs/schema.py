@@ -1,0 +1,199 @@
+"""Artifact schemas for the observability layer, plus validators.
+
+Two artifact kinds leave a verification run:
+
+* a **metrics document** (``repro.obs.metrics/v1``) — one JSON object
+  holding the run header, the registry snapshot, and the report's
+  per-phase stats breakdown;
+* a **trace log** (``repro.obs.trace/v1``) — JSONL, one event per line
+  (see :mod:`repro.obs.spans`).
+
+The validators are hand-rolled structural checks (no jsonschema
+dependency) returning a list of human-readable problems — empty means
+valid.  CI runs them over freshly produced artifacts so the schema
+cannot drift silently; tests run them over round-tripped files.
+
+Determinism contract
+--------------------
+Benchmark trend tracking and the determinism tests need a *stable*
+subset of the metrics document: :func:`deterministic_view` strips
+
+* the ``run`` header (ids, timings, hostnames are per-run by nature),
+* the ``stats`` breakdown (wall-clock phase times),
+* every time-valued metric (``*_seconds*``),
+
+and, for parallel runs (``repro_verify_jobs > 1``), additionally every
+scheduling-dependent metric: BCP work totals and per-check work
+histograms vary with which worker (and hence which persistent root
+trail) served each shard, as does the observed shard queue depth.
+What survives is the same for every rerun of the same verification.
+"""
+
+from __future__ import annotations
+
+METRICS_SCHEMA = "repro.obs.metrics/v1"
+TRACE_SCHEMA = "repro.obs.trace/v1"
+
+_EVENT_TYPES = ("header", "begin", "end", "event")
+
+# Metric-name prefixes whose values depend on pool scheduling when the
+# run used more than one worker process (see module docstring).
+_SCHEDULING_DEPENDENT_PREFIXES = (
+    "repro_bcp_",
+    "repro_check_work",
+    "repro_parallel_queue_depth",
+)
+
+
+def validate_metrics(doc) -> list[str]:
+    """Structural problems of a metrics document (empty list: valid)."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"metrics document must be a JSON object, "
+                f"got {type(doc).__name__}"]
+    if doc.get("schema") != METRICS_SCHEMA:
+        problems.append(f"schema must be {METRICS_SCHEMA!r}, "
+                        f"got {doc.get('schema')!r}")
+    run = doc.get("run")
+    if not isinstance(run, dict):
+        problems.append("missing 'run' header object")
+    else:
+        if not isinstance(run.get("id"), str) or not run["id"]:
+            problems.append("run.id must be a non-empty string")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        problems.append("missing 'metrics' object")
+        return problems
+    for name, entry in metrics.items():
+        where = f"metrics[{name!r}]"
+        if not isinstance(entry, dict):
+            problems.append(f"{where} must be an object")
+            continue
+        kind = entry.get("kind")
+        value = entry.get("value")
+        if kind == "counter":
+            if not isinstance(value, int) or value < 0:
+                problems.append(
+                    f"{where}: counter value must be a non-negative "
+                    f"int, got {value!r}")
+        elif kind == "gauge":
+            if (not isinstance(value, dict)
+                    or not isinstance(value.get("value"), (int, float))
+                    or not isinstance(value.get("max"), (int, float))):
+                problems.append(
+                    f"{where}: gauge value must be "
+                    "{'value': number, 'max': number}")
+        elif kind == "histogram":
+            problems.extend(_validate_histogram(where, value))
+        else:
+            problems.append(f"{where}: unknown kind {kind!r}")
+    stats = doc.get("stats")
+    if stats is not None and not isinstance(stats, dict):
+        problems.append("'stats', when present, must be an object")
+    return problems
+
+
+def _validate_histogram(where: str, value) -> list[str]:
+    if not isinstance(value, dict):
+        return [f"{where}: histogram value must be an object"]
+    problems = []
+    buckets = value.get("buckets")
+    counts = value.get("counts")
+    if not isinstance(buckets, list) \
+            or sorted(buckets) != buckets \
+            or len(set(buckets)) != len(buckets):
+        problems.append(f"{where}: buckets must be a strictly "
+                        "increasing list")
+    if not isinstance(counts, list) \
+            or not all(isinstance(c, int) and c >= 0 for c in counts):
+        problems.append(f"{where}: counts must be non-negative ints")
+    elif isinstance(buckets, list) and len(counts) != len(buckets) + 1:
+        problems.append(f"{where}: need len(buckets)+1 counts "
+                        "(terminal +inf bucket)")
+    count = value.get("count")
+    if not isinstance(count, int) or count < 0:
+        problems.append(f"{where}: count must be a non-negative int")
+    elif isinstance(counts, list) and sum(
+            c for c in counts if isinstance(c, int)) != count:
+        problems.append(f"{where}: counts must sum to count")
+    if not isinstance(value.get("sum"), (int, float)):
+        problems.append(f"{where}: sum must be a number")
+    return problems
+
+
+def validate_trace(events) -> list[str]:
+    """Structural problems of a trace event list (empty list: valid).
+
+    Checks the header record, per-event required fields, monotone
+    timestamps, one run id throughout, and begin/end pairing with
+    proper nesting.
+    """
+    problems: list[str] = []
+    if not events:
+        return ["trace is empty (expected at least a header record)"]
+    header = events[0]
+    if header.get("type") != "header":
+        problems.append("first record must be the header")
+    elif header.get("schema") != TRACE_SCHEMA:
+        problems.append(f"header schema must be {TRACE_SCHEMA!r}, "
+                        f"got {header.get('schema')!r}")
+    run_ids = {event.get("run") for event in events}
+    if len(run_ids) != 1:
+        problems.append(f"all events must share one run id, "
+                        f"saw {sorted(map(str, run_ids))}")
+    last_ts = None
+    open_spans: dict[int, str] = {}
+    for position, event in enumerate(events):
+        where = f"event #{position}"
+        etype = event.get("type")
+        if etype not in _EVENT_TYPES:
+            problems.append(f"{where}: unknown type {etype!r}")
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)):
+            problems.append(f"{where}: ts must be a number")
+            continue
+        if etype == "header":
+            continue
+        if last_ts is not None and ts < last_ts:
+            problems.append(f"{where}: timestamps must be "
+                            f"non-decreasing ({ts} < {last_ts})")
+        last_ts = ts
+        if not isinstance(event.get("name"), str):
+            problems.append(f"{where}: missing name")
+        if not isinstance(event.get("attrs"), dict):
+            problems.append(f"{where}: attrs must be an object")
+        span = event.get("span")
+        if etype == "begin":
+            if not isinstance(span, int):
+                problems.append(f"{where}: begin needs an int span id")
+            elif span in open_spans:
+                problems.append(f"{where}: span {span} begun twice")
+            else:
+                open_spans[span] = event.get("name", "")
+        elif etype == "end":
+            if span not in open_spans:
+                problems.append(f"{where}: end of unopened span {span}")
+            else:
+                open_spans.pop(span)
+            if not isinstance(event.get("dur"), (int, float)):
+                problems.append(f"{where}: end needs a numeric dur")
+    for span, name in open_spans.items():
+        problems.append(f"span {span} ({name!r}) never ended")
+    return problems
+
+
+def deterministic_view(doc: dict) -> dict:
+    """The rerun-stable subset of a metrics document (see module doc)."""
+    metrics = doc.get("metrics", {})
+    jobs_entry = metrics.get("repro_verify_jobs")
+    parallel = bool(jobs_entry
+                    and jobs_entry["value"].get("value", 1) > 1)
+    kept = {}
+    for name, entry in metrics.items():
+        if "seconds" in name:
+            continue
+        if parallel and name.startswith(_SCHEDULING_DEPENDENT_PREFIXES):
+            continue
+        kept[name] = entry
+    return {"schema": doc.get("schema"), "metrics": kept}

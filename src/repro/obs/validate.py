@@ -1,0 +1,58 @@
+"""Schema validation as a command: ``python -m repro.obs.validate``.
+
+CI (and anyone debugging an artifact) validates observability outputs
+without writing throwaway Python::
+
+    python -m repro.obs.validate --metrics m.json --trace t.jsonl
+
+Exit code 0 when every given artifact is schema-valid; 1 with one
+``invalid:`` line per problem otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.obs.schema import validate_metrics, validate_trace
+from repro.obs.spans import read_jsonl
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Validate repro.obs metrics/trace artifacts.")
+    parser.add_argument("--metrics", action="append", default=[],
+                        metavar="FILE",
+                        help="a metrics JSON document to validate "
+                             "(repeatable)")
+    parser.add_argument("--trace", action="append", default=[],
+                        metavar="FILE",
+                        help="a JSONL trace log to validate (repeatable)")
+    args = parser.parse_args(argv)
+    if not args.metrics and not args.trace:
+        parser.error("nothing to validate: give --metrics and/or --trace")
+
+    problems = 0
+    for path in args.metrics:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+        metric_problems = validate_metrics(doc)
+        for problem in metric_problems:
+            print(f"invalid: {path}: {problem}")
+            problems += 1
+        if not metric_problems:
+            print(f"ok: {path} ({len(doc.get('metrics', {}))} metrics)")
+    for path in args.trace:
+        events = read_jsonl(path)
+        trace_problems = validate_trace(events)
+        for problem in trace_problems:
+            print(f"invalid: {path}: {problem}")
+            problems += 1
+        if not trace_problems:
+            print(f"ok: {path} ({len(events)} events)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

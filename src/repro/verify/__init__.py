@@ -4,12 +4,14 @@ from repro.verify.budget import BudgetExhausted, BudgetMeter, CheckBudget
 from repro.verify.checker import CHECKER_MODES, CheckOutcome, ProofChecker
 from repro.verify.conflict_analysis import mark_responsible
 from repro.verify.core_extraction import extract_core, validate_core
+from repro.verify.instrument import ReportBuilder
 from repro.verify.report import (
     PROOF_IS_CORRECT,
     PROOF_IS_NOT_CORRECT,
     RESOURCE_LIMIT_EXCEEDED,
     UnsatCore,
     VerificationReport,
+    VerificationStats,
 )
 from repro.verify.forward import ForwardCheckReport, check_drup
 from repro.verify.reconstruct import (
@@ -40,6 +42,8 @@ __all__ = [
     "extract_core",
     "validate_core",
     "VerificationReport",
+    "VerificationStats",
+    "ReportBuilder",
     "UnsatCore",
     "PROOF_IS_CORRECT",
     "PROOF_IS_NOT_CORRECT",

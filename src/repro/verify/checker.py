@@ -98,6 +98,15 @@ class ProofChecker:
         for lits in proof:
             self._load([encode(lit) for lit in lits])
         self._unit_cids = [cid for cid, _ in self.units]
+        # Root-trail maintenance counts (plain ints, always on — the
+        # cheap observable form of the rebuild-vs-incremental savings;
+        # drivers export them as metrics when instrumentation is
+        # attached).  ``root_builds`` counts full root constructions,
+        # ``root_lowers``/``root_raises`` incremental ceiling moves,
+        # ``root_retracted`` trail assignments undone by lowering.
+        self.root_stats: dict[str, int] = {
+            "root_builds": 0, "root_lowers": 0, "root_raises": 0,
+            "root_retracted": 0}
         # Persistent-root bookkeeping (incremental mode only).
         self._root_ceiling: int | None = None
         self._root_conflict: int | None = None
@@ -252,6 +261,7 @@ class ProofChecker:
         return True
 
     def _build_root(self, ceiling: int) -> None:
+        self.root_stats["root_builds"] += 1
         engine = self.engine
         engine.backtrack(0)
         self._root_reason_pos.clear()
@@ -269,6 +279,7 @@ class ProofChecker:
     def _lower_root(self, ceiling: int) -> None:
         """Move the root down: retract assignments whose reason cid
         crossed the ceiling (plus their trail suffix) and re-close."""
+        self.root_stats["root_lowers"] += 1
         old_ceiling = self._root_ceiling
         self._apply_ceiling(ceiling)
         positions = self._root_reason_pos
@@ -289,6 +300,7 @@ class ProofChecker:
             reason = reasons[trail[pos] >> 1]
             if positions.get(reason) == pos:
                 del positions[reason]
+        self.root_stats["root_retracted"] += len(trail) - cut
         engine.unwind_to(cut)
         # Re-assert the retracted units that survive the new ceiling and
         # re-close from the *start* of the trail: a retracted assignment
@@ -308,6 +320,7 @@ class ProofChecker:
     def _raise_root(self, ceiling: int) -> None:
         """Move the root up (forward pass): assert the newly admitted
         units and extend the closure.  Requires retire=False."""
+        self.root_stats["root_raises"] += 1
         old_ceiling = self._root_ceiling
         start = len(self.engine.trail)
         self._apply_ceiling(ceiling)

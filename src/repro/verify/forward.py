@@ -10,11 +10,16 @@ checking every addition (no marking/skipping is possible forward).
 The active set is tracked with the clause-ceiling engine plus a set of
 deleted clause ids (deleted clauses are detached, so they neither
 propagate nor conflict).
+
+Reports are built through the shared
+:class:`~repro.verify.instrument.ReportBuilder`, so the forward
+checker gets the same per-phase stats breakdown, optional per-event
+instrumentation (``obs``), and progress heartbeat as the backward
+procedures.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 from repro.bcp.engine import FALSE, TRUE
@@ -23,10 +28,12 @@ from repro.core.formula import CnfFormula
 from repro.core.literals import encode
 from repro.proofs.drup import ADD, DELETE, DrupProof
 from repro.verify.budget import CheckBudget
+from repro.verify.instrument import ReportBuilder
 from repro.verify.report import (
     PROOF_IS_CORRECT,
     PROOF_IS_NOT_CORRECT,
     RESOURCE_LIMIT_EXCEEDED,
+    VerificationStats,
 )
 
 
@@ -37,7 +44,9 @@ class ForwardCheckReport:
     With an exhausted :class:`~repro.verify.budget.CheckBudget` the
     outcome is ``resource_limit_exceeded``: ``stopped_at_event`` names
     the first unprocessed trace event and the addition/deletion counts
-    report partial progress.
+    report partial progress.  ``stats`` is the shared
+    :class:`~repro.verify.report.VerificationStats` breakdown (for the
+    forward checker, "checks" are RUP-checked additions).
     """
 
     outcome: str
@@ -48,6 +57,7 @@ class ForwardCheckReport:
     peak_active_clauses: int = 0
     verification_time: float = 0.0
     stopped_at_event: int | None = None
+    stats: VerificationStats | None = None
 
     @property
     def ok(self) -> bool:
@@ -59,45 +69,65 @@ class ForwardCheckReport:
 
 
 def check_drup(formula: CnfFormula, proof: DrupProof,
-               budget: CheckBudget | None = None) -> ForwardCheckReport:
+               budget: CheckBudget | None = None,
+               obs=None) -> ForwardCheckReport:
     """Check a DRUP trace forward; report the first bad event.
 
     The ``budget`` (if given) is consulted before every trace event;
     when it runs out the check aborts with ``resource_limit_exceeded``
-    and partial progress instead of a verdict.
+    and partial progress instead of a verdict.  ``obs`` attaches the
+    optional instrumentation layer (per-addition timing, trace spans,
+    progress over trace events).
     """
-    start = time.perf_counter()
-    # Size the engine over the trace's variables too: a (corrupt or
-    # merely foreign) trace may mention variables the formula never
-    # does, and those must be assignable rather than crash the checker.
-    num_vars = formula.num_vars
-    for event in proof.events:
-        for lit in event.literals:
-            if abs(lit) > num_vars:
-                num_vars = abs(lit)
-    engine = WatchedPropagator(num_vars)
-    meter = budget.start() if budget is not None else None
-    # Active units, kept separately (units carry no watches).
-    units: dict[int, int] = {}   # cid -> encoded literal
-    # Clause key -> list of active cids (for deletion lookup).
-    active: dict[tuple[int, ...], list[int]] = {}
+    build = ReportBuilder(ForwardCheckReport, obs=obs,
+                          total_checks=len(proof.events),
+                          progress_label="events")
+    with build.phase("setup", procedure="drup-forward"):
+        # Size the engine over the trace's variables too: a (corrupt or
+        # merely foreign) trace may mention variables the formula never
+        # does, and those must be assignable rather than crash the
+        # checker.
+        num_vars = formula.num_vars
+        for event in proof.events:
+            for lit in event.literals:
+                if abs(lit) > num_vars:
+                    num_vars = abs(lit)
+        engine = WatchedPropagator(num_vars)
+        meter = budget.start() if budget is not None else None
+        # Active units, kept separately (units carry no watches).
+        units: dict[int, int] = {}   # cid -> encoded literal
+        # Clause key -> list of active cids (for deletion lookup).
+        active: dict[tuple[int, ...], list[int]] = {}
 
-    def clause_key(literals) -> tuple[int, ...]:
-        return tuple(sorted(set(literals)))
+        def clause_key(literals) -> tuple[int, ...]:
+            return tuple(sorted(set(literals)))
 
-    def load(literals) -> int:
-        cid = engine.add_clause([encode(lit) for lit in literals],
-                                propagate_units=False)
-        body = engine.clauses[cid]
-        if len(body) == 1:
-            units[cid] = body[0]
-        active.setdefault(clause_key(literals), []).append(cid)
-        return cid
+        def load(literals) -> int:
+            cid = engine.add_clause([encode(lit) for lit in literals],
+                                    propagate_units=False)
+            body = engine.clauses[cid]
+            if len(body) == 1:
+                units[cid] = body[0]
+            active.setdefault(clause_key(literals), []).append(cid)
+            return cid
 
-    for clause in formula:
-        load(clause.literals)
-    active_count = formula.num_clauses
-    peak = active_count
+        for clause in formula:
+            load(clause.literals)
+        active_count = formula.num_clauses
+        peak = active_count
+
+    counters = engine.counters
+
+    def finish_metrics() -> None:
+        # BCP counter totals are published by build() itself (it gets
+        # bcp_counters=); only the DRUP-specific metrics live here.
+        if obs is not None:
+            obs.counter_add("repro_drup_additions_total", additions,
+                            help="DRUP additions RUP-checked")
+            obs.counter_add("repro_drup_deletions_total", deletions,
+                            help="DRUP deletion events honored")
+            obs.gauge_set("repro_drup_peak_active_clauses", peak,
+                          help="Peak size of the active clause set")
 
     def rup_check(literals) -> bool:
         engine.new_level()
@@ -128,61 +158,80 @@ def check_drup(formula: CnfFormula, proof: DrupProof,
     additions = 0
     deletions = 0
     derived_empty = False
-    for index, event in enumerate(proof.events):
-        if meter is not None:
-            reason = meter.exhausted(engine.counters)
-            if reason is not None:
-                return ForwardCheckReport(
-                    outcome=RESOURCE_LIMIT_EXCEEDED,
-                    num_additions=additions, num_deletions=deletions,
-                    stopped_at_event=index,
-                    failure_reason=reason,
-                    peak_active_clauses=peak,
-                    verification_time=time.perf_counter() - start)
-        if event.kind == ADD:
-            additions += 1
-            if not rup_check(event.literals):
-                return ForwardCheckReport(
-                    outcome=PROOF_IS_NOT_CORRECT,
-                    num_additions=additions, num_deletions=deletions,
-                    failed_event_index=index,
-                    failure_reason=(
-                        f"addition {event.literals} is not RUP"),
-                    peak_active_clauses=peak,
-                    verification_time=time.perf_counter() - start)
-            if not event.literals:
-                derived_empty = True
-                break
-            load(event.literals)
-            active_count += 1
-            peak = max(peak, active_count)
-        else:
-            deletions += 1
-            key = clause_key(event.literals)
-            cids = active.get(key)
-            if not cids:
-                return ForwardCheckReport(
-                    outcome=PROOF_IS_NOT_CORRECT,
-                    num_additions=additions, num_deletions=deletions,
-                    failed_event_index=index,
-                    failure_reason=(
-                        f"deletion of inactive clause {event.literals}"),
-                    peak_active_clauses=peak,
-                    verification_time=time.perf_counter() - start)
-            cid = cids.pop()
-            engine.remove_clause(cid)
-            units.pop(cid, None)
-            active_count -= 1
+    with build.phase("events"):
+        for index, event in enumerate(proof.events):
+            if meter is not None:
+                reason = meter.exhausted(counters)
+                if reason is not None:
+                    if obs is not None:
+                        obs.event("budget_exhausted", reason=reason)
+                        obs.counter_add("repro_budget_exhausted_total")
+                    finish_metrics()
+                    return build.build(
+                        RESOURCE_LIMIT_EXCEEDED,
+                        bcp_counters=counters.as_dict(),
+                        num_additions=additions,
+                        num_deletions=deletions,
+                        stopped_at_event=index,
+                        failure_reason=reason,
+                        peak_active_clauses=peak)
+            if event.kind == ADD:
+                additions += 1
+                if obs is None:
+                    passed = rup_check(event.literals)
+                else:
+                    with build.check(index, counters):
+                        passed = rup_check(event.literals)
+                if not passed:
+                    finish_metrics()
+                    return build.build(
+                        PROOF_IS_NOT_CORRECT,
+                        bcp_counters=counters.as_dict(),
+                        num_additions=additions,
+                        num_deletions=deletions,
+                        failed_event_index=index,
+                        failure_reason=(
+                            f"addition {event.literals} is not RUP"),
+                        peak_active_clauses=peak)
+                if not event.literals:
+                    derived_empty = True
+                    break
+                load(event.literals)
+                active_count += 1
+                peak = max(peak, active_count)
+            else:
+                deletions += 1
+                key = clause_key(event.literals)
+                cids = active.get(key)
+                if not cids:
+                    finish_metrics()
+                    return build.build(
+                        PROOF_IS_NOT_CORRECT,
+                        bcp_counters=counters.as_dict(),
+                        num_additions=additions,
+                        num_deletions=deletions,
+                        failed_event_index=index,
+                        failure_reason=(
+                            f"deletion of inactive clause "
+                            f"{event.literals}"),
+                        peak_active_clauses=peak)
+                cid = cids.pop()
+                engine.remove_clause(cid)
+                units.pop(cid, None)
+                active_count -= 1
+                if build.progress is not None:
+                    build.progress.update(additions + deletions)
 
+    finish_metrics()
     if not derived_empty:
-        return ForwardCheckReport(
-            outcome=PROOF_IS_NOT_CORRECT,
+        return build.build(
+            PROOF_IS_NOT_CORRECT,
+            bcp_counters=counters.as_dict(),
             num_additions=additions, num_deletions=deletions,
             failure_reason="trace never derives the empty clause",
-            peak_active_clauses=peak,
-            verification_time=time.perf_counter() - start)
-    return ForwardCheckReport(
-        outcome=PROOF_IS_CORRECT,
+            peak_active_clauses=peak)
+    return build.build(
+        PROOF_IS_CORRECT,
+        bcp_counters=counters.as_dict(),
         num_additions=additions, num_deletions=deletions,
-        peak_active_clauses=peak,
-        verification_time=time.perf_counter() - start)
+        peak_active_clauses=peak)

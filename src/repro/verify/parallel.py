@@ -42,14 +42,28 @@ inherited by the forked workers, each of which rebases it onto its own
 engine counters and aborts its shard cleanly when the shared deadline
 (or its per-process ``max_props`` share) runs out; the parent then
 reports ``resource_limit_exceeded`` with the work that did complete.
+
+Observability: with an :class:`~repro.obs.context.Obs` attached, each
+worker buffers a ``shard`` trace span, per-check time/work histograms,
+and its slowest-K checks *locally* and ships them back inside the
+:class:`ShardResult`; the parent replays the trace events (stamped
+with the shard bounds) and folds the metric snapshots into its own
+registry — merging is associative, so completion order does not
+matter.  Worker failures, retries, and the sequential degrade are
+emitted as trace events, the shard queue depth as a gauge, and the
+parent ticks the opt-in progress heartbeat as shard results arrive.
+BCP counter totals are *not* shipped in the worker snapshots — the
+parent publishes the reduced ``ShardRunResult.counters`` once, so
+nothing is double-counted.
 """
 
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from multiprocessing import get_all_start_methods, get_context
 
 from repro.bcp.engine import PropagatorBase
@@ -57,6 +71,10 @@ from repro.core.formula import CnfFormula
 from repro.proofs.conflict_clause import ConflictClauseProof
 from repro.verify.budget import BudgetMeter
 from repro.verify.checker import ProofChecker
+
+# Slowest checks a worker reports per shard (merged into the parent's
+# slowest-K; K matches repro.verify.instrument.SLOWEST_K).
+_SHARD_SLOWEST = 5
 
 # Worker state: populated in the parent immediately before the pool's
 # workers fork so children inherit it, then extended per-process with
@@ -76,7 +94,27 @@ def fork_available() -> bool:
 
 
 def default_jobs() -> int:
-    """A sensible worker count for ``jobs=None`` (CPU count, capped)."""
+    """A sensible worker count for ``jobs=None``.
+
+    A ``REPRO_JOBS`` environment variable overrides the built-in
+    default of CPU count capped at 8 — the cap keeps small cloud
+    runners honest, but an operator with 64 cores should not need code
+    to use them.  An unparseable or non-positive override raises
+    ``ValueError`` (surfaced by the CLI as a ``c error:`` line) rather
+    than being silently ignored.
+    """
+    override = os.environ.get("REPRO_JOBS")
+    if override is not None and override.strip():
+        try:
+            jobs = int(override)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_JOBS must be a positive integer, "
+                f"got {override!r}") from None
+        if jobs < 1:
+            raise ValueError(
+                f"REPRO_JOBS must be >= 1, got {jobs}")
+        return jobs
     return min(os.cpu_count() or 1, 8)
 
 
@@ -107,13 +145,25 @@ def make_shards(num_indices: int, jobs: int) -> list[tuple[int, int]]:
 
 @dataclass
 class ShardResult:
-    """One shard's verdict: first failure (if any), progress, counters."""
+    """One shard's verdict: first failure (if any), progress, counters.
+
+    The observability fields are populated only when the run carries an
+    ``Obs``: ``metrics`` is the worker's local registry snapshot
+    (per-check histograms — never BCP totals, which travel in
+    ``counter_delta``), ``slowest`` its slowest checks as
+    ``(seconds, index)`` pairs, and ``trace`` the worker's buffered
+    trace events, replayed by the parent with the shard id attached.
+    """
 
     first_failure: int | None
     num_checked: int
     counter_delta: dict[str, int]
     budget_reason: str | None = None
     stopped_at_index: int | None = None
+    duration: float = 0.0
+    metrics: dict | None = None
+    slowest: tuple = ()
+    trace: list = field(default_factory=list)
 
 
 @dataclass
@@ -145,20 +195,54 @@ def _worker_checker() -> ProofChecker:
 
 
 def _run_shard(checker: ProofChecker, shard: tuple[int, int],
-               order: str) -> ShardResult:
+               order: str, instrument: bool = False,
+               epoch: float | None = None,
+               run_id: str | None = None) -> ShardResult:
     """Scan one shard in the requested direction (shared by the pool
-    workers and the in-process degraded fallback)."""
+    workers and the in-process degraded fallback).
+
+    With ``instrument`` set, per-check wall time and propagation work
+    are observed into a shard-local registry, the slowest checks are
+    kept, and the whole shard is wrapped in a ``shard`` trace span
+    (stamped on the parent's time axis via the shared ``epoch``).
+    """
     from repro.verify.budget import BudgetExhausted
 
     lo, hi = shard
-    before = checker.engine.counters.as_dict()
+    counters = checker.engine.counters
+    before = counters.as_dict()
     indices = (range(hi - 1, lo - 1, -1) if order == "backward"
                else range(lo, hi))
     first_failure = None
     budget_reason = None
     stopped_at = None
     checked = 0
+    registry = None
+    tracer = None
+    slowest: list[tuple[float, int]] = []
+    hist_seconds = hist_work = None
+    if instrument:
+        from repro.obs.registry import (
+            DEFAULT_WORK_BUCKETS,
+            MetricsRegistry,
+        )
+        from repro.obs.spans import Tracer
+
+        registry = MetricsRegistry()
+        hist_seconds = registry.histogram(
+            "repro_check_seconds",
+            help="Wall time per proof-clause check")
+        hist_work = registry.histogram(
+            "repro_check_work", buckets=DEFAULT_WORK_BUCKETS,
+            help="Propagation work units per check")
+        tracer = Tracer(run_id=run_id, epoch=epoch)
+        tracer_cm = tracer.span("shard", lo=lo, hi=hi, pid=os.getpid())
+        tracer_cm.__enter__()
+    shard_start = time.perf_counter()
     for index in indices:
+        if instrument:
+            check_start = time.perf_counter()
+            work_before = counters.total_work()
         try:
             outcome = checker.check_clause(index)
         except BudgetExhausted as exc:
@@ -167,14 +251,33 @@ def _run_shard(checker: ProofChecker, shard: tuple[int, int],
             break
         checker.reset()
         checked += 1
+        if instrument:
+            seconds = time.perf_counter() - check_start
+            hist_seconds.observe(seconds)
+            hist_work.observe(counters.total_work() - work_before)
+            slowest.append((seconds, index))
+            if len(slowest) > _SHARD_SLOWEST:
+                slowest.sort(reverse=True)
+                del slowest[_SHARD_SLOWEST:]
         if not outcome.conflict:
             first_failure = index
             break
-    after = checker.engine.counters.as_dict()
+    duration = time.perf_counter() - shard_start
+    if instrument:
+        tracer_cm.__exit__(None, None, None)
+        tracer.events[-1]["attrs"]["checks"] = checked
+        registry.histogram(
+            "repro_shard_seconds",
+            help="Wall time per shard").observe(duration)
+    after = counters.as_dict()
     delta = {key: after[key] - before[key] for key in after}
     return ShardResult(first_failure, checked, delta,
                        budget_reason=budget_reason,
-                       stopped_at_index=stopped_at)
+                       stopped_at_index=stopped_at,
+                       duration=duration,
+                       metrics=registry.snapshot() if registry else None,
+                       slowest=tuple(sorted(slowest, reverse=True)),
+                       trace=tracer.events if tracer else [])
 
 
 def _shard_worker(shard: tuple[int, int], attempt: int) -> ShardResult:
@@ -183,7 +286,10 @@ def _shard_worker(shard: tuple[int, int], attempt: int) -> ShardResult:
         # Simulate an OOM kill / segfault: bypass Python teardown so the
         # parent sees exactly what a hard worker death looks like.
         os._exit(1)
-    return _run_shard(_worker_checker(), shard, _SHARED["order"])
+    return _run_shard(_worker_checker(), shard, _SHARED["order"],
+                      instrument=_SHARED.get("obs_enabled", False),
+                      epoch=_SHARED.get("obs_epoch"),
+                      run_id=_SHARED.get("obs_run"))
 
 
 def _reduce(results: dict[tuple[int, int], ShardResult],
@@ -216,10 +322,65 @@ def _reduce(results: dict[tuple[int, int], ShardResult],
         budget_reason=budget_reason, stopped_at_index=stopped_at)
 
 
+class _ObsSink:
+    """Parent-side absorption of per-shard observability payloads.
+
+    Centralizes what happens when a shard result lands, on both the
+    pool path and the degraded fallback: merge the worker's metric
+    snapshot, fold its slowest checks into the builder's heap, replay
+    its trace events (stamped with the shard bounds), tick the
+    progress heartbeat, and track the shard queue depth gauge.
+    """
+
+    def __init__(self, obs, builder, num_shards: int):
+        self.obs = obs
+        self.builder = builder
+        self.checked = 0
+        if obs is not None:
+            obs.counter_add("repro_parallel_shards_total", num_shards,
+                            help="Shards the proof was split into")
+            # Pre-register the failure-path counters at zero so a
+            # healthy run's artifact says "measured, none" rather than
+            # omitting them.
+            obs.counter_add("repro_parallel_retries_total", 0,
+                            help="Shard retry rounds after worker "
+                                 "deaths")
+            obs.counter_add("repro_parallel_degraded_shards_total", 0,
+                            help="Shards that fell back to in-process "
+                                 "sequential checking")
+
+    def absorb(self, shard: tuple[int, int], result: ShardResult) -> None:
+        self.checked += result.num_checked
+        obs = self.obs
+        if obs is None:
+            return
+        obs.merge_worker_metrics(result.metrics)
+        if obs.tracer is not None and result.trace:
+            obs.tracer.replay(result.trace, shard=list(shard))
+        if self.builder is not None:
+            self.builder.merge_slowest(result.slowest)
+            if self.builder.progress is not None:
+                self.builder.progress.update(self.checked)
+
+    def queue_depth(self, depth: int) -> None:
+        if self.obs is not None:
+            self.obs.gauge_set("repro_parallel_queue_depth", depth,
+                               help="Shards not yet completed")
+
+    def event(self, name: str, **attrs) -> None:
+        if self.obs is not None:
+            self.obs.event(name, **attrs)
+
+    def counter(self, name: str, amount: int, help: str = "") -> None:
+        if self.obs is not None:
+            self.obs.counter_add(name, amount, help=help)
+
+
 def run_sharded_v1(formula: CnfFormula, proof: ConflictClauseProof,
                    engine_cls: type[PropagatorBase], order: str,
                    mode: str, jobs: int,
-                   meter: BudgetMeter | None = None) -> ShardRunResult:
+                   meter: BudgetMeter | None = None,
+                   obs=None, builder=None) -> ShardRunResult:
     """Check every proof index across a process pool, surviving faults.
 
     Returns a :class:`ShardRunResult` whose ``failed_index`` matches
@@ -229,22 +390,33 @@ def run_sharded_v1(formula: CnfFormula, proof: ConflictClauseProof,
     retried once and the leftovers checked in process (counted in
     ``worker_failures`` / ``warnings``); an exhausted budget surfaces as
     ``budget_reason`` plus partial progress.
+
+    ``obs`` (and the driver's ``builder``, for slowest-K and progress)
+    attach the instrumentation layer; see the module docstring for
+    what is collected where.
     """
+    shards = make_shards(len(proof), jobs)
+    sink = _ObsSink(obs, builder, len(shards))
     if not fork_available():
         # The caller (verify_proof_v1) normally degrades before getting
         # here; degrade identically for direct users instead of letting
         # get_context() raise ValueError.
+        sink.event("degraded_sequential", reason="no fork")
         return _run_degraded(formula, proof, engine_cls, order, mode,
-                             make_shards(len(proof), jobs), {}, 0,
+                             shards, {}, 0,
                              ["parallel backend unavailable: no 'fork' "
                               "start method on this platform; checked "
-                              "sequentially in process"], meter)
-    shards = make_shards(len(proof), jobs)
+                              "sequentially in process"], meter, sink)
     results: dict[tuple[int, int], ShardResult] = {}
     worker_failures = 0
     warnings: list[str] = []
     _SHARED.update(formula=formula, proof=proof, engine_cls=engine_cls,
-                   order=order, mode=mode, meter=meter)
+                   order=order, mode=mode, meter=meter,
+                   obs_enabled=obs is not None,
+                   obs_epoch=(obs.tracer.epoch
+                              if obs is not None and obs.tracer is not None
+                              else None),
+                   obs_run=obs.run_id if obs is not None else None)
     context = get_context("fork")
     try:
         for attempt in (0, 1):
@@ -255,6 +427,10 @@ def run_sharded_v1(formula: CnfFormula, proof: ConflictClauseProof,
                 warnings.append(
                     f"worker died; retrying {len(pending)} shard(s) "
                     "on a fresh pool")
+                sink.event("worker_retry", pending=len(pending))
+                sink.counter("repro_parallel_retries_total", 1,
+                             help="Shard retry rounds after worker "
+                                  "deaths")
             executor = ProcessPoolExecutor(
                 max_workers=min(jobs, len(pending)), mp_context=context)
             try:
@@ -262,6 +438,7 @@ def run_sharded_v1(formula: CnfFormula, proof: ConflictClauseProof,
                     executor.submit(_shard_worker, shard, attempt): shard
                     for shard in pending}
                 not_done = set(futures)
+                sink.queue_depth(len(not_done))
                 while not_done:
                     timeout = (meter.remaining_time()
                                if meter is not None else None)
@@ -275,17 +452,24 @@ def run_sharded_v1(formula: CnfFormula, proof: ConflictClauseProof,
                         shard = futures[future]
                         try:
                             results[shard] = future.result()
+                            sink.absorb(shard, results[shard])
                         except BrokenProcessPool:
                             # A shard execution lost to a dead worker;
                             # anything else a worker raises is a checker
                             # bug and propagates unmasked.
                             worker_failures += 1
+                            sink.event("worker_failure",
+                                       shard=list(shard),
+                                       attempt=attempt)
+                    sink.queue_depth(len(not_done))
             finally:
                 # cancel_futures covers the deadline-passed early exit;
                 # wait=False so a straggler cannot wedge the parent.
                 executor.shutdown(wait=False, cancel_futures=True)
     finally:
         _SHARED.clear()
+    sink.counter("repro_parallel_worker_failures_total", worker_failures,
+                 help="Shard executions lost to dead workers")
     remaining = [s for s in shards if s not in results]
     if remaining and not _budget_hit(results):
         if meter is not None and meter.remaining_time() is not None \
@@ -300,9 +484,15 @@ def run_sharded_v1(formula: CnfFormula, proof: ConflictClauseProof,
         warnings.append(
             f"{len(remaining)} shard(s) degraded to in-process "
             "sequential checking after repeated worker failures")
+        sink.event("degraded_sequential", reason="worker failures",
+                   shards=len(remaining))
+        sink.counter("repro_parallel_degraded_shards_total",
+                     len(remaining),
+                     help="Shards that fell back to in-process "
+                          "sequential checking")
         return _run_degraded(formula, proof, engine_cls, order, mode,
                              remaining, results, worker_failures,
-                             warnings, meter)
+                             warnings, meter, sink)
     return _reduce(results, order, worker_failures, warnings)
 
 
@@ -315,7 +505,8 @@ def _run_degraded(formula: CnfFormula, proof: ConflictClauseProof,
                   mode: str, remaining: list[tuple[int, int]],
                   results: dict[tuple[int, int], ShardResult],
                   worker_failures: int, warnings: list[str],
-                  meter: BudgetMeter | None) -> ShardRunResult:
+                  meter: BudgetMeter | None,
+                  sink: "_ObsSink | None" = None) -> ShardRunResult:
     """In-process sequential fallback for shards the pool never
     finished.  Scans shards in deterministic scan order so the reduced
     failure index still matches a sequential run."""
@@ -323,9 +514,17 @@ def _run_degraded(formula: CnfFormula, proof: ConflictClauseProof,
                            retire=False)
     if meter is not None:
         checker.meter = meter.rebase(checker.engine.counters)
+    instrument = sink is not None and sink.obs is not None
+    epoch = (sink.obs.tracer.epoch
+             if instrument and sink.obs.tracer is not None else None)
+    run_id = sink.obs.run_id if instrument else None
     ordered = sorted(remaining, reverse=(order == "backward"))
     for shard in ordered:
-        results[shard] = _run_shard(checker, shard, order)
+        results[shard] = _run_shard(checker, shard, order,
+                                    instrument=instrument, epoch=epoch,
+                                    run_id=run_id)
+        if sink is not None:
+            sink.absorb(shard, results[shard])
         if results[shard].budget_reason is not None:
             break
     return _reduce(results, order, worker_failures, warnings)

@@ -50,6 +50,41 @@ class UnsatCore:
 
 
 @dataclass
+class VerificationStats:
+    """Typed per-run breakdown built by the instrumented report builder.
+
+    ``total_time`` is the run's wall time; ``phase_times`` maps phase
+    name (``setup``, ``checks``, ``marking``, ``pool``, ``reduce``...)
+    to accumulated seconds.  ``props`` is the engines' total
+    propagation work (``assignments + clause_visits``, summed over all
+    workers) and ``checks`` the number of BCP checks it paid for.
+    ``slowest_checks`` names the slowest-K proof indices with their
+    per-check wall time, slowest first — populated only when the run
+    carried an :class:`~repro.obs.context.Obs` (per-check timing is
+    part of the opt-in instrumentation, never of the disabled fast
+    path).
+    """
+
+    total_time: float = 0.0
+    phase_times: dict[str, float] = field(default_factory=dict)
+    props: int = 0
+    checks: int = 0
+    slowest_checks: tuple[tuple[int, float], ...] = ()
+
+    def as_dict(self) -> dict:
+        """Plain-data form, as embedded in metrics documents and
+        benchmark records."""
+        return {
+            "total_time": self.total_time,
+            "phase_times": dict(self.phase_times),
+            "props": self.props,
+            "checks": self.checks,
+            "slowest_checks": [[index, seconds]
+                               for index, seconds in self.slowest_checks],
+        }
+
+
+@dataclass
 class VerificationReport:
     """Outcome of a proof verification run.
 
@@ -72,6 +107,10 @@ class VerificationReport:
     fault-tolerant parallel backend records every shard execution lost
     to a dead worker in ``worker_failures`` and explains each degraded
     step (retry, sequential fallback) in ``warnings``.
+
+    ``stats`` is the :class:`VerificationStats` breakdown (per-phase
+    wall time, propagation work, slowest-K checks) that every driver
+    now builds through the shared instrumented report builder.
     """
 
     outcome: str
@@ -90,6 +129,7 @@ class VerificationReport:
     stopped_at_index: int | None = None
     worker_failures: int = 0
     warnings: tuple[str, ...] = field(default=())
+    stats: VerificationStats | None = None
 
     @property
     def ok(self) -> bool:

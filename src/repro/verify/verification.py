@@ -23,12 +23,22 @@ Both also accept an optional :class:`~repro.verify.budget.CheckBudget`:
 when the budget runs out mid-verification the run aborts cleanly with
 the ``resource_limit_exceeded`` outcome and partial progress
 (``num_checked``, ``stopped_at_index``) instead of running unbounded.
+
+Instrumentation: both accept an optional :class:`~repro.obs.context.
+Obs`.  With one attached, every check is timed into histograms, phases
+and checks become trace spans, a progress heartbeat ticks, and the
+report's :class:`~repro.verify.report.VerificationStats` gains the
+slowest-K check indices.  Without one (the default), the drivers take
+a registry-free fast path — per-check cost is one ``is None`` branch.
+All reports are built through the shared
+:class:`~repro.verify.instrument.ReportBuilder`, the single place
+``verification_time`` and the stats breakdown are computed.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-import time
+import os
 
 from repro.bcp.engine import PropagatorBase
 from repro.bcp.watched import WatchedPropagator
@@ -38,6 +48,7 @@ from repro.proofs.conflict_clause import ENDING_FINAL_PAIR, \
 from repro.verify.budget import BudgetExhausted, BudgetMeter, CheckBudget
 from repro.verify.checker import CHECKER_MODES, ProofChecker
 from repro.verify.conflict_analysis import mark_responsible
+from repro.verify.instrument import ReportBuilder
 from repro.verify.report import (
     PROOF_IS_CORRECT,
     PROOF_IS_NOT_CORRECT,
@@ -61,19 +72,42 @@ def _check_order(order: str) -> None:
                          f"expected one of {V1_ORDERS}")
 
 
-def _resolve_jobs(jobs: int | None) -> int:
-    """Validate the worker count; ``None`` means "pick a default"."""
+def _resolve_jobs(jobs: int | None, obs=None) -> int:
+    """Validate the worker count; ``None`` means "pick a default".
+
+    The resolved count — and where it came from (explicit argument,
+    ``REPRO_JOBS`` override, or CPU-count default) — is recorded as a
+    gauge and a trace event when instrumentation is attached.
+    """
     if jobs is None:
         from repro.verify.parallel import default_jobs
 
-        return default_jobs()
-    if isinstance(jobs, bool) or not isinstance(jobs, int):
-        raise ValueError(f"jobs must be a positive int or None "
-                         f"(auto-detect), got {jobs!r}")
-    if jobs < 1:
-        raise ValueError(f"jobs must be >= 1 or None (auto-detect), "
-                         f"got {jobs!r}")
+        source = "env:REPRO_JOBS" if os.environ.get("REPRO_JOBS") \
+            else "default"
+        jobs = default_jobs()
+    else:
+        source = "explicit"
+        if isinstance(jobs, bool) or not isinstance(jobs, int):
+            raise ValueError(f"jobs must be a positive int or None "
+                             f"(auto-detect), got {jobs!r}")
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1 or None (auto-detect), "
+                             f"got {jobs!r}")
+    if obs is not None:
+        obs.gauge_set("repro_verify_jobs", jobs,
+                      help="Resolved worker process count")
+        obs.event("jobs_resolved", jobs=jobs, source=source)
     return jobs
+
+
+def _publish_checker_stats(obs, checker: ProofChecker) -> None:
+    """Publish the checker's root-trail maintenance counters — the
+    observable form of the rebuild-vs-incremental savings."""
+    if obs is None:
+        return
+    for key, value in checker.root_stats.items():
+        obs.counter_add(f"repro_checker_{key}_total", value,
+                        help=f"Incremental checker: {key}")
 
 
 def verify_proof_v1(
@@ -83,6 +117,7 @@ def verify_proof_v1(
         mode: str = "rebuild",
         jobs: int | None = 1,
         budget: CheckBudget | None = None,
+        obs=None,
 ) -> VerificationReport:
     """Proof_verification1: check the correctness of *every* clause of F*.
 
@@ -96,117 +131,125 @@ def verify_proof_v1(
     failure reported can differ.
 
     ``jobs > 1`` shards the independent checks across worker processes
-    (``jobs=None`` auto-sizes to the machine); the verdict and the
-    reported failure index match the sequential scan (``num_checked``
-    may exceed it on failing proofs, since shards past the failure
-    still ran).  The parallel backend is fault-tolerant: a dead worker's
-    shards are retried once and then fall back to in-process sequential
-    checking (see :mod:`repro.verify.parallel`), and the whole call
-    degrades to sequential — with a report warning — on platforms
-    without the ``fork`` start method.
+    (``jobs=None`` auto-sizes to the machine, honoring a ``REPRO_JOBS``
+    environment override); the verdict and the reported failure index
+    match the sequential scan (``num_checked`` may exceed it on failing
+    proofs, since shards past the failure still ran).  The parallel
+    backend is fault-tolerant: a dead worker's shards are retried once
+    and then fall back to in-process sequential checking (see
+    :mod:`repro.verify.parallel`), and the whole call degrades to
+    sequential — with a report warning — on platforms without the
+    ``fork`` start method.
 
     An exhausted ``budget`` aborts with ``resource_limit_exceeded`` and
-    partial progress instead of a verdict.
+    partial progress instead of a verdict.  ``obs`` attaches the
+    optional instrumentation layer (metrics, tracing, progress).
     """
     _check_order(order)
     _check_mode(mode)
-    jobs = _resolve_jobs(jobs)
+    jobs = _resolve_jobs(jobs, obs)
     meter = budget.start() if budget is not None else None
     warnings: tuple[str, ...] = ()
     if jobs > 1 and len(proof) > 1:
         if "fork" in multiprocessing.get_all_start_methods():
             return _verify_proof_v1_parallel(formula, proof, engine_cls,
-                                             order, mode, jobs, meter)
+                                             order, mode, jobs, meter,
+                                             obs)
         warnings = (
             "parallel backend unavailable: no 'fork' start method on "
             "this platform; degraded to a sequential run",)
-    start = time.perf_counter()
-    # Retirement requires a monotone-decreasing ceiling, i.e. backward.
-    checker = ProofChecker(formula, proof, engine_cls, mode=mode,
-                           retire=(order == "backward"), meter=meter)
+        if obs is not None:
+            obs.event("degraded_sequential", reason="no fork")
+    build = ReportBuilder(
+        VerificationReport, obs=obs, total_checks=len(proof),
+        procedure="verification1", num_proof_clauses=len(proof),
+        mode=mode, warnings=warnings)
+    with build.phase("setup", procedure="verification1", mode=mode,
+                     order=order):
+        # Retirement requires a monotone-decreasing ceiling (backward).
+        checker = ProofChecker(formula, proof, engine_cls, mode=mode,
+                               retire=(order == "backward"), meter=meter)
+    counters = checker.engine.counters
     checked = 0
     indices = (range(len(proof) - 1, -1, -1) if order == "backward"
                else range(len(proof)))
-    for index in indices:
-        try:
-            outcome = checker.check_clause(index)
-        except BudgetExhausted as exc:
-            return VerificationReport(
-                outcome=RESOURCE_LIMIT_EXCEEDED,
-                procedure="verification1",
-                num_proof_clauses=len(proof),
-                num_checked=checked,
-                stopped_at_index=index,
-                failure_reason=str(exc),
-                verification_time=time.perf_counter() - start,
-                mode=mode, warnings=warnings,
-                bcp_counters=checker.engine.counters.as_dict())
-        checker.reset()
-        checked += 1
-        if not outcome.conflict:
-            return VerificationReport(
-                outcome=PROOF_IS_NOT_CORRECT,
-                procedure="verification1",
-                num_proof_clauses=len(proof),
-                num_checked=checked,
-                failed_clause_index=index,
-                failure_reason=(
-                    f"BCP on the falsified clause {proof[index]} did not "
-                    "produce a conflict"),
-                verification_time=time.perf_counter() - start,
-                mode=mode, warnings=warnings,
-                bcp_counters=checker.engine.counters.as_dict())
-    return VerificationReport(
-        outcome=PROOF_IS_CORRECT,
-        procedure="verification1",
-        num_proof_clauses=len(proof),
-        num_checked=checked,
-        verification_time=time.perf_counter() - start,
-        mode=mode, warnings=warnings,
-        bcp_counters=checker.engine.counters.as_dict())
+    with build.phase("checks"):
+        for index in indices:
+            try:
+                if obs is None:
+                    outcome = checker.check_clause(index)
+                else:
+                    with build.check(index, counters):
+                        outcome = checker.check_clause(index)
+            except BudgetExhausted as exc:
+                if obs is not None:
+                    obs.event("budget_exhausted", reason=str(exc))
+                    obs.counter_add("repro_budget_exhausted_total")
+                _publish_checker_stats(obs, checker)
+                return build.build(
+                    RESOURCE_LIMIT_EXCEEDED,
+                    num_checked=checked,
+                    stopped_at_index=index,
+                    failure_reason=str(exc),
+                    bcp_counters=counters.as_dict())
+            checker.reset()
+            checked += 1
+            if not outcome.conflict:
+                _publish_checker_stats(obs, checker)
+                return build.build(
+                    PROOF_IS_NOT_CORRECT,
+                    num_checked=checked,
+                    failed_clause_index=index,
+                    failure_reason=(
+                        f"BCP on the falsified clause {proof[index]} "
+                        "did not produce a conflict"),
+                    bcp_counters=counters.as_dict())
+    _publish_checker_stats(obs, checker)
+    return build.build(PROOF_IS_CORRECT, num_checked=checked,
+                       bcp_counters=counters.as_dict())
 
 
 def _verify_proof_v1_parallel(
         formula: CnfFormula, proof: ConflictClauseProof,
         engine_cls: type[PropagatorBase], order: str, mode: str,
-        jobs: int, meter: BudgetMeter | None) -> VerificationReport:
+        jobs: int, meter: BudgetMeter | None,
+        obs=None) -> VerificationReport:
     from repro.verify.parallel import run_sharded_v1
 
-    start = time.perf_counter()
     jobs = min(jobs, len(proof))
-    run = run_sharded_v1(formula, proof, engine_cls, order, mode, jobs,
-                         meter)
+    build = ReportBuilder(
+        VerificationReport, obs=obs, total_checks=len(proof),
+        procedure="verification1", num_proof_clauses=len(proof),
+        mode=mode, jobs=jobs)
+    with build.phase("pool", procedure="verification1", mode=mode,
+                     order=order, jobs=jobs):
+        run = run_sharded_v1(formula, proof, engine_cls, order, mode,
+                             jobs, meter, obs=obs, builder=build)
     if run.budget_reason is not None:
-        return VerificationReport(
-            outcome=RESOURCE_LIMIT_EXCEEDED,
-            procedure="verification1",
-            num_proof_clauses=len(proof),
+        if obs is not None:
+            obs.event("budget_exhausted", reason=run.budget_reason)
+            obs.counter_add("repro_budget_exhausted_total")
+        return build.build(
+            RESOURCE_LIMIT_EXCEEDED,
             num_checked=run.num_checked,
             stopped_at_index=run.stopped_at_index,
             failure_reason=run.budget_reason,
-            verification_time=time.perf_counter() - start,
-            mode=mode, jobs=jobs, bcp_counters=run.counters,
+            bcp_counters=run.counters,
             worker_failures=run.worker_failures, warnings=run.warnings)
     if run.failed_index is not None:
-        return VerificationReport(
-            outcome=PROOF_IS_NOT_CORRECT,
-            procedure="verification1",
-            num_proof_clauses=len(proof),
+        return build.build(
+            PROOF_IS_NOT_CORRECT,
             num_checked=run.num_checked,
             failed_clause_index=run.failed_index,
             failure_reason=(
                 f"BCP on the falsified clause {proof[run.failed_index]} "
                 "did not produce a conflict"),
-            verification_time=time.perf_counter() - start,
-            mode=mode, jobs=jobs, bcp_counters=run.counters,
+            bcp_counters=run.counters,
             worker_failures=run.worker_failures, warnings=run.warnings)
-    return VerificationReport(
-        outcome=PROOF_IS_CORRECT,
-        procedure="verification1",
-        num_proof_clauses=len(proof),
+    return build.build(
+        PROOF_IS_CORRECT,
         num_checked=run.num_checked,
-        verification_time=time.perf_counter() - start,
-        mode=mode, jobs=jobs, bcp_counters=run.counters,
+        bcp_counters=run.counters,
         worker_failures=run.worker_failures, warnings=run.warnings)
 
 
@@ -215,6 +258,7 @@ def verify_proof_v2(
         engine_cls: type[PropagatorBase] = WatchedPropagator,
         mode: str = "rebuild",
         budget: CheckBudget | None = None,
+        obs=None,
 ) -> VerificationReport:
     """Proof_verification2: check only marked clauses; extract a core.
 
@@ -226,13 +270,21 @@ def verify_proof_v2(
     core.
 
     An exhausted ``budget`` aborts with ``resource_limit_exceeded``; no
-    core is reported for a partial run (marking is incomplete).
+    core is reported for a partial run (marking is incomplete).  ``obs``
+    attaches the optional instrumentation layer; the marked-clause
+    ratio — the quantity Section 6's efficiency claim rests on — is
+    exported as the ``repro_verify_marked_ratio`` gauge.
     """
     _check_mode(mode)
-    start = time.perf_counter()
+    build = ReportBuilder(
+        VerificationReport, obs=obs, total_checks=len(proof),
+        procedure="verification2", num_proof_clauses=len(proof),
+        mode=mode)
     meter = budget.start() if budget is not None else None
-    checker = ProofChecker(formula, proof, engine_cls, mode=mode,
-                           meter=meter)
+    with build.phase("setup", procedure="verification2", mode=mode):
+        checker = ProofChecker(formula, proof, engine_cls, mode=mode,
+                               meter=meter)
+    counters = checker.engine.counters
     num_input = formula.num_clauses
     marked: set[int] = set()
     if proof.ending == ENDING_FINAL_PAIR:
@@ -243,58 +295,78 @@ def verify_proof_v2(
 
     checked = 0
     skipped = 0
-    for index in range(len(proof) - 1, -1, -1):
-        cid = checker.cid_of_proof_clause(index)
-        if cid not in marked:
-            skipped += 1
-            continue
-        try:
-            outcome = checker.check_clause(index)
-        except BudgetExhausted as exc:
-            return VerificationReport(
-                outcome=RESOURCE_LIMIT_EXCEEDED,
-                procedure="verification2",
-                num_proof_clauses=len(proof),
-                num_checked=checked,
-                num_skipped=skipped,
-                stopped_at_index=index,
-                failure_reason=str(exc),
-                verification_time=time.perf_counter() - start,
-                mode=mode,
-                bcp_counters=checker.engine.counters.as_dict())
-        if outcome.conflict and outcome.confl_cid is not None:
-            mark_responsible(checker.engine, outcome.confl_cid, marked)
-        checker.reset()
-        checked += 1
-        if not outcome.conflict:
-            return VerificationReport(
-                outcome=PROOF_IS_NOT_CORRECT,
-                procedure="verification2",
-                num_proof_clauses=len(proof),
-                num_checked=checked,
-                num_skipped=skipped,
-                failed_clause_index=index,
-                failure_reason=(
-                    f"BCP on the falsified clause {proof[index]} did not "
-                    "produce a conflict"),
-                verification_time=time.perf_counter() - start,
-                mode=mode,
-                bcp_counters=checker.engine.counters.as_dict())
 
-    core_indices = tuple(sorted(cid for cid in marked if cid < num_input))
-    marked_proof = tuple(sorted(cid - num_input for cid in marked
-                                if cid >= num_input))
-    return VerificationReport(
-        outcome=PROOF_IS_CORRECT,
-        procedure="verification2",
-        num_proof_clauses=len(proof),
+    def finish_metrics() -> None:
+        _publish_checker_stats(obs, checker)
+        if obs is not None:
+            obs.counter_add("repro_verify_checks_skipped_total", skipped,
+                            help="Redundant proof clauses never checked")
+            if len(proof):
+                obs.gauge_set(
+                    "repro_verify_marked_ratio",
+                    checked / len(proof),
+                    help="Fraction of F* that had to be checked")
+
+    with build.phase("checks"):
+        for index in range(len(proof) - 1, -1, -1):
+            cid = checker.cid_of_proof_clause(index)
+            if cid not in marked:
+                skipped += 1
+                continue
+            try:
+                if obs is None:
+                    outcome = checker.check_clause(index)
+                else:
+                    with build.check(index, counters):
+                        outcome = checker.check_clause(index)
+            except BudgetExhausted as exc:
+                if obs is not None:
+                    obs.event("budget_exhausted", reason=str(exc))
+                    obs.counter_add("repro_budget_exhausted_total")
+                finish_metrics()
+                return build.build(
+                    RESOURCE_LIMIT_EXCEEDED,
+                    num_checked=checked,
+                    num_skipped=skipped,
+                    stopped_at_index=index,
+                    failure_reason=str(exc),
+                    bcp_counters=counters.as_dict())
+            if outcome.conflict and outcome.confl_cid is not None:
+                if obs is None:
+                    mark_responsible(checker.engine, outcome.confl_cid,
+                                     marked)
+                else:
+                    with build.phase("marking"):
+                        mark_responsible(checker.engine,
+                                         outcome.confl_cid, marked)
+            checker.reset()
+            checked += 1
+            if not outcome.conflict:
+                finish_metrics()
+                return build.build(
+                    PROOF_IS_NOT_CORRECT,
+                    num_checked=checked,
+                    num_skipped=skipped,
+                    failed_clause_index=index,
+                    failure_reason=(
+                        f"BCP on the falsified clause {proof[index]} "
+                        "did not produce a conflict"),
+                    bcp_counters=counters.as_dict())
+
+    with build.phase("core"):
+        core_indices = tuple(sorted(cid for cid in marked
+                                    if cid < num_input))
+        marked_proof = tuple(sorted(cid - num_input for cid in marked
+                                    if cid >= num_input))
+        core = UnsatCore(core_indices, formula)
+    finish_metrics()
+    return build.build(
+        PROOF_IS_CORRECT,
         num_checked=checked,
         num_skipped=skipped,
-        verification_time=time.perf_counter() - start,
-        core=UnsatCore(core_indices, formula),
+        core=core,
         marked_proof_indices=marked_proof,
-        mode=mode,
-        bcp_counters=checker.engine.counters.as_dict())
+        bcp_counters=counters.as_dict())
 
 
 def verify_proof(formula: CnfFormula, proof: ConflictClauseProof,
@@ -304,17 +376,20 @@ def verify_proof(formula: CnfFormula, proof: ConflictClauseProof,
                  mode: str = "rebuild",
                  jobs: int | None = 1,
                  budget: CheckBudget | None = None,
+                 obs=None,
                  ) -> VerificationReport:
     """Verify a conflict clause proof (``verification2`` by default).
 
     The dispatcher forwards every option the selected procedure
     understands: ``order`` and ``jobs`` apply to ``verification1`` only
     (``verification2``'s marking pass is inherently backward and
-    sequential), ``mode``, ``engine_cls`` and ``budget`` to both.
+    sequential), ``mode``, ``engine_cls``, ``budget`` and ``obs`` to
+    both.
     """
     if procedure == "verification1":
         return verify_proof_v1(formula, proof, engine_cls, order=order,
-                               mode=mode, jobs=jobs, budget=budget)
+                               mode=mode, jobs=jobs, budget=budget,
+                               obs=obs)
     if procedure == "verification2":
         if order != "backward":
             raise ValueError(
@@ -325,5 +400,5 @@ def verify_proof(formula: CnfFormula, proof: ConflictClauseProof,
                 "verification2's marking pass is sequential; "
                 f"jobs={jobs!r} is only valid with verification1")
         return verify_proof_v2(formula, proof, engine_cls, mode=mode,
-                               budget=budget)
+                               budget=budget, obs=obs)
     raise ValueError(f"unknown verification procedure {procedure!r}")

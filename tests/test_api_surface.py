@@ -11,6 +11,7 @@ PACKAGES = [
     "repro.solver",
     "repro.proofs",
     "repro.verify",
+    "repro.obs",
     "repro.preprocess",
     "repro.circuits",
     "repro.aig",

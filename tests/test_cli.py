@@ -245,3 +245,109 @@ class TestSolveVariants:
         code = main(["solve", str(unsat_cnf), "--preprocess"])
         assert code == EXIT_UNSAT
         assert "s UNSAT" in capsys.readouterr().out
+
+
+class TestObservabilityCli:
+    def test_metrics_and_trace_artifacts(self, unsat_cnf, good_proof,
+                                         tmp_path, capsys):
+        import json
+
+        from repro.obs import (
+            read_jsonl,
+            validate_metrics,
+            validate_trace,
+        )
+
+        metrics_path = tmp_path / "metrics.json"
+        trace_path = tmp_path / "trace.jsonl"
+        code = main(["verify", str(unsat_cnf), str(good_proof),
+                     "--metrics-out", str(metrics_path),
+                     "--trace-out", str(trace_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"c metrics written to {metrics_path}" in out
+        assert f"c trace written to {trace_path}" in out
+        doc = json.loads(metrics_path.read_text())
+        assert validate_metrics(doc) == []
+        assert doc["run"]["command"] == "verify"
+        assert "stats" in doc
+        assert validate_trace(read_jsonl(trace_path)) == []
+
+    def test_parallel_metrics_artifact(self, unsat_cnf, good_proof,
+                                       tmp_path):
+        import json
+        import multiprocessing
+
+        from repro.obs import validate_metrics
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("parallel backend needs fork")
+        metrics_path = tmp_path / "metrics.json"
+        code = main(["verify", str(unsat_cnf), str(good_proof),
+                     "--procedure", "verification1", "--jobs", "2",
+                     "--metrics-out", str(metrics_path)])
+        assert code == 0
+        doc = json.loads(metrics_path.read_text())
+        assert validate_metrics(doc) == []
+        metrics = doc["metrics"]
+        assert metrics["repro_verify_jobs"]["value"]["value"] == 2
+        assert metrics["repro_parallel_shards_total"]["value"] > 0
+        # worker per-check observations merged into the parent
+        assert metrics["repro_check_seconds"]["value"]["count"] \
+            == metrics["repro_verify_checks_total"]["value"]
+
+    def test_prometheus_format(self, unsat_cnf, good_proof, tmp_path):
+        metrics_path = tmp_path / "metrics.prom"
+        code = main(["verify", str(unsat_cnf), str(good_proof),
+                     "--metrics-out", str(metrics_path),
+                     "--metrics-format", "prometheus"])
+        assert code == 0
+        text = metrics_path.read_text()
+        assert "# TYPE repro_verify_checks_total counter" in text
+        assert 'repro_check_seconds_bucket{le="+Inf"}' in text
+
+    def test_stats_footer(self, unsat_cnf, good_proof, capsys):
+        code = main(["verify", str(unsat_cnf), str(good_proof),
+                     "--stats"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "c stats: total=" in out
+        assert "c stats: checks=" in out
+        assert "c stats: bcp assignments=" in out
+
+    def test_progress_on_stderr(self, unsat_cnf, good_proof, capsys):
+        code = main(["verify", str(unsat_cnf), str(good_proof),
+                     "--progress"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "c progress: " in err
+        assert err.splitlines()[-1].endswith("s elapsed")
+
+    def test_verify_drup_artifacts(self, unsat_cnf, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_metrics
+
+        drup_path = tmp_path / "trace.drup"
+        main(["solve", str(unsat_cnf), "--drup", str(drup_path)])
+        capsys.readouterr()
+        metrics_path = tmp_path / "metrics.json"
+        code = main(["verify-drup", str(unsat_cnf), str(drup_path),
+                     "--metrics-out", str(metrics_path), "--stats"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "c stats: total=" in out
+        doc = json.loads(metrics_path.read_text())
+        assert validate_metrics(doc) == []
+        assert "repro_drup_additions_total" in doc["metrics"]
+
+    def test_artifacts_written_on_bad_proof(self, sat_cnf, unsat_cnf,
+                                            good_proof, tmp_path,
+                                            capsys):
+        """A failing verification still leaves its artifacts behind —
+        that is when you want the trace most."""
+        metrics_path = tmp_path / "metrics.json"
+        code = main(["verify", str(sat_cnf), str(good_proof),
+                     "--metrics-out", str(metrics_path)])
+        assert code == 1
+        assert metrics_path.exists()

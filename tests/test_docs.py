@@ -24,7 +24,7 @@ class TestReadme:
         readme = (REPO / "README.md").read_text()
         for target in ("EXPERIMENTS.md", "DESIGN.md",
                        "docs/proof_format.md", "docs/verification.md",
-                       "docs/robustness.md"):
+                       "docs/robustness.md", "docs/observability.md"):
             assert target in readme
             assert (REPO / target).exists(), target
 
@@ -71,6 +71,39 @@ class TestRobustnessDoc:
 
     def test_referenced_test_files_exist(self):
         doc = (REPO / "docs" / "robustness.md").read_text()
+        for piece in doc.split("`"):
+            if piece.startswith(("tests/", "benchmarks/")):
+                assert (REPO / piece).exists(), piece
+
+
+class TestObservabilityDoc:
+    def test_schemas_and_flags_documented(self):
+        doc = (REPO / "docs" / "observability.md").read_text()
+        for term in ("repro.obs.metrics/v1", "repro.obs.trace/v1",
+                     "--metrics-out", "--trace-out", "--progress",
+                     "--stats", "deterministic_view",
+                     "python -m repro.obs.validate"):
+            assert term in doc, term
+
+    def test_metric_catalogue_matches_code(self):
+        """Every metric name the verify layer registers is in the
+        catalogue (families documented via their prefix count too)."""
+        import re
+
+        doc = (REPO / "docs" / "observability.md").read_text()
+        source = ""
+        for path in (REPO / "src" / "repro" / "verify").glob("*.py"):
+            source += path.read_text()
+        registered = set(re.findall(r'"(repro_[a-z_]+)"', source))
+        documented = set(re.findall(r"`(repro_[a-z_*<>]+)`", doc))
+        prefixes = tuple(name.split("*")[0].split("<")[0]
+                         for name in documented)
+        for name in registered:
+            assert name in documented or name.startswith(prefixes), \
+                f"{name} missing from observability.md catalogue"
+
+    def test_referenced_test_files_exist(self):
+        doc = (REPO / "docs" / "observability.md").read_text()
         for piece in doc.split("`"):
             if piece.startswith(("tests/", "benchmarks/")):
                 assert (REPO / piece).exists(), piece

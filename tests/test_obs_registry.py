@@ -1,0 +1,174 @@
+"""Tests for the metrics registry: semantics and merge algebra."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.registry import (
+    DEFAULT_WORK_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("c")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_zero_increment_is_allowed(self):
+        counter = Counter("c")
+        counter.inc(0)
+        assert counter.value == 0
+
+    def test_cannot_decrease(self):
+        with pytest.raises(ValueError, match="cannot decrease"):
+            Counter("c").inc(-1)
+
+    def test_merge_sums(self):
+        counter = Counter("c")
+        counter.inc(3)
+        counter.merge(Counter("c").snapshot())
+        counter.merge(7)
+        assert counter.value == 10
+
+
+class TestGauge:
+    def test_tracks_last_value_and_max(self):
+        gauge = Gauge("g")
+        gauge.set(5)
+        gauge.set(2)
+        assert gauge.value == 2
+        assert gauge.max == 5
+
+    def test_unwritten_snapshot_max_is_zero(self):
+        assert Gauge("g").snapshot() == {"value": 0.0, "max": 0.0}
+
+    def test_merge_takes_max(self):
+        gauge = Gauge("g")
+        gauge.set(3)
+        gauge.merge({"value": 7, "max": 9})
+        assert gauge.value == 7
+        assert gauge.max == 9
+        gauge.merge({"value": 1, "max": 1})
+        assert gauge.value == 7
+
+    def test_merge_into_unwritten_adopts(self):
+        gauge = Gauge("g")
+        gauge.merge({"value": -4, "max": -4})
+        assert gauge.value == -4
+        assert gauge.max == -4
+
+
+class TestHistogram:
+    def test_observe_buckets_inclusively(self):
+        hist = Histogram("h", buckets=(1, 10, 100))
+        for value in (0.5, 1, 5, 10, 1000):
+            hist.observe(value)
+        # bounds are inclusive: 1 -> first bucket, 10 -> second.
+        assert hist.counts == [2, 2, 0, 1]
+        assert hist.count == 5
+        assert hist.max == 1000
+
+    def test_counts_carry_implicit_inf_bucket(self):
+        hist = Histogram("h", buckets=DEFAULT_WORK_BUCKETS)
+        assert len(hist.counts) == len(DEFAULT_WORK_BUCKETS) + 1
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("h", buckets=(5, 1))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("h", buckets=(1, 1, 2))
+
+    def test_merge_is_bucketwise(self):
+        one = Histogram("h", buckets=(1, 10))
+        two = Histogram("h", buckets=(1, 10))
+        one.observe(0.5)
+        two.observe(5)
+        two.observe(50)
+        one.merge(two.snapshot())
+        assert one.counts == [1, 1, 1]
+        assert one.count == 3
+        assert one.max == 50
+
+    def test_merge_rejects_mismatched_layout(self):
+        one = Histogram("h", buckets=(1, 10))
+        other = Histogram("h", buckets=(2, 20))
+        with pytest.raises(ValueError, match="mismatched bucket"):
+            one.merge(other.snapshot())
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("name")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("name")
+
+    def test_snapshot_is_sorted_plain_data(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("b").inc(2)
+        registry.gauge("a").set(1.5)
+        registry.histogram("c", buckets=(1,)).observe(0.5)
+        snap = registry.snapshot()
+        assert list(snap) == ["a", "b", "c"]
+        json.dumps(snap)  # must be JSON-serializable as-is
+
+    def test_merge_unknown_kind_raises(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="unknown metric kind"):
+            registry.merge({"x": {"kind": "summary", "value": 1}})
+
+    def _shard_registry(self, seed: int) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("checks").inc(seed)
+        registry.gauge("depth").set(seed * 2)
+        hist = registry.histogram("work", buckets=(10, 100))
+        for value in range(seed):
+            hist.observe(value * 7)
+        return registry
+
+    def test_merge_is_order_insensitive(self):
+        """The parallel parent folds shard snapshots in completion
+        order, which is nondeterministic — totals must not care."""
+        snaps = [self._shard_registry(seed).snapshot()
+                 for seed in (3, 5, 8)]
+
+        forward = MetricsRegistry()
+        for snap in snaps:
+            forward.merge(snap)
+        backward = MetricsRegistry()
+        for snap in reversed(snaps):
+            backward.merge(snap)
+        assert forward.snapshot() == backward.snapshot()
+
+    def test_merge_is_associative(self):
+        snaps = [self._shard_registry(seed).snapshot()
+                 for seed in (2, 4, 6)]
+
+        # (a + b) + c
+        left = MetricsRegistry()
+        left.merge(snaps[0])
+        left.merge(snaps[1])
+        grouped = MetricsRegistry()
+        grouped.merge(left.snapshot())
+        grouped.merge(snaps[2])
+
+        # a + (b + c)
+        right = MetricsRegistry()
+        right.merge(snaps[1])
+        right.merge(snaps[2])
+        other = MetricsRegistry()
+        other.merge(snaps[0])
+        other.merge(right.snapshot())
+
+        assert grouped.snapshot() == other.snapshot()

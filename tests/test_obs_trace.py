@@ -1,0 +1,243 @@
+"""Tests for tracing spans, JSONL round-trips, progress, exporters."""
+
+import io
+import json
+
+from repro.obs import (
+    METRICS_SCHEMA,
+    MetricsRegistry,
+    ProgressReporter,
+    Tracer,
+    deterministic_view,
+    metrics_document,
+    prometheus_text,
+    read_jsonl,
+    stats_footer,
+    validate_metrics,
+    validate_trace,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestTracer:
+    def test_span_nesting_and_durations(self):
+        clock = FakeClock()
+        tracer = Tracer(run_id="r1", clock=clock)
+        with tracer.span("verify"):
+            clock.advance(1.0)
+            with tracer.span("check", index=3):
+                clock.advance(0.5)
+        begin_verify, begin_check, end_check, end_verify = tracer.events
+        assert begin_verify["parent"] is None
+        assert begin_check["parent"] == begin_verify["span"]
+        assert begin_check["attrs"] == {"index": 3}
+        assert end_check["dur"] == 0.5
+        assert end_verify["dur"] == 1.5
+
+    def test_end_attrs_flow_through_yield(self):
+        tracer = Tracer(run_id="r1")
+        with tracer.span("shard") as end_attrs:
+            end_attrs["checks"] = 42
+        assert tracer.events[-1]["attrs"] == {"checks": 42}
+
+    def test_instant_event_attaches_to_current_span(self):
+        tracer = Tracer(run_id="r1")
+        with tracer.span("verify"):
+            tracer.event("budget_exhausted", reason="timeout")
+        event = tracer.events[1]
+        assert event["type"] == "event"
+        assert event["span"] == tracer.events[0]["span"]
+        assert event["attrs"] == {"reason": "timeout"}
+
+    def test_replay_renumbers_and_tags(self):
+        """Worker events adopt the parent's run id, fresh span ids,
+        and the folded-in shard attribute."""
+        clock = FakeClock()
+        parent = Tracer(run_id="parent", clock=clock)
+        worker = Tracer(run_id="worker", clock=clock,
+                        epoch=parent.epoch)
+        with worker.span("shard", lo=0, hi=5):
+            clock.advance(0.1)
+        with parent.span("pool"):
+            parent.replay(worker.events, shard=[0, 5])
+        replayed = [e for e in parent.events if e["name"] == "shard"]
+        assert len(replayed) == 2
+        for event in replayed:
+            assert event["run"] == "parent"
+            assert event["attrs"]["shard"] == [0, 5]
+        # reparented under the parent's current span
+        assert replayed[0]["parent"] == parent.events[0]["span"]
+
+    def test_jsonl_round_trip_validates(self):
+        clock = FakeClock()
+        tracer = Tracer(run_id="r1", clock=clock)
+        with tracer.span("verify", mode="incremental"):
+            clock.advance(0.2)
+            tracer.event("jobs_resolved", jobs=2)
+        buffer = io.StringIO()
+        tracer.write_jsonl(buffer)
+        events = read_jsonl(io.StringIO(buffer.getvalue()))
+        assert validate_trace(events) == []
+        assert events[0]["schema"] == "repro.obs.trace/v1"
+        assert [e["type"] for e in events[1:]] \
+            == ["begin", "event", "end"]
+
+    def test_write_jsonl_sorts_interleaved_replays(self):
+        """Shard results arrive in completion order; the serialized
+        log must still be time-ordered."""
+        clock = FakeClock()
+        parent = Tracer(run_id="p", clock=clock)
+        early = Tracer(run_id="w1", clock=clock, epoch=parent.epoch)
+        clock.advance(1.0)
+        late = Tracer(run_id="w2", clock=clock, epoch=parent.epoch)
+        with late.span("shard"):
+            clock.advance(0.1)
+        clock.now = 0.0
+        with early.span("shard"):
+            clock.advance(0.1)
+        clock.now = 2.0
+        parent.replay(late.events)
+        parent.replay(early.events)  # out of time order
+        buffer = io.StringIO()
+        parent.write_jsonl(buffer)
+        events = read_jsonl(io.StringIO(buffer.getvalue()))
+        assert validate_trace(events) == []
+
+    def test_validator_flags_problems(self):
+        assert validate_trace([]) != []
+        bad = [{"ts": 0.0, "run": "r", "type": "header",
+                "schema": "repro.obs.trace/v1", "name": "trace",
+                "attrs": {}},
+               {"ts": 1.0, "run": "r", "type": "begin", "span": 1,
+                "parent": None, "name": "verify", "attrs": {}}]
+        problems = validate_trace(bad)
+        assert any("never ended" in p for p in problems)
+
+
+class TestProgress:
+    def test_throttles_then_finishes(self):
+        clock = FakeClock()
+        stream = io.StringIO()
+        progress = ProgressReporter(10, stream=stream, interval=1.0,
+                                    clock=clock)
+        progress.update(1)
+        progress.update(2)          # throttled: same instant
+        clock.advance(1.5)
+        progress.update(5)
+        progress.finish(10)         # never throttled
+        lines = stream.getvalue().splitlines()
+        assert progress.lines_emitted == 3
+        assert lines[0] == "c progress: 1/10 checks, 0.0s elapsed"
+        assert "eta" in lines[1]
+        assert lines[-1].startswith("c progress: 10/10 checks")
+        assert "eta" not in lines[-1]
+
+    def test_eta_is_linear_extrapolation(self):
+        clock = FakeClock()
+        stream = io.StringIO()
+        progress = ProgressReporter(100, stream=stream, interval=0,
+                                    clock=clock)
+        clock.advance(2.0)
+        progress.update(50)
+        assert stream.getvalue().rstrip().endswith("eta 2s")
+
+
+class TestExport:
+    def _document(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_verify_checks_total", help="checks").inc(7)
+        registry.gauge("repro_verify_jobs").set(1)
+        registry.histogram("repro_check_seconds",
+                           buckets=(0.1, 1.0)).observe(0.05)
+        return metrics_document(
+            registry, run={"id": "r1", "command": "verify"},
+            stats={"total_time": 0.5, "checks": 7})
+
+    def test_document_validates(self):
+        doc = self._document()
+        assert doc["schema"] == METRICS_SCHEMA
+        assert validate_metrics(doc) == []
+
+    def test_document_json_round_trip(self):
+        doc = self._document()
+        again = json.loads(json.dumps(doc))
+        assert validate_metrics(again) == []
+        assert again == doc
+
+    def test_validator_flags_problems(self):
+        doc = self._document()
+        doc["metrics"]["repro_verify_checks_total"]["value"] = -1
+        assert any("non-negative" in p for p in validate_metrics(doc))
+        assert validate_metrics({"schema": "nope"}) != []
+
+    def test_prometheus_text_format(self):
+        text = prometheus_text(MetricsRegistry())
+        assert text == "\n"
+        registry = MetricsRegistry()
+        registry.counter("checks_total", help="number of checks").inc(3)
+        registry.histogram("seconds", buckets=(0.1, 1.0)).observe(0.5)
+        text = prometheus_text(registry)
+        assert "# HELP checks_total number of checks" in text
+        assert "# TYPE checks_total counter" in text
+        assert "checks_total 3" in text
+        assert 'seconds_bucket{le="0.1"} 0' in text
+        assert 'seconds_bucket{le="1"} 1' in text
+        assert 'seconds_bucket{le="+Inf"} 1' in text
+        assert "seconds_count 1" in text
+
+    def test_stats_footer_lines(self):
+        lines = stats_footer(
+            {"total_time": 2.0, "phase_times": {"setup": 0.5,
+                                                "checks": 1.5},
+             "checks": 100, "props": 5000,
+             "slowest_checks": [[17, 0.25]]},
+            {"assignments": 10})
+        assert lines[0] == "c stats: total=2.000s " \
+            "(setup=0.500s checks=1.500s)"
+        assert "checks=100 props=5000 checks_per_sec=50" in lines[1]
+        assert "#17=250.0ms" in lines[2]
+        assert lines[3] == "c stats: bcp assignments=10"
+        assert stats_footer(None, None) == []
+
+
+class TestDeterministicView:
+    def test_strips_time_and_run(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_verify_checks_total").inc(5)
+        registry.histogram("repro_check_seconds").observe(0.1)
+        registry.gauge("repro_verify_jobs").set(1)
+        doc = metrics_document(registry, run={"id": "r1"},
+                               stats={"total_time": 1.0})
+        view = deterministic_view(doc)
+        assert "run" not in view
+        assert "stats" not in view
+        assert "repro_check_seconds" not in view["metrics"]
+        assert "repro_verify_checks_total" in view["metrics"]
+        # sequential runs keep the scheduling-dependent metrics
+        registry.counter("repro_bcp_assignments_total").inc(9)
+        view = deterministic_view(metrics_document(registry,
+                                                   run={"id": "r2"}))
+        assert "repro_bcp_assignments_total" in view["metrics"]
+
+    def test_parallel_strips_scheduling_dependent(self):
+        registry = MetricsRegistry()
+        registry.gauge("repro_verify_jobs").set(4)
+        registry.counter("repro_bcp_assignments_total").inc(9)
+        registry.counter("repro_verify_checks_total").inc(5)
+        registry.histogram("repro_check_work",
+                           buckets=(10, 100)).observe(50)
+        view = deterministic_view(metrics_document(registry,
+                                                   run={"id": "r1"}))
+        assert "repro_bcp_assignments_total" not in view["metrics"]
+        assert "repro_check_work" not in view["metrics"]
+        assert "repro_verify_checks_total" in view["metrics"]
