@@ -8,6 +8,10 @@ verification:
   pass never touched;
 * **statistics** (§5) — classify clauses as local vs global and see
   which proof format each clause prefers;
+* **proof insight** — capture the proof dependency graph from the
+  verifier's own conflict analysis, export it as JSONL + Graphviz
+  DOT, and recompute the §5 shape quantities from that evidence
+  alone (docs/proof_insight.md);
 * **reconstruction** (§5) — make the implicit resolution graph explicit
   from a conflict clause proof alone, and check it;
 * **preprocessing with proof lifting** — simplify the formula first,
@@ -18,6 +22,9 @@ verification:
 
 Run:  python examples/proof_toolkit.py
 """
+
+import os
+import tempfile
 
 from repro import (
     ConflictClauseProof,
@@ -30,6 +37,15 @@ from repro import (
 )
 from repro.benchgen import pigeonhole
 from repro.bmc import arbiter_system, prove_by_induction
+from repro.obs import Obs
+from repro.obs.insight import (
+    analyze_proof_shape,
+    depgraph_records,
+    estimated_resolutions,
+    is_local,
+    write_depgraph_dot,
+    write_depgraph_jsonl,
+)
 
 
 def main() -> None:
@@ -54,6 +70,38 @@ def main() -> None:
           f"{stats.global_clauses}/{stats.num_clauses} global; "
           f"conflict format wins for {stats.conflict_format_wins} "
           "clauses")
+
+    # -- proof insight: provenance + shape from the verifier ---------------
+    obs = Obs.enabled(depgraph=True)
+    report = verify_proof(formula, proof, obs=obs)
+    assert report.ok
+    with tempfile.TemporaryDirectory() as tmp:
+        jsonl = os.path.join(tmp, "php5.depgraph.jsonl")
+        lines = write_depgraph_jsonl(
+            jsonl, obs.depgraph, {"id": obs.run_id},
+            num_input=formula.num_clauses, num_proof=len(proof),
+            procedure=report.procedure, mode=report.mode)
+        write_depgraph_dot(os.path.join(tmp, "php5.depgraph.dot"), lines)
+    print(f"dependency graph: {obs.depgraph.num_checks} checked clauses, "
+          f"{obs.depgraph.num_edges} antecedent edges "
+          "(exported as JSONL + DOT)")
+
+    shape = analyze_proof_shape(proof, report, obs.depgraph)
+    print(f"shape from verifier evidence: {shape.local_clauses} local / "
+          f"{shape.global_clauses} global; "
+          f"~{shape.estimated_resolution_nodes} resolution nodes vs "
+          f"{shape.proof_literals} proof literals "
+          f"({shape.ratio_percent:.1f}%)")
+
+    # The local/global call, spelled out for one clause: support with k
+    # antecedents means ~max(k-1, 1) trivial-resolution steps, and a
+    # clause is local when that stays within twice its own length.
+    record = depgraph_records(obs.depgraph)[0]
+    clause = proof[record["index"]]
+    k = len(record["antecedents"])
+    print(f"first checked clause {clause}: {k} antecedents -> "
+          f"~{estimated_resolutions(k)} resolutions over "
+          f"{len(clause)} literals; local: {is_local(k, len(clause))}")
 
     # -- resolution graph reconstruction ----------------------------------
     rebuilt = reconstruct_resolution_graph(formula, proof)

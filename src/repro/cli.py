@@ -35,6 +35,10 @@ from repro.obs import (
     write_metrics_json,
     write_metrics_prometheus,
 )
+from repro.obs.insight.history import (
+    DEFAULT_HISTORY_DIR,
+    default_history_dir,
+)
 from repro.proofs.conflict_clause import ConflictClauseProof
 from repro.proofs.sizes import compare_proof_sizes
 from repro.proofs.trace_format import read_proof, write_proof
@@ -111,7 +115,7 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="accept header-less or miscounted "
                                  "DIMACS (default)")
     _add_budget_arguments(verify_cmd)
-    _add_obs_arguments(verify_cmd)
+    _add_obs_arguments(verify_cmd, insight=True)
 
     core_cmd = sub.add_parser(
         "core", help="extract an unsat core from a verified proof")
@@ -127,6 +131,56 @@ def _build_parser() -> argparse.ArgumentParser:
     drup_cmd.add_argument("drup")
     _add_budget_arguments(drup_cmd)
     _add_obs_arguments(drup_cmd)
+
+    obs_cmd = sub.add_parser(
+        "obs", help="inspect the run-history store and detect "
+                    "regressions")
+    obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
+
+    history_cmd = obs_sub.add_parser(
+        "history", help="list recorded run fingerprints")
+    history_cmd.add_argument("--history-dir", metavar="DIR",
+                             default=default_history_dir())
+    history_cmd.add_argument("--limit", type=int, default=20,
+                             metavar="N",
+                             help="show at most the N newest runs "
+                                  "(default 20)")
+
+    compare_cmd = obs_sub.add_parser(
+        "compare", help="per-metric delta table between two runs")
+    compare_cmd.add_argument("a", help="baseline run: history index "
+                                       "(e.g. -2) or run-id prefix")
+    compare_cmd.add_argument("b", help="candidate run: history index "
+                                       "(e.g. -1) or run-id prefix")
+    compare_cmd.add_argument("--history-dir", metavar="DIR",
+                             default=default_history_dir())
+
+    regress_cmd = obs_sub.add_parser(
+        "check-regression",
+        help="compare a run against a baseline; exit 3 past thresholds")
+    regress_cmd.add_argument("--baseline", required=True,
+                             metavar="FILE|SELECTOR",
+                             help="baseline fingerprint: a JSON file "
+                                  "(committed baseline) or a history "
+                                  "selector")
+    regress_cmd.add_argument("--current", default="-1",
+                             metavar="SELECTOR",
+                             help="run under test (default: the newest "
+                                  "history entry)")
+    regress_cmd.add_argument("--history-dir", metavar="DIR",
+                             default=default_history_dir())
+    regress_cmd.add_argument("--max-wall-pct", type=float, default=None,
+                             metavar="PCT",
+                             help="fail when wall time grew more than "
+                                  "PCT%% over the baseline")
+    regress_cmd.add_argument("--max-props-drop-pct", type=float,
+                             default=None, metavar="PCT",
+                             help="fail when props/s throughput dropped "
+                                  "more than PCT%%")
+    regress_cmd.add_argument("--max-phase-pct", type=float, default=None,
+                             metavar="PCT",
+                             help="fail when any phase time grew more "
+                                  "than PCT%%")
     return parser
 
 
@@ -147,7 +201,8 @@ def _budget_from(args: argparse.Namespace) -> CheckBudget | None:
     return CheckBudget(timeout=args.timeout, max_props=args.max_props)
 
 
-def _add_obs_arguments(cmd: argparse.ArgumentParser) -> None:
+def _add_obs_arguments(cmd: argparse.ArgumentParser,
+                       insight: bool = False) -> None:
     group = cmd.add_argument_group("observability")
     group.add_argument("--metrics-out", metavar="PATH", default=None,
                        help="write a metrics artifact here after the "
@@ -164,6 +219,38 @@ def _add_obs_arguments(cmd: argparse.ArgumentParser) -> None:
     group.add_argument("--stats", action="store_true",
                        help="print a 'c stats:' footer with per-phase "
                             "times, props, and slowest checks")
+    group.add_argument("--profile", metavar="PATH", default=None,
+                       help="wrap the run in cProfile; writes PATH "
+                            "(pstats), PATH.folded (flamegraph "
+                            "collapsed stacks) and PATH.phases.json")
+    group.add_argument("--history-dir", metavar="DIR",
+                       default=default_history_dir(),
+                       help="run-history store directory (default: "
+                            f"$REPRO_HISTORY_DIR or "
+                            f"{DEFAULT_HISTORY_DIR}; see 'repro obs "
+                            "history')")
+    group.add_argument("--no-history", action="store_true",
+                       help="do not append this run's fingerprint to "
+                            "the history store")
+    if insight:
+        group.add_argument("--depgraph-out", metavar="PATH",
+                           default=None,
+                           help="write the proof dependency graph here "
+                                "as JSONL (schema repro.obs.depgraph/v1)")
+        group.add_argument("--depgraph-dot", metavar="PATH",
+                           default=None,
+                           help="write the proof dependency graph here "
+                                "in Graphviz DOT")
+        group.add_argument("--analytics-out", metavar="PATH",
+                           default=None,
+                           help="write proof-shape analytics here "
+                                "(schema repro.obs.analytics/v1)")
+
+
+def _wants_insight(args: argparse.Namespace) -> bool:
+    return (getattr(args, "depgraph_out", None) is not None
+            or getattr(args, "depgraph_dot", None) is not None
+            or getattr(args, "analytics_out", None) is not None)
 
 
 def _obs_from(args: argparse.Namespace) -> Obs | None:
@@ -171,31 +258,45 @@ def _obs_from(args: argparse.Namespace) -> Obs | None:
 
     ``--stats`` alone still enables metrics: the footer's props and
     slowest-check lines come from the instrumented per-check path.
+    Any insight output flag attaches a dependency-graph recorder (the
+    analytics are computed from its records).
     """
-    from repro.obs import MetricsRegistry, Tracer
+    from repro.obs import DepGraphRecorder, MetricsRegistry, Tracer
 
     wants_metrics = (args.metrics_out is not None or args.stats)
     wants_trace = args.trace_out is not None
-    if not (wants_metrics or wants_trace or args.progress):
+    wants_depgraph = _wants_insight(args)
+    if not (wants_metrics or wants_trace or args.progress
+            or wants_depgraph):
         return None
     return Obs(
         metrics=MetricsRegistry() if wants_metrics else None,
         tracer=Tracer() if wants_trace else None,
-        progress_stream=sys.stderr if args.progress else None)
+        progress_stream=sys.stderr if args.progress else None,
+        depgraph=DepGraphRecorder() if wants_depgraph else None)
 
 
 def _write_obs_artifacts(obs: Obs | None, args: argparse.Namespace,
                          report) -> None:
-    """Write --metrics-out / --trace-out artifacts for a finished run."""
+    """Write --metrics-out / --trace-out artifacts.
+
+    ``report`` may be None (interrupted run): whatever the registries
+    and tracer collected so far is still flushed — atomically, so the
+    artifact on disk is always complete and schema-valid.
+    """
     if obs is None:
         return
-    stats = report.stats.as_dict() if report.stats is not None else None
+    stats = (report.stats.as_dict()
+             if report is not None and report.stats is not None
+             else None)
     if args.metrics_out is not None and obs.metrics is not None:
         if args.metrics_format == "prometheus":
             write_metrics_prometheus(args.metrics_out, obs.metrics)
         else:
             run = {"id": obs.run_id, "command": args.command,
-                   "elapsed": report.verification_time}
+                   "elapsed": (report.verification_time
+                               if report is not None else None),
+                   "interrupted": report is None}
             write_metrics_json(args.metrics_out, obs.metrics, run,
                                stats)
         print(f"c metrics written to {args.metrics_out}")
@@ -204,13 +305,128 @@ def _write_obs_artifacts(obs: Obs | None, args: argparse.Namespace,
         print(f"c trace written to {args.trace_out}")
 
 
+def _write_insight_artifacts(obs: Obs | None, args: argparse.Namespace,
+                             report, formula, proof):
+    """Write --depgraph-out/--depgraph-dot/--analytics-out artifacts.
+
+    Returns the computed :class:`ProofShapeAnalytics` (or None), so
+    the stats footer and the history fingerprint reuse it.  Tolerates
+    ``report=None`` (interrupted run): the partial dependency graph is
+    still flushed; analytics need a report and are skipped.
+    """
+    if obs is None or obs.depgraph is None:
+        return None
+    from repro.obs import write_depgraph_dot, write_depgraph_jsonl
+    from repro.obs.insight import analyze_proof_shape, \
+        write_analytics_json
+
+    run = {"id": obs.run_id, "command": args.command,
+           "cnf": args.cnf, "interrupted": report is None}
+    meta = dict(
+        num_input=formula.num_clauses, num_proof=len(proof),
+        procedure=(report.procedure if report is not None
+                   else args.procedure),
+        mode=report.mode if report is not None else args.mode,
+        jobs=report.jobs if report is not None
+        else getattr(args, "jobs", 1))
+    lines = None
+    if args.depgraph_out is not None:
+        lines = write_depgraph_jsonl(args.depgraph_out, obs.depgraph,
+                                     run, **meta)
+        print(f"c depgraph written to {args.depgraph_out} "
+              f"({obs.depgraph.num_checks} checks, "
+              f"{obs.depgraph.num_edges} edges)")
+    if args.depgraph_dot is not None:
+        if lines is None:
+            from repro.obs.insight.depgraph import depgraph_header
+            lines = [depgraph_header(run, **meta)] \
+                + obs.depgraph.sorted_checks()
+        write_depgraph_dot(args.depgraph_dot, lines)
+        print(f"c depgraph DOT written to {args.depgraph_dot}")
+    if report is None:
+        return None
+    analytics = analyze_proof_shape(proof, report, obs.depgraph)
+    if args.analytics_out is not None:
+        write_analytics_json(args.analytics_out, analytics, run)
+        print(f"c analytics written to {args.analytics_out}")
+    return analytics
+
+
+def _record_history(obs: Obs | None, args: argparse.Namespace, report,
+                    analytics=None) -> None:
+    """Append this run's fingerprint to the history store."""
+    if report is None or getattr(args, "no_history", True):
+        return
+    from repro.obs import HistoryStore, fingerprint, make_run_id
+
+    record = fingerprint(
+        report,
+        run_id=obs.run_id if obs is not None else make_run_id(),
+        command=args.command, instance=args.cnf, analytics=analytics)
+    HistoryStore(args.history_dir).append(record)
+
+
+def _run_instrumented(args: argparse.Namespace, obs: Obs | None, run,
+                      formula=None, proof=None):
+    """Run a verification thunk with ``--profile`` wrapping and
+    interrupt-safe artifact flushing.
+
+    Returns the report, or None when the run was interrupted — in
+    which case every requested artifact (metrics, trace, partial
+    depgraph, profile) has already been flushed atomically, so a ^C
+    never leaves a truncated or missing artifact behind.
+    """
+    profiler = None
+    if getattr(args, "profile", None) is not None:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+    try:
+        report = run()
+    except KeyboardInterrupt:
+        if profiler is not None:
+            profiler.disable()
+        print("c error: interrupted", file=sys.stderr)
+        if formula is not None and proof is not None:
+            _write_insight_artifacts(obs, args, None, formula, proof)
+        _write_obs_artifacts(obs, args, None)
+        if profiler is not None:
+            _write_profile(args, profiler, None)
+        return None
+    if profiler is not None:
+        profiler.disable()
+        _write_profile(args, profiler, report)
+    return report
+
+
+def _write_profile(args: argparse.Namespace, profiler, report) -> None:
+    from repro.obs.insight import write_profile
+
+    written = write_profile(
+        args.profile, profiler,
+        phase_times=(report.stats.phase_times
+                     if report is not None and report.stats is not None
+                     else None),
+        total_time=(report.verification_time
+                    if report is not None else None))
+    print(f"c profile written to {written[0]} "
+          f"(+{len(written) - 1} sidecar(s))")
+
+
 def _print_stats_footer(args: argparse.Namespace, report,
-                        bcp_counters: dict | None) -> None:
+                        bcp_counters: dict | None,
+                        analytics=None) -> None:
     if not args.stats:
         return
     stats = report.stats.as_dict() if report.stats is not None else None
     for line in stats_footer(stats, bcp_counters):
         print(line)
+    if analytics is not None:
+        from repro.obs.insight import analytics_footer
+
+        for line in analytics_footer(analytics):
+            print(line)
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
@@ -284,10 +500,14 @@ def _cmd_verify(args: argparse.Namespace) -> int:
               "verification1", file=sys.stderr)
         return EXIT_ERROR
     obs = _obs_from(args)
-    report = verify_proof(formula, proof, procedure=args.procedure,
-                          order=args.order, mode=args.mode,
-                          jobs=args.jobs, budget=_budget_from(args),
-                          obs=obs)
+    report = _run_instrumented(
+        args, obs, lambda: verify_proof(
+            formula, proof, procedure=args.procedure,
+            order=args.order, mode=args.mode, jobs=args.jobs,
+            budget=_budget_from(args), obs=obs),
+        formula, proof)
+    if report is None:
+        return EXIT_INTERRUPT
     print(f"s {report.outcome.upper()}")
     print(f"c checked={report.num_checked} skipped={report.num_skipped}"
           f" time={report.verification_time:.3f}s"
@@ -301,8 +521,11 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         pairs = " ".join(f"{key}={value}"
                          for key, value in report.bcp_counters.items())
         print(f"c bcp: {pairs}")
-    _print_stats_footer(args, report, report.bcp_counters)
+    analytics = _write_insight_artifacts(obs, args, report, formula,
+                                         proof)
+    _print_stats_footer(args, report, report.bcp_counters, analytics)
     _write_obs_artifacts(obs, args, report)
+    _record_history(obs, args, report, analytics)
     if report.exhausted:
         print(f"c budget exhausted: {report.failure_reason}")
         return EXIT_RESOURCE_LIMIT
@@ -343,8 +566,12 @@ def _cmd_verify_drup(args: argparse.Namespace) -> int:
     formula = read_dimacs(args.cnf)
     trace = read_drup(args.drup)
     obs = _obs_from(args)
-    report = check_drup(formula, trace, budget=_budget_from(args),
-                        obs=obs)
+    report = _run_instrumented(
+        args, obs, lambda: check_drup(formula, trace,
+                                      budget=_budget_from(args),
+                                      obs=obs))
+    if report is None:
+        return EXIT_INTERRUPT
     print(f"s {report.outcome.upper()}")
     print(f"c additions={report.num_additions} "
           f"deletions={report.num_deletions} "
@@ -352,6 +579,7 @@ def _cmd_verify_drup(args: argparse.Namespace) -> int:
           f"time={report.verification_time:.3f}s")
     _print_stats_footer(args, report, None)
     _write_obs_artifacts(obs, args, report)
+    _record_history(obs, args, report)
     if report.exhausted:
         print(f"c budget exhausted: {report.failure_reason}")
         return EXIT_RESOURCE_LIMIT
@@ -362,12 +590,57 @@ def _cmd_verify_drup(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs import HistoryStore, check_regression, compare_runs
+    from repro.obs.insight import (
+        format_compare_table,
+        format_history,
+        load_fingerprint,
+    )
+    import os
+
+    store = HistoryStore(args.history_dir)
+    if args.obs_command == "history":
+        print(format_history(store.read(), limit=args.limit))
+        return 0
+
+    def resolve(selector: str) -> dict:
+        if os.path.isfile(selector):
+            return load_fingerprint(selector)
+        return store.select(selector)
+
+    try:
+        if args.obs_command == "compare":
+            a, b = resolve(args.a), resolve(args.b)
+            print(format_compare_table(a, b, compare_runs(a, b)))
+            return 0
+        baseline = resolve(args.baseline)
+        current = resolve(args.current)
+        violations = check_regression(
+            baseline, current,
+            max_wall_pct=args.max_wall_pct,
+            max_props_drop_pct=args.max_props_drop_pct,
+            max_phase_pct=args.max_phase_pct)
+    except LookupError as exc:
+        print(f"c error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    print(f"c baseline {baseline.get('id')} vs current "
+          f"{current.get('id')}")
+    if violations:
+        for violation in violations:
+            print(f"c regression: {violation}")
+        return EXIT_RESOURCE_LIMIT
+    print("c no regression past thresholds")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Run a CLI command; operational failures become one-line
     ``c error:`` diagnostics and typed exit codes, never tracebacks."""
     args = _build_parser().parse_args(argv)
     handlers = {"solve": _cmd_solve, "verify": _cmd_verify,
-                "core": _cmd_core, "verify-drup": _cmd_verify_drup}
+                "core": _cmd_core, "verify-drup": _cmd_verify_drup,
+                "obs": _cmd_obs}
     try:
         return handlers[args.command](args)
     except (DimacsParseError, ProofFormatError) as exc:

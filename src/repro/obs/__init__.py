@@ -8,7 +8,10 @@ A zero-dependency observability layer for the verification pipeline:
 * :class:`Tracer` spans emitting a structured JSONL event log;
 * :class:`ProgressReporter` heartbeat lines;
 * exporters (JSON summary, Prometheus text, ``c stats:`` footer) and
-  schema validators for both artifact kinds.
+  schema validators for every artifact kind;
+* the :mod:`repro.obs.insight` subpackage — proof dependency graphs,
+  Section-5 shape analytics, the run-history store with regression
+  detection, and cProfile/flamegraph hooks.
 
 Instrumentation is strictly opt-in: every entry point takes
 ``obs: Obs | None = None`` and the disabled path never touches this
@@ -18,11 +21,29 @@ package (see :mod:`repro.obs.context`).
 from repro.obs.context import Obs
 from repro.obs.export import (
     METRICS_FORMATS,
+    atomic_write_text,
+    collapsed_stack_text,
     metrics_document,
     prometheus_text,
     stats_footer,
     write_metrics_json,
     write_metrics_prometheus,
+)
+from repro.obs.insight import (
+    ANALYTICS_SCHEMA,
+    DEPGRAPH_SCHEMA,
+    RUN_SCHEMA,
+    DepGraphRecorder,
+    HistoryStore,
+    ProofShapeAnalytics,
+    analyze_proof_shape,
+    check_regression,
+    compare_runs,
+    depgraph_deterministic_view,
+    fingerprint,
+    write_analytics_json,
+    write_depgraph_dot,
+    write_depgraph_jsonl,
 )
 from repro.obs.progress import ProgressReporter
 from repro.obs.registry import (
@@ -34,9 +55,13 @@ from repro.obs.registry import (
     MetricsRegistry,
 )
 from repro.obs.schema import (
+    KNOWN_SCHEMAS,
     METRICS_SCHEMA,
     TRACE_SCHEMA,
     deterministic_view,
+    validate_analytics,
+    validate_any,
+    validate_depgraph,
     validate_metrics,
     validate_trace,
 )
@@ -57,11 +82,31 @@ __all__ = [
     "stats_footer",
     "validate_metrics",
     "validate_trace",
+    "validate_depgraph",
+    "validate_analytics",
+    "validate_any",
     "deterministic_view",
+    "depgraph_deterministic_view",
     "read_jsonl",
     "make_run_id",
+    "atomic_write_text",
+    "collapsed_stack_text",
+    "DepGraphRecorder",
+    "HistoryStore",
+    "ProofShapeAnalytics",
+    "analyze_proof_shape",
+    "check_regression",
+    "compare_runs",
+    "fingerprint",
+    "write_analytics_json",
+    "write_depgraph_dot",
+    "write_depgraph_jsonl",
+    "KNOWN_SCHEMAS",
     "METRICS_SCHEMA",
     "TRACE_SCHEMA",
+    "DEPGRAPH_SCHEMA",
+    "ANALYTICS_SCHEMA",
+    "RUN_SCHEMA",
     "METRICS_FORMATS",
     "DEFAULT_TIME_BUCKETS",
     "DEFAULT_WORK_BUCKETS",

@@ -11,7 +11,12 @@ see it at all, and no registry, tracer, or clock is touched.  An
 * ``progress`` — heartbeat configuration (stream + interval); the
   drivers instantiate one
   :class:`~repro.obs.progress.ProgressReporter` per run once the
-  total check count is known.
+  total check count is known;
+* ``depgraph`` — a :class:`~repro.obs.insight.depgraph.
+  DepGraphRecorder`; with one attached the verification drivers
+  record each checked clause's conflict-analysis antecedents (the
+  proof dependency graph), and the parallel parent folds worker
+  record buffers in like metric snapshots.
 
 The helpers (`span`, `event`, `counter_add`, ...) are null-safe with
 respect to the *facilities* — an ``Obs`` with only a tracer ignores
@@ -42,23 +47,33 @@ class Obs:
                  tracer: Tracer | None = None,
                  progress_stream=None,
                  progress_interval: float = 0.5,
-                 run_id: str | None = None):
+                 run_id: str | None = None,
+                 depgraph=None):
         if run_id is None:
             run_id = tracer.run_id if tracer is not None else make_run_id()
         self.run_id = run_id
         self.metrics = metrics
         self.tracer = tracer
+        self.depgraph = depgraph
         self.progress_stream = progress_stream
         self.progress_interval = progress_interval
         self.wants_progress = progress_stream is not None
         self.started = time.perf_counter()
 
     @classmethod
-    def enabled(cls, tracing: bool = True, progress_stream=None) -> "Obs":
+    def enabled(cls, tracing: bool = True, progress_stream=None,
+                depgraph: bool = False) -> "Obs":
         """An Obs with everything on — the library-user one-liner."""
+        if depgraph:
+            from repro.obs.insight.depgraph import DepGraphRecorder
+
+            recorder = DepGraphRecorder()
+        else:
+            recorder = None
         return cls(metrics=MetricsRegistry(),
                    tracer=Tracer() if tracing else None,
-                   progress_stream=progress_stream)
+                   progress_stream=progress_stream,
+                   depgraph=recorder)
 
     # -- tracing -----------------------------------------------------------
 
@@ -116,6 +131,39 @@ class Obs:
         """Fold a worker's registry snapshot into this run's registry."""
         if self.metrics is not None and snapshot:
             self.metrics.merge(snapshot)
+
+    # -- provenance --------------------------------------------------------
+
+    @property
+    def wants_depgraph(self) -> bool:
+        return self.depgraph is not None
+
+    def record_dependency(self, index: int, cid: int, antecedents,
+                          confl: int | None = None,
+                          props: int | None = None) -> None:
+        """Record one checked clause's conflict-analysis support."""
+        if self.depgraph is not None:
+            self.depgraph.record_check(index, cid, antecedents,
+                                       confl=confl, props=props)
+
+    def merge_worker_depgraph(self, records) -> None:
+        """Fold a worker's dependency record buffer in (order-free:
+        the exporter sorts by check index)."""
+        if self.depgraph is not None and records:
+            self.depgraph.merge(records)
+
+    def publish_depgraph_totals(self) -> None:
+        """Summarize the captured graph as counters, once per run."""
+        if self.depgraph is None or self.metrics is None:
+            return
+        self.metrics.counter(
+            "repro_depgraph_checks_total",
+            help="Checks with recorded provenance").inc(
+                self.depgraph.num_checks)
+        self.metrics.counter(
+            "repro_depgraph_edges_total",
+            help="Antecedent edges in the proof dependency graph").inc(
+                self.depgraph.num_edges)
 
     # -- progress ----------------------------------------------------------
 

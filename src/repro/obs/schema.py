@@ -1,12 +1,22 @@
 """Artifact schemas for the observability layer, plus validators.
 
-Two artifact kinds leave a verification run:
+Four artifact kinds leave a verification run:
 
 * a **metrics document** (``repro.obs.metrics/v1``) — one JSON object
   holding the run header, the registry snapshot, and the report's
   per-phase stats breakdown;
 * a **trace log** (``repro.obs.trace/v1``) — JSONL, one event per line
-  (see :mod:`repro.obs.spans`).
+  (see :mod:`repro.obs.spans`);
+* a **dependency graph** (``repro.obs.depgraph/v1``) — JSONL, one
+  antecedent record per checked proof clause (see
+  :mod:`repro.obs.insight.depgraph`);
+* an **analytics document** (``repro.obs.analytics/v1``) — one JSON
+  object with the proof-shape quantities of the paper's Section 5
+  (see :mod:`repro.obs.insight.analytics`).
+
+:data:`KNOWN_SCHEMAS` maps each schema id to its validator;
+:func:`validate_any` dispatches on a document's declared schema and
+rejects unknown ids with a clear message rather than a ``KeyError``.
 
 The validators are hand-rolled structural checks (no jsonschema
 dependency) returning a list of human-readable problems — empty means
@@ -33,6 +43,8 @@ from __future__ import annotations
 
 METRICS_SCHEMA = "repro.obs.metrics/v1"
 TRACE_SCHEMA = "repro.obs.trace/v1"
+DEPGRAPH_SCHEMA = "repro.obs.depgraph/v1"
+ANALYTICS_SCHEMA = "repro.obs.analytics/v1"
 
 _EVENT_TYPES = ("header", "begin", "end", "event")
 
@@ -181,6 +193,179 @@ def validate_trace(events) -> list[str]:
     for span, name in open_spans.items():
         problems.append(f"span {span} ({name!r}) never ended")
     return problems
+
+
+def validate_depgraph(lines) -> list[str]:
+    """Structural problems of a depgraph line list (empty: valid).
+
+    Checks the header (schema id, structural meta), then every check
+    record: int fields, sorted self-free antecedent lists, the cid
+    arithmetic (``cid == num_input + index``), antecedents within the
+    cid space and strictly below the checked clause (the graph is a
+    DAG ordered by derivation), and at most one record per index.
+    """
+    problems: list[str] = []
+    if not lines:
+        return ["depgraph is empty (expected at least a header line)"]
+    header = lines[0]
+    if not isinstance(header, dict) or header.get("type") != "header":
+        problems.append("first line must be the header record")
+        header = {}
+    elif header.get("schema") != DEPGRAPH_SCHEMA:
+        problems.append(f"header schema must be {DEPGRAPH_SCHEMA!r}, "
+                        f"got {header.get('schema')!r}")
+    meta = header.get("meta") if isinstance(header.get("meta"), dict) \
+        else {}
+    if header and not isinstance(header.get("meta"), dict):
+        problems.append("header must carry a 'meta' object")
+    num_input = meta.get("num_input")
+    num_proof = meta.get("num_proof")
+    for key in ("num_input", "num_proof", "jobs"):
+        if meta and not isinstance(meta.get(key), int):
+            problems.append(f"meta.{key} must be an int, "
+                            f"got {meta.get(key)!r}")
+    for key in ("procedure", "mode"):
+        if meta and not isinstance(meta.get(key), str):
+            problems.append(f"meta.{key} must be a string")
+    seen_indices: set[int] = set()
+    for position, record in enumerate(lines[1:], start=1):
+        where = f"line #{position}"
+        if not isinstance(record, dict):
+            problems.append(f"{where}: must be a JSON object")
+            continue
+        if record.get("type") != "check":
+            problems.append(f"{where}: unknown type "
+                            f"{record.get('type')!r}")
+            continue
+        index = record.get("index")
+        cid = record.get("cid")
+        antecedents = record.get("antecedents")
+        if not isinstance(index, int) or index < 0:
+            problems.append(f"{where}: index must be a non-negative int")
+            continue
+        if index in seen_indices:
+            problems.append(f"{where}: duplicate record for index "
+                            f"{index}")
+        seen_indices.add(index)
+        if isinstance(num_proof, int) and index >= num_proof:
+            problems.append(f"{where}: index {index} out of range "
+                            f"(num_proof={num_proof})")
+        if not isinstance(cid, int):
+            problems.append(f"{where}: cid must be an int")
+        elif isinstance(num_input, int) and cid != num_input + index:
+            problems.append(f"{where}: cid {cid} != num_input + index "
+                            f"({num_input} + {index})")
+        if not isinstance(antecedents, list) \
+                or not all(isinstance(a, int) for a in antecedents):
+            problems.append(f"{where}: antecedents must be a list of "
+                            "ints")
+            continue
+        if sorted(set(antecedents)) != antecedents:
+            problems.append(f"{where}: antecedents must be sorted and "
+                            "duplicate-free")
+        if isinstance(cid, int):
+            above = [a for a in antecedents if a >= cid]
+            if above:
+                problems.append(
+                    f"{where}: antecedents {above} not strictly below "
+                    f"the checked clause (cid {cid}) — the graph must "
+                    "be a derivation-ordered DAG")
+        props = record.get("props")
+        if props is not None and (not isinstance(props, int)
+                                  or props < 0):
+            problems.append(f"{where}: props must be null or a "
+                            "non-negative int")
+    return problems
+
+
+_ANALYTICS_INT_FIELDS = (
+    "num_proof_clauses", "proof_literals", "checked", "skipped",
+    "local_clauses", "global_clauses", "estimated_resolution_nodes",
+    "max_antecedents", "max_chain_depth",
+)
+
+
+def validate_analytics(doc) -> list[str]:
+    """Structural problems of an analytics document (empty: valid)."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"analytics document must be a JSON object, "
+                f"got {type(doc).__name__}"]
+    if doc.get("schema") != ANALYTICS_SCHEMA:
+        problems.append(f"schema must be {ANALYTICS_SCHEMA!r}, "
+                        f"got {doc.get('schema')!r}")
+    if not isinstance(doc.get("run"), dict):
+        problems.append("missing 'run' header object")
+    shape = doc.get("analytics")
+    if not isinstance(shape, dict):
+        problems.append("missing 'analytics' object")
+        return problems
+    for key in _ANALYTICS_INT_FIELDS:
+        value = shape.get(key)
+        if not isinstance(value, int) or value < 0:
+            problems.append(f"analytics.{key} must be a non-negative "
+                            f"int, got {value!r}")
+    fraction = shape.get("marked_fraction")
+    if not isinstance(fraction, (int, float)) \
+            or not 0.0 <= fraction <= 1.0:
+        problems.append("analytics.marked_fraction must be a number "
+                        f"in [0, 1], got {fraction!r}")
+    if isinstance(shape.get("local_clauses"), int) \
+            and isinstance(shape.get("global_clauses"), int) \
+            and isinstance(shape.get("checked"), int) \
+            and shape["local_clauses"] + shape["global_clauses"] \
+            != shape["checked"]:
+        problems.append("local_clauses + global_clauses must equal "
+                        "checked")
+    depths = shape.get("antecedent_chain_depths")
+    if not isinstance(depths, dict) \
+            or not all(isinstance(count, int) and count >= 0
+                       and key.isdigit()
+                       for key, count in depths.items()):
+        problems.append("analytics.antecedent_chain_depths must map "
+                        "digit strings to non-negative ints")
+    for key in ("core_size", "core_fraction"):
+        value = shape.get(key)
+        if value is not None and not isinstance(value, (int, float)):
+            problems.append(f"analytics.{key} must be null or a number")
+    return problems
+
+
+# Schema id -> (artifact kind, validator).  JSONL kinds take the parsed
+# line list; JSON kinds take the single document object.
+KNOWN_SCHEMAS = {
+    METRICS_SCHEMA: ("json", validate_metrics),
+    TRACE_SCHEMA: ("jsonl", validate_trace),
+    DEPGRAPH_SCHEMA: ("jsonl", validate_depgraph),
+    ANALYTICS_SCHEMA: ("json", validate_analytics),
+}
+
+
+def declared_schema(artifact) -> str | None:
+    """The schema id an artifact declares (header line for JSONL)."""
+    if isinstance(artifact, dict):
+        return artifact.get("schema")
+    if isinstance(artifact, list) and artifact \
+            and isinstance(artifact[0], dict):
+        return artifact[0].get("schema")
+    return None
+
+
+def validate_any(artifact) -> list[str]:
+    """Validate by the artifact's declared schema id.
+
+    Unknown (or missing) schema ids are a validation problem with a
+    message naming the known ids — never a ``KeyError``.
+    """
+    schema = declared_schema(artifact)
+    if schema not in KNOWN_SCHEMAS:
+        known = ", ".join(sorted(KNOWN_SCHEMAS))
+        return [f"unknown schema id {schema!r}; known schemas: {known}"]
+    kind, validator = KNOWN_SCHEMAS[schema]
+    if kind == "json" and not isinstance(artifact, dict):
+        return [f"{schema} artifacts are single JSON objects, "
+                f"got {type(artifact).__name__}"]
+    return validator(artifact)
 
 
 def deterministic_view(doc: dict) -> dict:

@@ -153,8 +153,11 @@ class Tracer:
         if hasattr(path_or_file, "write"):
             path_or_file.write(text)
         else:
-            with open(path_or_file, "w", encoding="utf-8") as handle:
-                handle.write(text)
+            # Atomic like every artifact writer: a reader (or a run
+            # interrupted mid-flush) never sees a truncated trace.
+            from repro.obs.export import atomic_write_text
+
+            atomic_write_text(path_or_file, text)
 
 
 def read_jsonl(path_or_file) -> list[dict]:

@@ -3,7 +3,13 @@
 CI (and anyone debugging an artifact) validates observability outputs
 without writing throwaway Python::
 
-    python -m repro.obs.validate --metrics m.json --trace t.jsonl
+    python -m repro.obs.validate --metrics m.json --trace t.jsonl \\
+        --depgraph d.jsonl --analytics a.json
+
+Typed flags check the artifact against the named schema; bare
+positional files are dispatched on the schema id the artifact itself
+declares, and an unknown id is reported with the list of known
+schemas (never a traceback).
 
 Exit code 0 when every given artifact is schema-valid; 1 with one
 ``invalid:`` line per problem otherwise.
@@ -15,13 +21,43 @@ import argparse
 import json
 import sys
 
-from repro.obs.schema import validate_metrics, validate_trace
+from repro.obs.schema import (
+    ANALYTICS_SCHEMA,
+    DEPGRAPH_SCHEMA,
+    KNOWN_SCHEMAS,
+    METRICS_SCHEMA,
+    TRACE_SCHEMA,
+    declared_schema,
+    validate_any,
+)
 from repro.obs.spans import read_jsonl
+
+
+def _load(path: str):
+    """Parse an artifact: one JSON document (possibly pretty-printed
+    over many lines), falling back to JSONL line records."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    try:
+        return json.loads(text)
+    except ValueError:
+        return [json.loads(line) for line in text.splitlines()
+                if line.strip()]
+
+
+def _check(path: str, artifact, expected: str | None) -> list[str]:
+    """Problems for one artifact, optionally pinning the schema id."""
+    schema = declared_schema(artifact)
+    if expected is not None and schema != expected:
+        return [f"expected schema {expected!r}, "
+                f"artifact declares {schema!r}"]
+    return validate_any(artifact)
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
-        description="Validate repro.obs metrics/trace artifacts.")
+        description="Validate repro.obs artifacts "
+                    f"({', '.join(sorted(KNOWN_SCHEMAS))}).")
     parser.add_argument("--metrics", action="append", default=[],
                         metavar="FILE",
                         help="a metrics JSON document to validate "
@@ -29,28 +65,45 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--trace", action="append", default=[],
                         metavar="FILE",
                         help="a JSONL trace log to validate (repeatable)")
+    parser.add_argument("--depgraph", action="append", default=[],
+                        metavar="FILE",
+                        help="a JSONL proof dependency graph to "
+                             "validate (repeatable)")
+    parser.add_argument("--analytics", action="append", default=[],
+                        metavar="FILE",
+                        help="a proof-shape analytics JSON document to "
+                             "validate (repeatable)")
+    parser.add_argument("files", nargs="*", metavar="FILE",
+                        help="artifacts validated against whatever "
+                             "schema id they declare")
     args = parser.parse_args(argv)
-    if not args.metrics and not args.trace:
-        parser.error("nothing to validate: give --metrics and/or --trace")
+    jobs: list[tuple[str, str | None]] = (
+        [(path, METRICS_SCHEMA) for path in args.metrics]
+        + [(path, TRACE_SCHEMA) for path in args.trace]
+        + [(path, DEPGRAPH_SCHEMA) for path in args.depgraph]
+        + [(path, ANALYTICS_SCHEMA) for path in args.analytics]
+        + [(path, None) for path in args.files])
+    if not jobs:
+        parser.error("nothing to validate: give --metrics, --trace, "
+                     "--depgraph, --analytics and/or positional files")
 
     problems = 0
-    for path in args.metrics:
-        with open(path, "r", encoding="utf-8") as handle:
-            doc = json.load(handle)
-        metric_problems = validate_metrics(doc)
-        for problem in metric_problems:
+    for path, expected in jobs:
+        if expected == TRACE_SCHEMA:
+            artifact = read_jsonl(path)
+        else:
+            artifact = _load(path)
+        found = _check(path, artifact, expected)
+        for problem in found:
             print(f"invalid: {path}: {problem}")
             problems += 1
-        if not metric_problems:
-            print(f"ok: {path} ({len(doc.get('metrics', {}))} metrics)")
-    for path in args.trace:
-        events = read_jsonl(path)
-        trace_problems = validate_trace(events)
-        for problem in trace_problems:
-            print(f"invalid: {path}: {problem}")
-            problems += 1
-        if not trace_problems:
-            print(f"ok: {path} ({len(events)} events)")
+        if not found:
+            detail = ""
+            if isinstance(artifact, dict) and "metrics" in artifact:
+                detail = f" ({len(artifact['metrics'])} metrics)"
+            elif isinstance(artifact, list):
+                detail = f" ({len(artifact)} records)"
+            print(f"ok: {path}{detail}")
     return 1 if problems else 0
 
 

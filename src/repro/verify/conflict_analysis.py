@@ -14,17 +14,20 @@ from __future__ import annotations
 from repro.bcp.engine import PropagatorBase
 
 
-def mark_responsible(engine: PropagatorBase, confl_cid: int,
-                     marked: set[int]) -> None:
-    """Add to ``marked`` every clause id responsible for the conflict.
+def collect_responsible(engine: PropagatorBase,
+                        confl_cid: int) -> set[int]:
+    """The set of clause ids responsible for the current conflict.
 
     ``confl_cid`` is the clause BCP falsified (or the violated unit
     clause).  The recursion of the paper is realized with an explicit
-    stack; variables are visited at most once.
+    stack; variables are visited at most once.  The walk is read-only —
+    it inspects the engine's post-propagation reasons without touching
+    its state — which is what lets the provenance recorder reuse it per
+    check without perturbing verification.
     """
     clauses = engine.clauses
     reasons = engine.reasons
-    marked.add(confl_cid)
+    responsible: set[int] = {confl_cid}
     stack = list(clauses[confl_cid])
     seen_vars: set[int] = set()
     while stack:
@@ -40,5 +43,12 @@ def mark_responsible(engine: PropagatorBase, confl_cid: int,
         # The clause may already carry a mark from an earlier check; the
         # walk must still pass through it to reach this conflict's full
         # support (seen_vars bounds the traversal).
-        marked.add(reason_cid)
+        responsible.add(reason_cid)
         stack.extend(clauses[reason_cid])
+    return responsible
+
+
+def mark_responsible(engine: PropagatorBase, confl_cid: int,
+                     marked: set[int]) -> None:
+    """Add to ``marked`` every clause id responsible for the conflict."""
+    marked.update(collect_responsible(engine, confl_cid))

@@ -16,13 +16,17 @@ from repro.verify.verification import verify_proof_v2
 
 
 def extract_core(formula: CnfFormula,
-                 proof: ConflictClauseProof) -> UnsatCore:
+                 proof: ConflictClauseProof,
+                 obs=None) -> UnsatCore:
     """Extract an unsatisfiable core of ``formula`` from a correct proof.
 
     Raises :class:`ReproError` if the proof does not verify (an incorrect
-    proof identifies nothing).
+    proof identifies nothing).  ``obs`` attaches the instrumentation
+    layer of the underlying ``verify_proof_v2`` run — attach a
+    :class:`~repro.obs.insight.depgraph.DepGraphRecorder` to capture
+    *why* each core clause was marked.
     """
-    report = verify_proof_v2(formula, proof)
+    report = verify_proof_v2(formula, proof, obs=obs)
     if not report.ok:
         raise ReproError(
             "cannot extract a core from an incorrect proof: "

@@ -164,6 +164,7 @@ class ShardResult:
     metrics: dict | None = None
     slowest: tuple = ()
     trace: list = field(default_factory=list)
+    depgraph: list = field(default_factory=list)
 
 
 @dataclass
@@ -197,7 +198,8 @@ def _worker_checker() -> ProofChecker:
 def _run_shard(checker: ProofChecker, shard: tuple[int, int],
                order: str, instrument: bool = False,
                epoch: float | None = None,
-               run_id: str | None = None) -> ShardResult:
+               run_id: str | None = None,
+               depgraph: bool = False) -> ShardResult:
     """Scan one shard in the requested direction (shared by the pool
     workers and the in-process degraded fallback).
 
@@ -205,8 +207,12 @@ def _run_shard(checker: ProofChecker, shard: tuple[int, int],
     are observed into a shard-local registry, the slowest checks are
     kept, and the whole shard is wrapped in a ``shard`` trace span
     (stamped on the parent's time axis via the shared ``epoch``).
+    With ``depgraph`` set, each passing check's conflict-analysis
+    antecedents are buffered as plain record dicts (shipped back in
+    :attr:`ShardResult.depgraph`, merged order-free by the parent).
     """
     from repro.verify.budget import BudgetExhausted
+    from repro.verify.conflict_analysis import collect_responsible
 
     lo, hi = shard
     counters = checker.engine.counters
@@ -220,6 +226,7 @@ def _run_shard(checker: ProofChecker, shard: tuple[int, int],
     registry = None
     tracer = None
     slowest: list[tuple[float, int]] = []
+    records: list[dict] = []
     hist_seconds = hist_work = None
     if instrument:
         from repro.obs.registry import (
@@ -240,7 +247,7 @@ def _run_shard(checker: ProofChecker, shard: tuple[int, int],
         tracer_cm.__enter__()
     shard_start = time.perf_counter()
     for index in indices:
-        if instrument:
+        if instrument or depgraph:
             check_start = time.perf_counter()
             work_before = counters.total_work()
         try:
@@ -249,6 +256,17 @@ def _run_shard(checker: ProofChecker, shard: tuple[int, int],
             budget_reason = str(exc)
             stopped_at = index
             break
+        if depgraph and outcome.conflict \
+                and outcome.confl_cid is not None:
+            # Before reset(): the walk reads post-propagation reasons.
+            responsible = collect_responsible(checker.engine,
+                                              outcome.confl_cid)
+            cid = checker.cid_of_proof_clause(index)
+            records.append({
+                "type": "check", "index": index, "cid": cid,
+                "antecedents": sorted(responsible - {cid}),
+                "confl": outcome.confl_cid,
+                "props": counters.total_work() - work_before})
         checker.reset()
         checked += 1
         if instrument:
@@ -277,7 +295,8 @@ def _run_shard(checker: ProofChecker, shard: tuple[int, int],
                        duration=duration,
                        metrics=registry.snapshot() if registry else None,
                        slowest=tuple(sorted(slowest, reverse=True)),
-                       trace=tracer.events if tracer else [])
+                       trace=tracer.events if tracer else [],
+                       depgraph=records)
 
 
 def _shard_worker(shard: tuple[int, int], attempt: int) -> ShardResult:
@@ -289,7 +308,8 @@ def _shard_worker(shard: tuple[int, int], attempt: int) -> ShardResult:
     return _run_shard(_worker_checker(), shard, _SHARED["order"],
                       instrument=_SHARED.get("obs_enabled", False),
                       epoch=_SHARED.get("obs_epoch"),
-                      run_id=_SHARED.get("obs_run"))
+                      run_id=_SHARED.get("obs_run"),
+                      depgraph=_SHARED.get("depgraph_enabled", False))
 
 
 def _reduce(results: dict[tuple[int, int], ShardResult],
@@ -355,6 +375,7 @@ class _ObsSink:
         if obs is None:
             return
         obs.merge_worker_metrics(result.metrics)
+        obs.merge_worker_depgraph(result.depgraph)
         if obs.tracer is not None and result.trace:
             obs.tracer.replay(result.trace, shard=list(shard))
         if self.builder is not None:
@@ -416,7 +437,9 @@ def run_sharded_v1(formula: CnfFormula, proof: ConflictClauseProof,
                    obs_epoch=(obs.tracer.epoch
                               if obs is not None and obs.tracer is not None
                               else None),
-                   obs_run=obs.run_id if obs is not None else None)
+                   obs_run=obs.run_id if obs is not None else None,
+                   depgraph_enabled=(obs is not None
+                                     and obs.wants_depgraph))
     context = get_context("fork")
     try:
         for attempt in (0, 1):
@@ -518,11 +541,12 @@ def _run_degraded(formula: CnfFormula, proof: ConflictClauseProof,
     epoch = (sink.obs.tracer.epoch
              if instrument and sink.obs.tracer is not None else None)
     run_id = sink.obs.run_id if instrument else None
+    depgraph = instrument and sink.obs.wants_depgraph
     ordered = sorted(remaining, reverse=(order == "backward"))
     for shard in ordered:
         results[shard] = _run_shard(checker, shard, order,
                                     instrument=instrument, epoch=epoch,
-                                    run_id=run_id)
+                                    run_id=run_id, depgraph=depgraph)
         if sink is not None:
             sink.absorb(shard, results[shard])
         if results[shard].budget_reason is not None:

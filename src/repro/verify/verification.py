@@ -47,7 +47,7 @@ from repro.proofs.conflict_clause import ENDING_FINAL_PAIR, \
     ConflictClauseProof
 from repro.verify.budget import BudgetExhausted, BudgetMeter, CheckBudget
 from repro.verify.checker import CHECKER_MODES, ProofChecker
-from repro.verify.conflict_analysis import mark_responsible
+from repro.verify.conflict_analysis import collect_responsible
 from repro.verify.instrument import ReportBuilder
 from repro.verify.report import (
     PROOF_IS_CORRECT,
@@ -100,19 +100,44 @@ def _resolve_jobs(jobs: int | None, obs=None) -> int:
     return jobs
 
 
+def _resolve_engine_cls(engine_cls, obs) -> type[PropagatorBase]:
+    """Default engine: watched normally, counting under capture.
+
+    The watched engine permanently reorders its watch lists (and the
+    literals inside each clause) as checks run, so the conflicting
+    clause a check reports — and hence its conflict-analysis support —
+    depends on which checks ran earlier in the same engine.  The
+    counting engine's occurrence lists are fixed at load time and its
+    counters are restored on backtrack, which makes every rebuild-mode
+    check a pure function of ``(F, F*, index)``: the captured
+    dependency graph is then identical for any check order or sharding
+    (the ``--jobs 1`` vs ``--jobs 4`` artifact-identity guarantee).
+    An explicit ``engine_cls`` always wins over this default.
+    """
+    if engine_cls is not None:
+        return engine_cls
+    if obs is not None and obs.wants_depgraph:
+        from repro.bcp.counting import CountingPropagator
+
+        return CountingPropagator
+    return WatchedPropagator
+
+
 def _publish_checker_stats(obs, checker: ProofChecker) -> None:
     """Publish the checker's root-trail maintenance counters — the
-    observable form of the rebuild-vs-incremental savings."""
+    observable form of the rebuild-vs-incremental savings — plus the
+    captured dependency-graph totals, if a recorder is attached."""
     if obs is None:
         return
     for key, value in checker.root_stats.items():
         obs.counter_add(f"repro_checker_{key}_total", value,
                         help=f"Incremental checker: {key}")
+    obs.publish_depgraph_totals()
 
 
 def verify_proof_v1(
         formula: CnfFormula, proof: ConflictClauseProof,
-        engine_cls: type[PropagatorBase] = WatchedPropagator,
+        engine_cls: type[PropagatorBase] | None = None,
         order: str = "backward",
         mode: str = "rebuild",
         jobs: int | None = 1,
@@ -143,10 +168,15 @@ def verify_proof_v1(
 
     An exhausted ``budget`` aborts with ``resource_limit_exceeded`` and
     partial progress instead of a verdict.  ``obs`` attaches the
-    optional instrumentation layer (metrics, tracing, progress).
+    optional instrumentation layer (metrics, tracing, progress); when
+    it carries a dependency-graph recorder and no explicit
+    ``engine_cls`` is given, the counting engine is selected so the
+    captured graph is independent of check order and sharding (see
+    :func:`_resolve_engine_cls`).
     """
     _check_order(order)
     _check_mode(mode)
+    engine_cls = _resolve_engine_cls(engine_cls, obs)
     jobs = _resolve_jobs(jobs, obs)
     meter = budget.start() if budget is not None else None
     warnings: tuple[str, ...] = ()
@@ -171,10 +201,12 @@ def verify_proof_v1(
                                retire=(order == "backward"), meter=meter)
     counters = checker.engine.counters
     checked = 0
+    capture = obs is not None and obs.wants_depgraph
     indices = (range(len(proof) - 1, -1, -1) if order == "backward"
                else range(len(proof)))
     with build.phase("checks"):
         for index in indices:
+            work_before = counters.total_work() if capture else 0
             try:
                 if obs is None:
                     outcome = checker.check_clause(index)
@@ -192,6 +224,16 @@ def verify_proof_v1(
                     stopped_at_index=index,
                     failure_reason=str(exc),
                     bcp_counters=counters.as_dict())
+            if capture and outcome.conflict \
+                    and outcome.confl_cid is not None:
+                # Before reset(): the responsibility walk reads the
+                # post-propagation reasons.
+                obs.record_dependency(
+                    index, checker.cid_of_proof_clause(index),
+                    collect_responsible(checker.engine,
+                                        outcome.confl_cid),
+                    confl=outcome.confl_cid,
+                    props=counters.total_work() - work_before)
             checker.reset()
             checked += 1
             if not outcome.conflict:
@@ -225,6 +267,8 @@ def _verify_proof_v1_parallel(
                      order=order, jobs=jobs):
         run = run_sharded_v1(formula, proof, engine_cls, order, mode,
                              jobs, meter, obs=obs, builder=build)
+    if obs is not None:
+        obs.publish_depgraph_totals()
     if run.budget_reason is not None:
         if obs is not None:
             obs.event("budget_exhausted", reason=run.budget_reason)
@@ -255,7 +299,7 @@ def _verify_proof_v1_parallel(
 
 def verify_proof_v2(
         formula: CnfFormula, proof: ConflictClauseProof,
-        engine_cls: type[PropagatorBase] = WatchedPropagator,
+        engine_cls: type[PropagatorBase] | None = None,
         mode: str = "rebuild",
         budget: CheckBudget | None = None,
         obs=None,
@@ -273,9 +317,13 @@ def verify_proof_v2(
     core is reported for a partial run (marking is incomplete).  ``obs``
     attaches the optional instrumentation layer; the marked-clause
     ratio — the quantity Section 6's efficiency claim rests on — is
-    exported as the ``repro_verify_marked_ratio`` gauge.
+    exported as the ``repro_verify_marked_ratio`` gauge.  When ``obs``
+    carries a dependency-graph recorder and no explicit ``engine_cls``
+    is given, the counting engine is selected for reproducible
+    provenance (see :func:`_resolve_engine_cls`).
     """
     _check_mode(mode)
+    engine_cls = _resolve_engine_cls(engine_cls, obs)
     build = ReportBuilder(
         VerificationReport, obs=obs, total_checks=len(proof),
         procedure="verification2", num_proof_clauses=len(proof),
@@ -307,12 +355,14 @@ def verify_proof_v2(
                     checked / len(proof),
                     help="Fraction of F* that had to be checked")
 
+    capture = obs is not None and obs.wants_depgraph
     with build.phase("checks"):
         for index in range(len(proof) - 1, -1, -1):
             cid = checker.cid_of_proof_clause(index)
             if cid not in marked:
                 skipped += 1
                 continue
+            work_before = counters.total_work() if capture else 0
             try:
                 if obs is None:
                     outcome = checker.check_clause(index)
@@ -332,13 +382,22 @@ def verify_proof_v2(
                     failure_reason=str(exc),
                     bcp_counters=counters.as_dict())
             if outcome.conflict and outcome.confl_cid is not None:
+                # One responsibility walk serves both the marking and
+                # the provenance record — the depgraph is the paper's
+                # marking machinery made visible, not a second pass.
                 if obs is None:
-                    mark_responsible(checker.engine, outcome.confl_cid,
-                                     marked)
+                    marked.update(collect_responsible(
+                        checker.engine, outcome.confl_cid))
                 else:
                     with build.phase("marking"):
-                        mark_responsible(checker.engine,
-                                         outcome.confl_cid, marked)
+                        responsible = collect_responsible(
+                            checker.engine, outcome.confl_cid)
+                        marked.update(responsible)
+                    if capture:
+                        obs.record_dependency(
+                            index, cid, responsible,
+                            confl=outcome.confl_cid,
+                            props=counters.total_work() - work_before)
             checker.reset()
             checked += 1
             if not outcome.conflict:
@@ -371,7 +430,7 @@ def verify_proof_v2(
 
 def verify_proof(formula: CnfFormula, proof: ConflictClauseProof,
                  procedure: str = "verification2",
-                 engine_cls: type[PropagatorBase] = WatchedPropagator,
+                 engine_cls: type[PropagatorBase] | None = None,
                  order: str = "backward",
                  mode: str = "rebuild",
                  jobs: int | None = 1,

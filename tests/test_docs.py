@@ -1,5 +1,8 @@
 """Documentation consistency checks (guard against drift)."""
 
+import os
+import subprocess
+import sys
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
@@ -24,7 +27,8 @@ class TestReadme:
         readme = (REPO / "README.md").read_text()
         for target in ("EXPERIMENTS.md", "DESIGN.md",
                        "docs/proof_format.md", "docs/verification.md",
-                       "docs/robustness.md", "docs/observability.md"):
+                       "docs/robustness.md", "docs/observability.md",
+                       "docs/proof_insight.md"):
             assert target in readme
             assert (REPO / target).exists(), target
 
@@ -107,6 +111,54 @@ class TestObservabilityDoc:
         for piece in doc.split("`"):
             if piece.startswith(("tests/", "benchmarks/")):
                 assert (REPO / piece).exists(), piece
+
+
+class TestProofInsightDoc:
+    def test_schemas_flags_and_formats_documented(self):
+        doc = (REPO / "docs" / "proof_insight.md").read_text()
+        for term in ("repro.obs.depgraph/v1", "repro.obs.analytics/v1",
+                     "repro.obs.run/v1", "--depgraph-out",
+                     "--depgraph-dot", "--analytics-out", "--profile",
+                     "history.jsonl", "$REPRO_HISTORY_DIR",
+                     "repro obs history", "repro obs compare",
+                     "check-regression", "--max-props-drop-pct"):
+            assert term in doc, term
+
+    def test_cross_linked(self):
+        assert "proof_insight.md" in \
+            (REPO / "docs" / "observability.md").read_text()
+        assert "docs/proof_insight.md" in (REPO / "README.md").read_text()
+
+    def test_referenced_test_files_exist(self):
+        doc = (REPO / "docs" / "proof_insight.md").read_text()
+        for piece in doc.split("`"):
+            piece = piece.split("::")[0]
+            if piece.startswith(("tests/", "benchmarks/", "ci/")):
+                assert (REPO / piece).exists(), piece
+
+    def test_ci_baseline_is_a_valid_fingerprint(self):
+        from repro.obs.insight import check_regression, load_fingerprint
+
+        baseline = load_fingerprint(REPO / "ci"
+                                    / "baseline_fingerprint.json")
+        # A fingerprint never regresses against itself.
+        assert check_regression(baseline, baseline, max_wall_pct=0,
+                                max_props_drop_pct=0,
+                                max_phase_pct=0) == []
+
+
+class TestExamples:
+    def test_proof_toolkit_runs(self, tmp_path):
+        """The walkthrough (incl. the insight section) stays runnable."""
+        env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+        result = subprocess.run(
+            [sys.executable, str(REPO / "examples" / "proof_toolkit.py")],
+            capture_output=True, text=True, timeout=120,
+            cwd=tmp_path, env=env)
+        assert result.returncode == 0, result.stderr
+        for line in ("dependency graph:", "shape from verifier evidence:",
+                     "local:", "arbiter mutual exclusion"):
+            assert line in result.stdout, result.stdout
 
 
 class TestDesign:
