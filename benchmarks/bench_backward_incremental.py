@@ -5,8 +5,12 @@ Table 1 instances: wall-clock verification time plus the engine's
 propagation counters (assignments, watch visits, clause visits, purged
 watch entries).  The ``rebuild`` rows re-pay the full unit pass per
 check; ``incremental`` keeps the persistent root trail and retires
-clauses behind the moving ceiling; ``parallel`` runs the incremental
-checker sharded across a process pool.
+clauses behind the moving ceiling; ``arena`` runs the incremental
+checker on the flat clause-arena engine (blocker literals skip clause
+bodies — visible in the ``clause_visits`` column); ``parallel`` shards
+the incremental checker across a process pool, and ``arena-parallel``
+does the same with the clause database in one zero-copy shared-memory
+arena.
 
 Runs in two forms:
 
@@ -42,12 +46,15 @@ from benchmarks.conftest import (
 
 INCREMENTAL_INSTANCES = ("eq_add8", "barrel5", "stack8_8", "w6_10",
                          "pipe_2")
-VARIANTS = ("rebuild", "incremental", "parallel")
+VARIANTS = ("rebuild", "incremental", "arena", "parallel",
+            "arena-parallel")
 
 _table = register_collector(TableCollector(
-    "Backward verification1: rebuild vs incremental vs parallel",
-    f"{'Name':<10} {'variant':<12} {'jobs':>4} {'time(s)':>8} "
-    f"{'assigns':>10} {'watch_vis':>10} {'purged':>8}"))
+    "Backward verification1: rebuild vs incremental vs arena "
+    "vs parallel",
+    f"{'Name':<10} {'variant':<15} {'jobs':>4} {'time(s)':>8} "
+    f"{'assigns':>10} {'watch_vis':>10} {'clause_vis':>10} "
+    f"{'purged':>8}"))
 
 # rebuild-variant counters per instance, for the reduction assertion.
 _rebuild_counters: dict[str, dict[str, int]] = {}
@@ -59,7 +66,11 @@ def run_variant(formula, proof, variant: str, jobs: int, obs=None):
     if variant == "incremental":
         return verify_proof_v1(formula, proof, mode="incremental",
                                obs=obs)
-    return verify_proof_v1(formula, proof, mode="incremental",
+    if variant == "arena":
+        return verify_proof_v1(formula, proof, "arena",
+                               mode="incremental", obs=obs)
+    engine = "arena" if variant == "arena-parallel" else None
+    return verify_proof_v1(formula, proof, engine, mode="incremental",
                            jobs=jobs, obs=obs)
 
 
@@ -67,7 +78,8 @@ def run_variant(formula, proof, variant: str, jobs: int, obs=None):
 @pytest.mark.parametrize("name", INCREMENTAL_INSTANCES)
 def test_backward_incremental(benchmark, name, variant):
     data = solved_instance(name)
-    jobs = default_jobs() if variant == "parallel" else 1
+    jobs = (default_jobs()
+            if variant in ("parallel", "arena-parallel") else 1)
 
     report = benchmark.pedantic(
         run_variant, args=(data.formula, data.proof, variant, jobs),
@@ -84,10 +96,11 @@ def test_backward_incremental(benchmark, name, variant):
             < base["assignments"] + base["watch_visits"], (
             "incremental mode must reduce propagation work vs rebuild")
     _table.add(
-        f"{name:<10} {variant:<12} {jobs:>4} "
+        f"{name:<10} {variant:<15} {jobs:>4} "
         f"{report.verification_time:>8.3f} "
         f"{counters['assignments']:>10,} "
-        f"{counters['watch_visits']:>10,} {counters['purged']:>8,}")
+        f"{counters['watch_visits']:>10,} "
+        f"{counters['clause_visits']:>10,} {counters['purged']:>8,}")
 
 
 # -- standalone entry point ---------------------------------------------------
@@ -103,7 +116,8 @@ def bench_records(instances, jobs: int) -> list[dict]:
     for name in instances:
         data = solved_instance(name)
         for variant in VARIANTS:
-            used_jobs = jobs if variant == "parallel" else 1
+            used_jobs = (jobs if variant in ("parallel",
+                                             "arena-parallel") else 1)
             report = run_variant(data.formula, data.proof, variant,
                                  used_jobs)
             assert report.ok, f"{name}/{variant} failed verification"
@@ -115,6 +129,7 @@ def bench_records(instances, jobs: int) -> list[dict]:
                 "instance": name,
                 "variant": variant,
                 "mode": report.mode,
+                "engine": report.engine,
                 "jobs": report.jobs,
                 "ok": report.ok,
                 "num_checked": report.num_checked,
@@ -122,10 +137,13 @@ def bench_records(instances, jobs: int) -> list[dict]:
                 "counters": report.bcp_counters,
                 "stats": stats,
             })
-            print(f"{name:<10} {variant:<12} jobs={report.jobs} "
+            print(f"{name:<10} {variant:<15} jobs={report.jobs} "
+                  f"engine={report.engine} "
                   f"time={report.verification_time:.3f}s "
                   f"assignments={report.bcp_counters['assignments']:,} "
-                  f"watch_visits={report.bcp_counters['watch_visits']:,}")
+                  f"watch_visits={report.bcp_counters['watch_visits']:,} "
+                  f"clause_visits="
+                  f"{report.bcp_counters['clause_visits']:,}")
     return records
 
 

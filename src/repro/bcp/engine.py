@@ -81,6 +81,11 @@ class PropagationCounters:
 class PropagatorBase:
     """Trail, assignment and clause bookkeeping shared by all BCP engines."""
 
+    #: Whether :meth:`remove_clause` works (the counting engine cannot
+    #: rebuild its counters, so drivers that delete clauses — the
+    #: forward DRUP checker — must refuse it up front).
+    supports_removal = True
+
     def __init__(self, num_vars: int = 0):
         self.num_vars = 0
         # Indexed by encoded literal (size 2 * (num_vars + 1)).
@@ -141,8 +146,7 @@ class PropagatorBase:
             if var > max_var:
                 max_var = var
         self.ensure_vars(max_var)
-        cid = len(self.clauses)
-        self.clauses.append(lits)
+        cid = self._store_clause(lits)
         if not lits:
             if self.empty_clause_cid is None:
                 self.empty_clause_cid = cid
@@ -153,6 +157,26 @@ class PropagatorBase:
                 if self.conflict_unit_cid is None:
                     self.conflict_unit_cid = cid
         return cid
+
+    def _store_clause(self, lits: list[int]) -> int:
+        """Record a (deduplicated) clause body; return its new cid.
+
+        Subclasses with a different storage layout (the flat arena)
+        override this together with :meth:`clause_lits` /
+        :meth:`clause_len`; everything else in the base class goes
+        through those accessors and never assumes list-of-lists.
+        """
+        cid = len(self.clauses)
+        self.clauses.append(lits)
+        return cid
+
+    def clause_lits(self, cid: int):
+        """The literals of clause ``cid`` (a sequence of encoded
+        literals; empty for a removed clause's tombstone)."""
+        return self.clauses[cid]
+
+    def clause_len(self, cid: int) -> int:
+        return len(self.clauses[cid])
 
     def _standing_conflict(self, ceiling: int | None) -> int | None:
         """A conflict that exists independently of the propagation queue:
@@ -187,8 +211,7 @@ class PropagatorBase:
         The caller must guarantee the clause is not the reason of any
         current assignment.
         """
-        lits = self.clauses[cid]
-        if lits:
+        if self.clause_len(cid):
             self._detach(cid)
         self.clauses[cid] = []
 

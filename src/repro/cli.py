@@ -106,6 +106,13 @@ def _build_parser() -> argparse.ArgumentParser:
     verify_cmd.add_argument("--jobs", type=int, default=1, metavar="N",
                             help="worker processes for verification1 "
                                  "(default 1: sequential)")
+    verify_cmd.add_argument("--engine", default=None,
+                            choices=["watched", "counting", "arena"],
+                            help="BCP engine (default: watched, or "
+                                 "counting when --depgraph-out needs "
+                                 "deterministic reasons); arena is the "
+                                 "flat-pool kernel the shared-memory "
+                                 "parallel backend uses")
     strictness = verify_cmd.add_mutually_exclusive_group()
     strictness.add_argument("--strict", action="store_true",
                             help="require a DIMACS header whose counts "
@@ -129,6 +136,10 @@ def _build_parser() -> argparse.ArgumentParser:
                             "deletions)")
     drup_cmd.add_argument("cnf")
     drup_cmd.add_argument("drup")
+    drup_cmd.add_argument("--engine", default=None,
+                          choices=["watched", "arena"],
+                          help="BCP engine (counting is rejected: it "
+                               "cannot honor deletions)")
     _add_budget_arguments(drup_cmd)
     _add_obs_arguments(drup_cmd)
 
@@ -503,6 +514,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     report = _run_instrumented(
         args, obs, lambda: verify_proof(
             formula, proof, procedure=args.procedure,
+            engine_cls=args.engine,
             order=args.order, mode=args.mode, jobs=args.jobs,
             budget=_budget_from(args), obs=obs),
         formula, proof)
@@ -511,7 +523,8 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     print(f"s {report.outcome.upper()}")
     print(f"c checked={report.num_checked} skipped={report.num_skipped}"
           f" time={report.verification_time:.3f}s"
-          f" mode={report.mode} jobs={report.jobs}")
+          f" mode={report.mode} engine={report.engine}"
+          f" jobs={report.jobs}")
     for warning in report.warnings:
         print(f"c warning: {warning}")
     if report.worker_failures:
@@ -569,7 +582,8 @@ def _cmd_verify_drup(args: argparse.Namespace) -> int:
     report = _run_instrumented(
         args, obs, lambda: check_drup(formula, trace,
                                       budget=_budget_from(args),
-                                      obs=obs))
+                                      obs=obs,
+                                      engine_cls=args.engine))
     if report is None:
         return EXIT_INTERRUPT
     print(f"s {report.outcome.upper()}")

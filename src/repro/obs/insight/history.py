@@ -22,7 +22,8 @@ Fingerprint schema (``repro.obs.run/v1``)::
     {"schema": "repro.obs.run/v1", "id": "r123-1", "utc": "...",
      "command": "verify", "instance": "php6.cnf",
      "outcome": "proof_is_correct", "procedure": "verification2",
-     "mode": "incremental", "jobs": 1, "wall_time": 0.041,
+     "mode": "incremental", "engine": "watched", "jobs": 1,
+     "wall_time": 0.041,
      "checks": 120, "props": 5113, "props_per_sec": 124707.3,
      "checks_per_sec": 2926.8, "phase_times": {"setup": ..., ...},
      "analytics": {"local_clauses": ..., ...} | null}
@@ -90,6 +91,7 @@ def fingerprint(report, *, run_id: str, command: str,
         "outcome": report.outcome,
         "procedure": getattr(report, "procedure", command),
         "mode": getattr(report, "mode", None),
+        "engine": getattr(report, "engine", None),
         "jobs": getattr(report, "jobs", 1),
         "wall_time": round(wall, 6),
         "checks": checks,
@@ -212,6 +214,9 @@ def compare_runs(a: dict, b: dict) -> list[dict]:
         return {"metric": metric, "a": old, "b": new,
                 "delta": delta, "delta_pct": pct, "worse": worse}
 
+    # Engine first: a delta table comparing different BCP engines reads
+    # very differently (counters are engine-specific), so say so up top.
+    rows.append(row("engine", a.get("engine"), b.get("engine"), 0))
     for metric, direction in _COMPARED:
         rows.append(row(metric, a.get(metric), b.get(metric), direction))
     phases = sorted(set(a.get("phase_times", {}))

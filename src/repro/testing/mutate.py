@@ -586,7 +586,8 @@ def _tag(mutation: ProofMutation) -> str:
 
 
 def check_mutation(formula: CnfFormula, mutation: ProofMutation,
-                   v1_configs=DEFAULT_V1_CONFIGS) -> MutationVerdict:
+                   v1_configs=DEFAULT_V1_CONFIGS,
+                   engine=None) -> MutationVerdict:
     """Feed one mutation to every checker and judge the outcomes.
 
     Any exception outside the ``ReproError`` hierarchy is a harness
@@ -614,19 +615,20 @@ def check_mutation(formula: CnfFormula, mutation: ProofMutation,
         return verdict
 
     if mutation.kind == KIND_DRUP:
-        _judge_drup(formula, proof, verdict, tag)
+        _judge_drup(formula, proof, verdict, tag, engine)
         return verdict
-    _judge_cc(formula, proof, verdict, tag, v1_configs)
+    _judge_cc(formula, proof, verdict, tag, v1_configs, engine)
     return verdict
 
 
 def _judge_cc(formula: CnfFormula, proof: ConflictClauseProof,
-              verdict: MutationVerdict, tag: str, v1_configs) -> None:
+              verdict: MutationVerdict, tag: str, v1_configs,
+              engine=None) -> None:
     expectation = verdict.mutation.expectation
     for order, mode, jobs in v1_configs:
         try:
-            report = verify_proof_v1(formula, proof, order=order,
-                                     mode=mode, jobs=jobs)
+            report = verify_proof_v1(formula, proof, engine,
+                                     order=order, mode=mode, jobs=jobs)
         except ReproError as exc:
             # A typed refusal counts as rejection.
             verdict.v1_outcomes[(order, mode, jobs)] = False
@@ -641,7 +643,7 @@ def _judge_cc(formula: CnfFormula, proof: ConflictClauseProof,
         verdict.v1_outcomes[(order, mode, jobs)] = report.ok
         verdict.checker_runs += 1
     try:
-        verdict.v2_accepted = verify_proof_v2(formula, proof).ok
+        verdict.v2_accepted = verify_proof_v2(formula, proof, engine).ok
         verdict.checker_runs += 1
     except ReproError:
         verdict.v2_accepted = False
@@ -675,10 +677,12 @@ def _judge_cc(formula: CnfFormula, proof: ConflictClauseProof,
 
 
 def _judge_drup(formula: CnfFormula, proof: DrupProof,
-                verdict: MutationVerdict, tag: str) -> None:
+                verdict: MutationVerdict, tag: str,
+                engine=None) -> None:
     expectation = verdict.mutation.expectation
     try:
-        verdict.drup_accepted = check_drup(formula, proof).ok
+        verdict.drup_accepted = check_drup(formula, proof,
+                                           engine_cls=engine).ok
         verdict.checker_runs += 1
     except ReproError:
         verdict.drup_accepted = False
@@ -699,13 +703,22 @@ def _judge_drup(formula: CnfFormula, proof: DrupProof,
 def run_differential(formula: CnfFormula, proof: ConflictClauseProof,
                      drup: DrupProof | None = None, seed: int = 0,
                      v1_configs=DEFAULT_V1_CONFIGS,
+                     engine=None,
                      ) -> DifferentialSummary:
     """Mutate a known-good proof and sweep every mutation through the
     checker fleet; the summary is ``ok`` iff no expectation was
-    violated and no checker crashed outside ``ReproError``."""
+    violated and no checker crashed outside ``ReproError``.
+
+    ``engine`` selects the checkers' BCP engine (a
+    :data:`repro.bcp.ENGINES` name or class; default watched) — the
+    expectations are engine-independent, so sweeping the same mutations
+    under each engine is the adversarial half of the engine-parity
+    guarantee.
+    """
     mutator = ProofMutator(formula, proof, drup=drup, seed=seed)
     summary = DifferentialSummary()
     for mutation in mutator.mutations():
         summary.verdicts.append(
-            check_mutation(formula, mutation, v1_configs=v1_configs))
+            check_mutation(formula, mutation, v1_configs=v1_configs,
+                           engine=engine))
     return summary

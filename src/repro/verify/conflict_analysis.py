@@ -25,10 +25,10 @@ def collect_responsible(engine: PropagatorBase,
     its state — which is what lets the provenance recorder reuse it per
     check without perturbing verification.
     """
-    clauses = engine.clauses
+    clause_lits = engine.clause_lits
     reasons = engine.reasons
     responsible: set[int] = {confl_cid}
-    stack = list(clauses[confl_cid])
+    stack = list(clause_lits(confl_cid))
     seen_vars: set[int] = set()
     while stack:
         enc = stack.pop()
@@ -44,7 +44,7 @@ def collect_responsible(engine: PropagatorBase,
         # walk must still pass through it to reach this conflict's full
         # support (seen_vars bounds the traversal).
         responsible.add(reason_cid)
-        stack.extend(clauses[reason_cid])
+        stack.extend(clause_lits(reason_cid))
     return responsible
 
 

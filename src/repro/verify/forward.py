@@ -22,8 +22,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.bcp.engine import FALSE, TRUE
-from repro.bcp.watched import WatchedPropagator
+from repro.bcp import engine_name, resolve_engine
+from repro.bcp.engine import FALSE, TRUE, PropagatorBase
 from repro.core.formula import CnfFormula
 from repro.core.literals import encode
 from repro.proofs.drup import ADD, DELETE, DrupProof
@@ -57,6 +57,7 @@ class ForwardCheckReport:
     peak_active_clauses: int = 0
     verification_time: float = 0.0
     stopped_at_event: int | None = None
+    engine: str = "watched"
     stats: VerificationStats | None = None
 
     @property
@@ -70,18 +71,32 @@ class ForwardCheckReport:
 
 def check_drup(formula: CnfFormula, proof: DrupProof,
                budget: CheckBudget | None = None,
-               obs=None) -> ForwardCheckReport:
+               obs=None,
+               engine_cls: "type[PropagatorBase] | str | None" = None,
+               ) -> ForwardCheckReport:
     """Check a DRUP trace forward; report the first bad event.
 
     The ``budget`` (if given) is consulted before every trace event;
     when it runs out the check aborts with ``resource_limit_exceeded``
     and partial progress instead of a verdict.  ``obs`` attaches the
     optional instrumentation layer (per-addition timing, trace spans,
-    progress over trace events).
+    progress over trace events).  ``engine_cls`` selects the BCP
+    engine (a :data:`repro.bcp.ENGINES` name or class; default
+    watched); an engine without clause-removal support (counting) is
+    rejected when the trace contains deletions — honoring them is the
+    point of forward checking.
     """
+    engine_cls = resolve_engine(engine_cls)
+    if not engine_cls.supports_removal \
+            and any(event.kind == DELETE for event in proof.events):
+        raise ValueError(
+            f"engine '{engine_name(engine_cls)}' does not support "
+            "clause removal, but the DRUP trace contains deletions; "
+            "use the watched or arena engine")
     build = ReportBuilder(ForwardCheckReport, obs=obs,
                           total_checks=len(proof.events),
-                          progress_label="events")
+                          progress_label="events",
+                          engine=engine_name(engine_cls))
     with build.phase("setup", procedure="drup-forward"):
         # Size the engine over the trace's variables too: a (corrupt or
         # merely foreign) trace may mention variables the formula never
@@ -92,7 +107,7 @@ def check_drup(formula: CnfFormula, proof: DrupProof,
             for lit in event.literals:
                 if abs(lit) > num_vars:
                     num_vars = abs(lit)
-        engine = WatchedPropagator(num_vars)
+        engine = engine_cls(num_vars)
         meter = budget.start() if budget is not None else None
         # Active units, kept separately (units carry no watches).
         units: dict[int, int] = {}   # cid -> encoded literal
@@ -105,9 +120,8 @@ def check_drup(formula: CnfFormula, proof: DrupProof,
         def load(literals) -> int:
             cid = engine.add_clause([encode(lit) for lit in literals],
                                     propagate_units=False)
-            body = engine.clauses[cid]
-            if len(body) == 1:
-                units[cid] = body[0]
+            if engine.clause_len(cid) == 1:
+                units[cid] = engine.clause_lits(cid)[0]
             active.setdefault(clause_key(literals), []).append(cid)
             return cid
 

@@ -3,9 +3,34 @@
 The checks of Proof_verification1 are independent by construction (each
 one is a self-contained BCP run over ``F ∪ F*_{<i}``), so the proof
 indices can be sharded across a pool of worker processes.  Each worker
-builds its checker once — the formula and proof are inherited through
-fork-time copy-on-write, so nothing large is pickled — and streams shard
-verdicts back.
+builds its checker once and streams shard verdicts back.
+
+Two transports carry the clause database to the workers:
+
+``fork`` (classic)
+    The formula and proof are inherited through fork-time copy-on-write
+    — nothing large is pickled, but every worker that touches the
+    Python objects dirties their refcount pages and duplicates them.
+
+``shared-memory arena`` (zero-copy)
+    The parent builds one flat :class:`~repro.bcp.arena.ClauseArena`
+    holding ``F ∪ F*`` and exports it as a single
+    ``multiprocessing.shared_memory`` block; workers attach it
+    read-only (proof clause ``i`` *is* arena clause ``num_input + i``,
+    so no formula/proof objects cross the process boundary at all) and
+    keep only private trail/assignment state.  This works under any
+    start method — it is what makes ``--jobs`` effective on platforms
+    without ``fork`` — and under ``fork`` it also eliminates the
+    copy-on-write page duplication.
+
+Backend selection (see :func:`select_backend`): the arena engine always
+uses the shared-memory transport; other engines use classic ``fork``
+when available and are *substituted* with the arena engine (warning in
+the report, identical verdicts) when only ``spawn`` exists — never the
+old silent sequential degrade.  The chosen path is announced with a
+``backend_selected`` obs event; ``REPRO_START_METHOD`` (or the
+``start_method`` parameter) forces a specific start method, which is
+how the fork-vs-spawn report-identity guarantee is tested.
 
 Failure reporting stays deterministic regardless of pool scheduling:
 every shard scans in the requested direction and reports the first
@@ -66,6 +91,8 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from multiprocessing import get_all_start_methods, get_context
 
+from repro.bcp import engine_name
+from repro.bcp.arena import ArenaPropagator, ClauseArena, build_arena
 from repro.bcp.engine import PropagatorBase
 from repro.core.formula import CnfFormula
 from repro.proofs.conflict_clause import ConflictClauseProof
@@ -91,6 +118,49 @@ _FAULTS: dict[tuple[int, int], int] = {}
 def fork_available() -> bool:
     """Whether the fork-based pool backend can run on this platform."""
     return "fork" in get_all_start_methods()
+
+
+def select_backend(engine_cls: type[PropagatorBase],
+                   start_method: str | None = None,
+                   ) -> tuple[str | None, bool, type[PropagatorBase]]:
+    """Pick ``(start_method, use_shm, worker_engine_cls)`` for a run.
+
+    * the arena engine always rides the shared-memory transport (under
+      ``fork`` too — that is the zero-copy point);
+    * other engines use classic ``fork`` inheritance when available;
+    * without ``fork``, the workers run the arena engine over shared
+      memory instead of degrading to sequential (the caller records the
+      substitution as a report warning);
+    * ``start_method`` (or a ``REPRO_START_METHOD`` environment
+      override) forces a specific method; an unavailable one raises
+      ``ValueError``.  A ``None`` method in the result means no
+      process start method exists at all (degrade sequentially).
+    """
+    methods = get_all_start_methods()
+    if start_method is None:
+        env = os.environ.get("REPRO_START_METHOD")
+        if env is not None and env.strip():
+            start_method = env.strip()
+    if start_method is not None:
+        if start_method not in methods:
+            raise ValueError(
+                f"start method {start_method!r} is not available on "
+                f"this platform (have {tuple(methods)})")
+        method = start_method
+    elif "fork" in methods:
+        method = "fork"
+    elif "spawn" in methods:
+        method = "spawn"
+    else:
+        return None, False, engine_cls
+    use_shm = issubclass(engine_cls, ArenaPropagator)
+    worker_cls = engine_cls
+    if method != "fork" and not use_shm:
+        # Only the arena crosses a non-fork boundary without pickling
+        # the clause database; substitute it rather than degrade.
+        use_shm = True
+        worker_cls = ArenaPropagator
+    return method, use_shm, worker_cls
 
 
 def default_jobs() -> int:
@@ -180,13 +250,36 @@ class ShardRunResult:
     stopped_at_index: int | None = None
 
 
+def _init_worker(spec: dict) -> None:
+    """Pool initializer for the shared-memory transport.
+
+    ``spec`` is small and fully picklable (an
+    :class:`~repro.bcp.arena.ArenaHandle`, scalars, and the budget
+    meter), so it crosses any start-method boundary; the clause
+    database itself never does — the worker maps the parent's arena
+    read-only in :func:`_worker_checker`.
+    """
+    _SHARED.clear()
+    _SHARED.update(spec)
+    _FAULTS.clear()
+    _FAULTS.update(spec.get("faults") or {})
+
+
 def _worker_checker() -> ProofChecker:
     checker = _SHARED.get("checker")
     if checker is None:
         meter: BudgetMeter | None = _SHARED.get("meter")
-        checker = ProofChecker(
-            _SHARED["formula"], _SHARED["proof"], _SHARED["engine_cls"],
-            mode=_SHARED["mode"], retire=False)
+        handle = _SHARED.get("arena")
+        if handle is not None:
+            arena = ClauseArena.from_shared_memory(handle)
+            checker = ProofChecker.from_arena(
+                arena, _SHARED["num_input"], mode=_SHARED["mode"],
+                retire=False)
+        else:
+            checker = ProofChecker(
+                _SHARED["formula"], _SHARED["proof"],
+                _SHARED["engine_cls"], mode=_SHARED["mode"],
+                retire=False)
         if meter is not None:
             # Fresh engine in this process: keep the shared deadline but
             # charge work units against this worker's own counters.
@@ -401,7 +494,8 @@ def run_sharded_v1(formula: CnfFormula, proof: ConflictClauseProof,
                    engine_cls: type[PropagatorBase], order: str,
                    mode: str, jobs: int,
                    meter: BudgetMeter | None = None,
-                   obs=None, builder=None) -> ShardRunResult:
+                   obs=None, builder=None,
+                   start_method: str | None = None) -> ShardRunResult:
     """Check every proof index across a process pool, surviving faults.
 
     Returns a :class:`ShardRunResult` whose ``failed_index`` matches
@@ -412,35 +506,64 @@ def run_sharded_v1(formula: CnfFormula, proof: ConflictClauseProof,
     ``worker_failures`` / ``warnings``); an exhausted budget surfaces as
     ``budget_reason`` plus partial progress.
 
+    The start method and clause-database transport are picked by
+    :func:`select_backend` (``start_method`` / ``REPRO_START_METHOD``
+    force one); the verdict, failure index and check counts are
+    identical across backends — only the BCP counters depend on which
+    engine the workers ran.
+
     ``obs`` (and the driver's ``builder``, for slowest-K and progress)
     attach the instrumentation layer; see the module docstring for
     what is collected where.
     """
     shards = make_shards(len(proof), jobs)
     sink = _ObsSink(obs, builder, len(shards))
-    if not fork_available():
-        # The caller (verify_proof_v1) normally degrades before getting
-        # here; degrade identically for direct users instead of letting
-        # get_context() raise ValueError.
-        sink.event("degraded_sequential", reason="no fork")
+    requested = engine_name(engine_cls)
+    method, use_shm, worker_cls = select_backend(engine_cls,
+                                                 start_method)
+    if method is None:
+        sink.event("backend_selected", backend="sequential",
+                   engine=requested, reason="no start method")
         return _run_degraded(formula, proof, engine_cls, order, mode,
                              shards, {}, 0,
-                             ["parallel backend unavailable: no 'fork' "
+                             ["parallel backend unavailable: no process "
                               "start method on this platform; checked "
                               "sequentially in process"], meter, sink)
     results: dict[tuple[int, int], ShardResult] = {}
     worker_failures = 0
     warnings: list[str] = []
-    _SHARED.update(formula=formula, proof=proof, engine_cls=engine_cls,
-                   order=order, mode=mode, meter=meter,
-                   obs_enabled=obs is not None,
-                   obs_epoch=(obs.tracer.epoch
-                              if obs is not None and obs.tracer is not None
-                              else None),
-                   obs_run=obs.run_id if obs is not None else None,
-                   depgraph_enabled=(obs is not None
-                                     and obs.wants_depgraph))
-    context = get_context("fork")
+    if worker_cls is not engine_cls:
+        warnings.append(
+            f"engine '{requested}' cannot cross the '{method}' start "
+            "method; workers ran the shared-memory arena engine "
+            "(verdicts are engine-independent, BCP counters are the "
+            "arena's)")
+    sink.event("backend_selected",
+               backend=f"{method}+shm" if use_shm else method,
+               engine=requested, worker_engine=engine_name(worker_cls),
+               start_method=method)
+    arena = None
+    initializer = None
+    initargs: tuple = ()
+    obs_fields = dict(
+        obs_enabled=obs is not None,
+        obs_epoch=(obs.tracer.epoch
+                   if obs is not None and obs.tracer is not None
+                   else None),
+        obs_run=obs.run_id if obs is not None else None,
+        depgraph_enabled=(obs is not None and obs.wants_depgraph))
+    if use_shm:
+        arena, num_input = build_arena(formula, proof)
+        handle = arena.to_shared_memory()
+        initializer = _init_worker
+        initargs = ({"arena": handle, "num_input": num_input,
+                     "order": order, "mode": mode, "meter": meter,
+                     "faults": dict(_FAULTS), **obs_fields},)
+    else:
+        _SHARED.update(formula=formula, proof=proof,
+                       engine_cls=engine_cls, order=order, mode=mode,
+                       meter=meter, **obs_fields)
+    context = get_context(method)
     try:
         for attempt in (0, 1):
             pending = [s for s in shards if s not in results]
@@ -455,7 +578,8 @@ def run_sharded_v1(formula: CnfFormula, proof: ConflictClauseProof,
                              help="Shard retry rounds after worker "
                                   "deaths")
             executor = ProcessPoolExecutor(
-                max_workers=min(jobs, len(pending)), mp_context=context)
+                max_workers=min(jobs, len(pending)), mp_context=context,
+                initializer=initializer, initargs=initargs)
             try:
                 futures = {
                     executor.submit(_shard_worker, shard, attempt): shard
@@ -491,6 +615,8 @@ def run_sharded_v1(formula: CnfFormula, proof: ConflictClauseProof,
                 executor.shutdown(wait=False, cancel_futures=True)
     finally:
         _SHARED.clear()
+        if arena is not None:
+            arena.release_shared(unlink=True)
     sink.counter("repro_parallel_worker_failures_total", worker_failures,
                  help="Shard executions lost to dead workers")
     remaining = [s for s in shards if s not in results]

@@ -98,7 +98,7 @@ def reconstruct_resolution_graph(
     def derived_of(cid: int) -> frozenset[int]:
         if cid in derived:
             return derived[cid]
-        return frozenset(decode(enc) for enc in engine.clauses[cid])
+        return frozenset(decode(enc) for enc in engine.clause_lits(cid))
 
     # One forward pass checking *every* clause: each derivation then
     # sees the (possibly strengthened) derived versions of all earlier

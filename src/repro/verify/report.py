@@ -94,11 +94,15 @@ class VerificationReport:
     the extracted unsatisfiable core.
 
     ``mode`` records the checker state-management strategy (``rebuild``
-    or ``incremental``), ``jobs`` the number of worker processes (1 for
-    the sequential path), and ``bcp_counters`` the engine's propagation
-    instrumentation (assignments, watch visits, clause visits, purged
-    entries) summed over all workers — the units in which the
-    incremental backward engine's savings are observable.
+    or ``incremental``), ``engine`` the BCP engine that ran the checks
+    (``watched``, ``counting`` or ``arena``; on a no-fork parallel run
+    the workers may have substituted the arena engine — the
+    substitution is listed in ``warnings``), ``jobs`` the number of
+    worker processes (1 for the sequential path), and ``bcp_counters``
+    the engine's propagation instrumentation (assignments, watch
+    visits, clause visits, purged entries) summed over all workers —
+    the units in which the incremental backward engine's savings are
+    observable.
 
     Robustness fields: an exhausted :class:`~repro.verify.budget.
     CheckBudget` yields ``outcome == resource_limit_exceeded`` with
@@ -124,6 +128,7 @@ class VerificationReport:
     core: UnsatCore | None = None
     marked_proof_indices: tuple[int, ...] = field(default=())
     mode: str = "rebuild"
+    engine: str = "watched"
     jobs: int = 1
     bcp_counters: dict[str, int] | None = None
     stopped_at_index: int | None = None

@@ -34,15 +34,19 @@ class TrimResult:
 
 
 def trim_proof(formula: CnfFormula,
-               proof: ConflictClauseProof) -> TrimResult:
+               proof: ConflictClauseProof,
+               engine_cls=None) -> TrimResult:
     """Verify the proof with Proof_verification2 and drop every clause
     that was never marked.
 
     The trimmed proof keeps the chronological order and the original
     ending, and is itself a correct proof.  Raises :class:`ReproError`
-    if the input proof does not verify.
+    if the input proof does not verify.  ``engine_cls`` selects the BCP
+    engine (a :data:`repro.bcp.ENGINES` name or class); the marked set
+    — and so the trimmed proof — can differ between engines, since each
+    may meet a different (equally valid) conflict clause first.
     """
-    report = verify_proof_v2(formula, proof)
+    report = verify_proof_v2(formula, proof, engine_cls)
     if not report.ok:
         raise ReproError(
             f"cannot trim an incorrect proof: {report.failure_reason}")

@@ -37,9 +37,9 @@ All reports are built through the shared
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 
+from repro.bcp import engine_name, resolve_engine
 from repro.bcp.engine import PropagatorBase
 from repro.bcp.watched import WatchedPropagator
 from repro.core.formula import CnfFormula
@@ -101,9 +101,10 @@ def _resolve_jobs(jobs: int | None, obs=None) -> int:
 
 
 def _resolve_engine_cls(engine_cls, obs) -> type[PropagatorBase]:
-    """Default engine: watched normally, counting under capture.
+    """Resolve an engine (name, class, or None) to a class.
 
-    The watched engine permanently reorders its watch lists (and the
+    Default engine: watched normally, counting under capture.  The
+    watched engine permanently reorders its watch lists (and the
     literals inside each clause) as checks run, so the conflicting
     clause a check reports — and hence its conflict-analysis support —
     depends on which checks ran earlier in the same engine.  The
@@ -112,10 +113,13 @@ def _resolve_engine_cls(engine_cls, obs) -> type[PropagatorBase]:
     check a pure function of ``(F, F*, index)``: the captured
     dependency graph is then identical for any check order or sharding
     (the ``--jobs 1`` vs ``--jobs 4`` artifact-identity guarantee).
-    An explicit ``engine_cls`` always wins over this default.
+    An explicit ``engine_cls`` — a :data:`repro.bcp.ENGINES` name
+    (``"watched"``, ``"counting"``, ``"arena"``) or a
+    :class:`~repro.bcp.engine.PropagatorBase` subclass — always wins
+    over this default.
     """
     if engine_cls is not None:
-        return engine_cls
+        return resolve_engine(engine_cls)
     if obs is not None and obs.wants_depgraph:
         from repro.bcp.counting import CountingPropagator
 
@@ -162,9 +166,10 @@ def verify_proof_v1(
     proofs, since shards past the failure still ran).  The parallel
     backend is fault-tolerant: a dead worker's shards are retried once
     and then fall back to in-process sequential checking (see
-    :mod:`repro.verify.parallel`), and the whole call degrades to
-    sequential — with a report warning — on platforms without the
-    ``fork`` start method.
+    :mod:`repro.verify.parallel`).  On platforms without the ``fork``
+    start method the workers run the shared-memory arena engine under
+    ``spawn`` — same verdict, a report warning notes the engine
+    substitution — instead of degrading to a sequential run.
 
     An exhausted ``budget`` aborts with ``resource_limit_exceeded`` and
     partial progress instead of a verdict.  ``obs`` attaches the
@@ -179,21 +184,17 @@ def verify_proof_v1(
     engine_cls = _resolve_engine_cls(engine_cls, obs)
     jobs = _resolve_jobs(jobs, obs)
     meter = budget.start() if budget is not None else None
-    warnings: tuple[str, ...] = ()
     if jobs > 1 and len(proof) > 1:
-        if "fork" in multiprocessing.get_all_start_methods():
-            return _verify_proof_v1_parallel(formula, proof, engine_cls,
-                                             order, mode, jobs, meter,
-                                             obs)
-        warnings = (
-            "parallel backend unavailable: no 'fork' start method on "
-            "this platform; degraded to a sequential run",)
-        if obs is not None:
-            obs.event("degraded_sequential", reason="no fork")
+        # The backend picks the start method and transport itself:
+        # no-fork platforms run spawn + shared-memory arena instead of
+        # the old silent sequential degrade (see select_backend).
+        return _verify_proof_v1_parallel(formula, proof, engine_cls,
+                                         order, mode, jobs, meter,
+                                         obs)
     build = ReportBuilder(
         VerificationReport, obs=obs, total_checks=len(proof),
         procedure="verification1", num_proof_clauses=len(proof),
-        mode=mode, warnings=warnings)
+        mode=mode, engine=engine_name(engine_cls))
     with build.phase("setup", procedure="verification1", mode=mode,
                      order=order):
         # Retirement requires a monotone-decreasing ceiling (backward).
@@ -262,7 +263,7 @@ def _verify_proof_v1_parallel(
     build = ReportBuilder(
         VerificationReport, obs=obs, total_checks=len(proof),
         procedure="verification1", num_proof_clauses=len(proof),
-        mode=mode, jobs=jobs)
+        mode=mode, jobs=jobs, engine=engine_name(engine_cls))
     with build.phase("pool", procedure="verification1", mode=mode,
                      order=order, jobs=jobs):
         run = run_sharded_v1(formula, proof, engine_cls, order, mode,
@@ -327,7 +328,7 @@ def verify_proof_v2(
     build = ReportBuilder(
         VerificationReport, obs=obs, total_checks=len(proof),
         procedure="verification2", num_proof_clauses=len(proof),
-        mode=mode)
+        mode=mode, engine=engine_name(engine_cls))
     meter = budget.start() if budget is not None else None
     with build.phase("setup", procedure="verification2", mode=mode):
         checker = ProofChecker(formula, proof, engine_cls, mode=mode,

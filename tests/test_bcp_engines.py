@@ -6,12 +6,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.bcp.arena import ArenaPropagator
 from repro.bcp.counting import CountingPropagator
 from repro.bcp.engine import FALSE, TRUE, UNDEF
 from repro.bcp.watched import WatchedPropagator
 from repro.core.literals import encode
 
-ENGINES = [WatchedPropagator, CountingPropagator]
+ENGINES = [WatchedPropagator, CountingPropagator, ArenaPropagator]
 
 
 def enc_clause(lits):
@@ -179,9 +180,21 @@ class TestClauseRemoval:
         engine.remove_clause(cid)
         assert engine.clauses[cid] == []
 
+    def test_arena_removed_clause_inert(self):
+        engine = ArenaPropagator()
+        engine.add_clause(enc_clause([1]))
+        cid = engine.add_clause(enc_clause([-1, 2]))
+        engine.remove_clause(cid)
+        assert engine.propagate() is None
+        assert engine.value(encode(2)) == UNDEF
+        # The pool is immutable: removal flags the clause instead of
+        # rewriting it, and the accessors respect the tombstone.
+        assert engine.clause_len(cid) == 0
+        assert tuple(engine.clause_lits(cid)) == ()
+
 
 class TestDifferential:
-    """The two engines must agree on every propagation outcome."""
+    """Every engine must agree on every propagation outcome."""
 
     @settings(max_examples=60, deadline=None)
     @given(st.data())
@@ -222,9 +235,10 @@ class TestDifferential:
 
         trail_w, confl_w = run(WatchedPropagator)
         trail_c, confl_c = run(CountingPropagator)
+        trail_a, confl_a = run(ArenaPropagator)
         # Same assignments deduced and the same decisions conflicted.
-        assert trail_w == trail_c
-        assert confl_w == confl_c
+        assert trail_w == trail_c == trail_a
+        assert confl_w == confl_c == confl_a
 
 
 @pytest.mark.parametrize("engine_cls", ENGINES)

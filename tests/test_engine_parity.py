@@ -1,0 +1,202 @@
+"""Engine-parity differential tests.
+
+The BCP engines (watched, counting, arena) are interchangeable by
+contract: every verification procedure must produce the same verdict,
+the same failed/marked indices, and the same unsat core regardless of
+which engine ran the checks.  These tests pin that contract on the
+paper's worked example and on solved instances — including under the
+adversarial mutation sweep and across the fork/spawn process-pool
+boundary (where a zero-copy shared-memory arena carries the clause
+database).
+"""
+
+import pytest
+
+from repro.bcp import ENGINES
+from repro.benchgen.registry import pigeonhole
+from repro.core.formula import CnfFormula
+from repro.proofs.conflict_clause import (
+    ENDING_FINAL_PAIR,
+    ConflictClauseProof,
+)
+from repro.proofs.drup import DrupProof
+from repro.solver.cdcl import solve
+from repro.testing import run_differential
+from repro.verify.forward import check_drup
+from repro.verify.parallel import fork_available
+from repro.verify.verification import verify_proof_v1, verify_proof_v2
+
+ENGINE_NAMES = tuple(ENGINES)
+
+# The paper's worked example: two derived units refute the first four
+# clauses; (4 5) is padding outside the refutation's cone.
+PAPER_F = CnfFormula([[1, 2], [1, -2], [-1, 3], [-1, -3], [4, 5]])
+PAPER_PROOF = ConflictClauseProof([(1,), (-1,)], ENDING_FINAL_PAIR)
+
+
+@pytest.fixture(scope="module")
+def solved():
+    formula = pigeonhole(5)
+    result = solve(formula, reduce_base=20, reduce_growth=10)
+    assert result.is_unsat
+    return (formula, ConflictClauseProof.from_log(result.log),
+            DrupProof.from_log(result.log))
+
+
+def _v1_identity(report):
+    return (report.outcome, report.num_checked,
+            report.failed_clause_index, report.marked_proof_indices)
+
+
+def _v2_identity(report):
+    return (report.outcome, report.num_checked, report.num_skipped,
+            report.failed_clause_index, report.marked_proof_indices,
+            report.core.clause_indices if report.core else None)
+
+
+class TestWorkedExample:
+    @pytest.mark.parametrize("order", ["backward", "forward"])
+    @pytest.mark.parametrize("mode", ["rebuild", "incremental"])
+    def test_v1_identical_across_engines(self, order, mode):
+        reports = [verify_proof_v1(PAPER_F, PAPER_PROOF, engine,
+                                   order=order, mode=mode)
+                   for engine in ENGINE_NAMES]
+        assert all(r.ok for r in reports)
+        assert len({_v1_identity(r) for r in reports}) == 1
+        assert [r.engine for r in reports] == list(ENGINE_NAMES)
+
+    def test_v2_identical_across_engines(self):
+        reports = [verify_proof_v2(PAPER_F, PAPER_PROOF, engine,
+                                   mode=mode)
+                   for engine in ENGINE_NAMES
+                   for mode in ("rebuild", "incremental")]
+        assert all(r.ok for r in reports)
+        assert len({_v2_identity(r) for r in reports}) == 1
+        # The worked example's core is exactly the first four clauses.
+        assert reports[0].core.clause_indices == (0, 1, 2, 3)
+
+    def test_counter_schema_identical(self):
+        keys = set()
+        for engine in ENGINE_NAMES:
+            report = verify_proof_v1(PAPER_F, PAPER_PROOF, engine)
+            keys.add(tuple(sorted(report.bcp_counters)))
+        assert len(keys) == 1
+
+
+class TestSolvedInstance:
+    @pytest.mark.parametrize("engine", ENGINE_NAMES)
+    def test_v1_verdict_and_marks(self, solved, engine):
+        formula, proof, _ = solved
+        baseline = verify_proof_v1(formula, proof)
+        report = verify_proof_v1(formula, proof, engine,
+                                 mode="incremental")
+        assert _v1_identity(report) == _v1_identity(baseline)
+
+    @pytest.mark.parametrize("engine", ENGINE_NAMES)
+    def test_v2_verdict_and_sound_core(self, solved, engine):
+        """Verdicts are engine-independent; marked sets need not be —
+        each engine may meet a different (equally valid) conflict
+        clause first (the counting engine scans occurrence lists in
+        cid order; the arena cannot normalize its immutable clause
+        bodies the way the watched engine does), so the contract is
+        that every engine's core is *sound*, shown by re-verifying its
+        own trimmed proof against its own core.
+        """
+        from repro.verify.trimming import trim_proof
+
+        formula, proof, _ = solved
+        baseline = verify_proof_v2(formula, proof, "watched")
+        report = verify_proof_v2(formula, proof, engine)
+        assert report.outcome == baseline.outcome
+        assert report.core is not None
+        trimmed = trim_proof(formula, proof, engine_cls=engine).trimmed
+        assert verify_proof_v1(report.core.as_formula(), trimmed).ok
+
+    @pytest.mark.parametrize("engine", ["watched", "arena"])
+    def test_forward_drup_verdict(self, solved, engine):
+        formula, _, drup = solved
+        report = check_drup(formula, drup, engine_cls=engine)
+        assert report.ok
+        assert report.engine == engine
+
+    @pytest.mark.skipif(not fork_available(),
+                        reason="needs a process pool")
+    @pytest.mark.parametrize("engine", ENGINE_NAMES)
+    def test_parallel_matches_sequential(self, solved, engine):
+        formula, proof, _ = solved
+        sequential = verify_proof_v1(formula, proof, engine)
+        parallel = verify_proof_v1(formula, proof, engine, jobs=2)
+        assert _v1_identity(parallel) == _v1_identity(sequential)
+        assert parallel.engine == engine
+
+
+class TestMutationSweep:
+    """The adversarial half of the parity guarantee: the mutation
+    harness's expectations are engine-independent, so the same sweep
+    must hold under every engine."""
+
+    # One config per axis keeps 3 engines x ~15 mutations tractable.
+    CONFIGS = (("backward", "incremental", 1),
+               ("forward", "rebuild", 1),
+               ("backward", "incremental", 2))
+
+    @pytest.mark.parametrize("engine", ENGINE_NAMES)
+    def test_expectations_hold(self, solved, engine):
+        formula, proof, drup = solved
+        # The counting engine cannot honor DRUP deletions; sweep it
+        # over the conflict-clause mutations only.
+        trace = None if engine == "counting" else drup
+        summary = run_differential(formula, proof, drup=trace,
+                                   v1_configs=self.CONFIGS,
+                                   engine=engine)
+        assert summary.ok, summary.problems
+
+    def test_verdict_matrix_identical(self, solved):
+        """Not just "no expectation violated": every mutation gets the
+        *same* accept/reject matrix from every engine."""
+        formula, proof, _ = solved
+        matrices = {}
+        for engine in ENGINE_NAMES:
+            summary = run_differential(formula, proof,
+                                       v1_configs=self.CONFIGS[:1],
+                                       engine=engine)
+            matrices[engine] = [
+                (v.mutation.operator, v.mutation.description,
+                 v.rejected_at_parse, tuple(sorted(
+                     v.v1_outcomes.items())), v.v2_accepted)
+                for v in summary.verdicts]
+        baseline = matrices[ENGINE_NAMES[0]]
+        for engine in ENGINE_NAMES[1:]:
+            assert matrices[engine] == baseline
+
+
+class TestStartMethodIdentity:
+    """``--jobs N`` must produce identical reports whether the pool
+    forks or spawns — the shared-memory arena is the transport that
+    makes the spawn side possible at all."""
+
+    # Counter *totals* are excluded: with an incremental checker, the
+    # work a check costs depends on which checks the same worker ran
+    # before it, and shard-to-worker assignment is pool scheduling —
+    # nondeterministic even between two fork runs.
+    REPORT_FIELDS = ("outcome", "procedure", "num_proof_clauses",
+                     "num_checked", "num_skipped",
+                     "failed_clause_index", "failure_reason", "mode",
+                     "engine", "jobs", "worker_failures", "warnings")
+
+    @pytest.mark.skipif(not fork_available(),
+                        reason="needs both fork and spawn")
+    def test_fork_and_spawn_reports_identical(self, solved,
+                                              monkeypatch):
+        formula, proof, _ = solved
+        reports = {}
+        for method in ("fork", "spawn"):
+            monkeypatch.setenv("REPRO_START_METHOD", method)
+            reports[method] = verify_proof_v1(
+                formula, proof, "arena", mode="incremental", jobs=2)
+        monkeypatch.delenv("REPRO_START_METHOD")
+        for field in self.REPORT_FIELDS:
+            assert getattr(reports["fork"], field) \
+                == getattr(reports["spawn"], field), field
+        assert (set(reports["fork"].bcp_counters)
+                == set(reports["spawn"].bcp_counters))

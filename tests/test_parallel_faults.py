@@ -102,29 +102,63 @@ class TestWorkerDeath:
 
 
 class TestDegradedPlatform:
-    def test_no_fork_falls_back_to_sequential(self, instance,
-                                              monkeypatch):
+    def test_no_fork_substitutes_arena_over_spawn(self, instance,
+                                                  monkeypatch):
+        """A fork-less platform no longer degrades to sequential: the
+        workers run the shared-memory arena engine across ``spawn``."""
         formula, proof = instance
-        monkeypatch.setattr(
-            "repro.verify.verification.multiprocessing."
-            "get_all_start_methods", lambda: ["spawn"])
-        report = verify_proof_v1(formula, proof, jobs=4)
+        monkeypatch.delenv("REPRO_START_METHOD", raising=False)
+        monkeypatch.setattr(parallel, "get_all_start_methods",
+                            lambda: ["spawn"])
+        report = verify_proof_v1(formula, proof, jobs=2)
         assert report.ok
-        assert any("parallel backend unavailable" in w
+        assert report.num_checked == len(proof)
+        assert any("shared-memory arena engine" in w
                    for w in report.warnings)
+        assert not any("unavailable" in w for w in report.warnings)
 
-    def test_run_sharded_degrades_without_fork(self, instance,
-                                               monkeypatch):
+    def test_run_sharded_substitutes_arena_over_spawn(self, instance,
+                                                      monkeypatch):
         from repro.bcp.watched import WatchedPropagator
 
         formula, proof = instance
+        monkeypatch.delenv("REPRO_START_METHOD", raising=False)
         monkeypatch.setattr(parallel, "get_all_start_methods",
                             lambda: ["spawn"])
+        run = run_sharded_v1(formula, proof, WatchedPropagator,
+                             "backward", "incremental", 2)
+        assert run.failed_index is None
+        assert run.num_checked == len(proof)
+        assert any("shared-memory arena engine" in w
+                   for w in run.warnings)
+
+    def test_no_start_method_degrades_sequential(self, instance,
+                                                 monkeypatch):
+        """Only a platform with *no* start method at all degrades to
+        the in-process sequential fallback (with a loud warning)."""
+        from repro.bcp.watched import WatchedPropagator
+
+        formula, proof = instance
+        monkeypatch.delenv("REPRO_START_METHOD", raising=False)
+        monkeypatch.setattr(parallel, "get_all_start_methods",
+                            lambda: [])
         run = run_sharded_v1(formula, proof, WatchedPropagator,
                              "backward", "incremental", 4)
         assert run.failed_index is None
         assert run.num_checked == len(proof)
-        assert any("unavailable" in w for w in run.warnings)
+        assert any("parallel backend unavailable" in w
+                   for w in run.warnings)
+
+    def test_forced_start_method_must_exist(self, instance, monkeypatch):
+        from repro.bcp.watched import WatchedPropagator
+
+        formula, proof = instance
+        monkeypatch.setattr(parallel, "get_all_start_methods",
+                            lambda: ["fork"])
+        with pytest.raises(ValueError, match="not available"):
+            run_sharded_v1(formula, proof, WatchedPropagator,
+                           "backward", "incremental", 2,
+                           start_method="spawn")
 
 
 class TestParallelBudget:
