@@ -12,16 +12,27 @@ the incremental checker across a process pool, and ``arena-parallel``
 does the same with the clause database in one zero-copy shared-memory
 arena.
 
+The ``vector`` variant runs the numpy kernel (skipped when numpy is
+not installed); the ``arena-forward``/``vector-forward`` pair is the
+rebuild-mode forward pass where the vectorized frontier batching pays
+off most — the speedup row the vector engine's acceptance rests on.
+
 Runs in two forms:
 
 * under pytest (``pytest benchmarks/ --benchmark-only``) as table rows
   alongside the other paper-table benchmarks;
 * standalone (``python benchmarks/bench_backward_incremental.py``),
   appending one JSON record per (instance, variant) to
-  ``BENCH_verification.json`` for trend tracking in CI.
+  ``BENCH_verification.json`` for trend tracking in CI.  Standalone
+  wall times are the **median of ``--repeats`` runs** (default 3;
+  single-shot times on a noisy runner swing by ±25%), all raw times
+  are kept in the record, and each invocation stamps an
+  ``environment`` record (python/numpy/platform) so speedup rows can
+  be traced to the stack that produced them.
 """
 
 import json
+import statistics
 import sys
 import time
 from pathlib import Path
@@ -46,8 +57,37 @@ from benchmarks.conftest import (
 
 INCREMENTAL_INSTANCES = ("eq_add8", "barrel5", "stack8_8", "w6_10",
                          "pipe_2")
-VARIANTS = ("rebuild", "incremental", "arena", "parallel",
-            "arena-parallel")
+
+# variant -> (engine, mode, order, parallel).  The ``*-forward``
+# variants check in chronological order with per-check rebuilds: early
+# checks then see tiny clause prefixes, which is where the vector
+# kernel's per-literal ceiling cut and frontier batching win biggest.
+VARIANT_SPECS = {
+    "rebuild": (None, "rebuild", "backward", False),
+    "incremental": (None, "incremental", "backward", False),
+    "arena": ("arena", "incremental", "backward", False),
+    "vector": ("vector", "incremental", "backward", False),
+    "parallel": (None, "incremental", "backward", True),
+    "arena-parallel": ("arena", "incremental", "backward", True),
+    "arena-forward": ("arena", "rebuild", "forward", False),
+    "vector-forward": ("vector", "rebuild", "forward", False),
+}
+VARIANTS = tuple(VARIANT_SPECS)
+
+# The vector-vs-arena speedup demonstration (standalone runs): a
+# pipe-family instance big enough that per-round numpy overhead
+# amortizes.  Smaller instances (vliw, dlx_2) stay at parity — that is
+# expected, not a regression; see docs/verification.md.
+SPEEDUP_INSTANCES = ("pipe_5",)
+SPEEDUP_VARIANTS = ("arena-forward", "vector-forward")
+
+
+def _numpy_version():
+    try:
+        import numpy
+    except ImportError:
+        return None
+    return numpy.__version__
 
 _table = register_collector(TableCollector(
     "Backward verification1: rebuild vs incremental vs arena "
@@ -61,25 +101,20 @@ _rebuild_counters: dict[str, dict[str, int]] = {}
 
 
 def run_variant(formula, proof, variant: str, jobs: int, obs=None):
-    if variant == "rebuild":
-        return verify_proof_v1(formula, proof, mode="rebuild", obs=obs)
-    if variant == "incremental":
-        return verify_proof_v1(formula, proof, mode="incremental",
-                               obs=obs)
-    if variant == "arena":
-        return verify_proof_v1(formula, proof, "arena",
-                               mode="incremental", obs=obs)
-    engine = "arena" if variant == "arena-parallel" else None
-    return verify_proof_v1(formula, proof, engine, mode="incremental",
-                           jobs=jobs, obs=obs)
+    engine, mode, order, parallel = VARIANT_SPECS[variant]
+    return verify_proof_v1(formula, proof, engine, order=order,
+                           mode=mode, jobs=jobs if parallel else 1,
+                           obs=obs)
 
 
 @pytest.mark.parametrize("variant", VARIANTS)
 @pytest.mark.parametrize("name", INCREMENTAL_INSTANCES)
 def test_backward_incremental(benchmark, name, variant):
+    if VARIANT_SPECS[variant][0] == "vector" \
+            and _numpy_version() is None:
+        pytest.skip("vector engine needs numpy (repro[fast])")
     data = solved_instance(name)
-    jobs = (default_jobs()
-            if variant in ("parallel", "arena-parallel") else 1)
+    jobs = default_jobs() if VARIANT_SPECS[variant][3] else 1
 
     report = benchmark.pedantic(
         run_variant, args=(data.formula, data.proof, variant, jobs),
@@ -105,24 +140,38 @@ def test_backward_incremental(benchmark, name, variant):
 
 # -- standalone entry point ---------------------------------------------------
 
-def bench_records(instances, jobs: int) -> list[dict]:
+def bench_records(instances, jobs: int, repeats: int = 3,
+                  variants=VARIANTS) -> list[dict]:
     """One record per (instance, variant), ready for JSON appending.
 
-    Each record carries the report's per-phase ``stats`` breakdown —
-    the same numbers the CLI's ``--stats`` footer prints — so the
-    trend log separates setup from check time.
+    Each variant is run ``repeats`` times and the recorded
+    ``verification_time`` is the **median** (all raw times are kept in
+    ``times``) — single-shot wall times on shared runners are noise.
+    Each record also carries the report's per-phase ``stats``
+    breakdown — the same numbers the CLI's ``--stats`` footer prints —
+    so the trend log separates setup from check time.
     """
+    repeats = max(1, repeats)
     records = []
     for name in instances:
         data = solved_instance(name)
-        for variant in VARIANTS:
-            used_jobs = (jobs if variant in ("parallel",
-                                             "arena-parallel") else 1)
-            report = run_variant(data.formula, data.proof, variant,
-                                 used_jobs)
-            assert report.ok, f"{name}/{variant} failed verification"
+        for variant in variants:
+            if VARIANT_SPECS[variant][0] == "vector" \
+                    and _numpy_version() is None:
+                print(f"{name:<10} {variant:<15} skipped: vector "
+                      "engine needs numpy (repro[fast])")
+                continue
+            used_jobs = jobs if VARIANT_SPECS[variant][3] else 1
+            times = []
+            report = None
+            for _ in range(repeats):
+                report = run_variant(data.formula, data.proof, variant,
+                                     used_jobs)
+                assert report.ok, f"{name}/{variant} failed verification"
+                times.append(report.verification_time)
             stats = (report.stats.as_dict()
                      if report.stats is not None else None)
+            median = statistics.median(times)
             records.append({
                 "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ",
                                            time.gmtime()),
@@ -133,18 +182,62 @@ def bench_records(instances, jobs: int) -> list[dict]:
                 "jobs": report.jobs,
                 "ok": report.ok,
                 "num_checked": report.num_checked,
-                "verification_time": round(report.verification_time, 6),
+                "verification_time": round(median, 6),
+                "repeats": repeats,
+                "times": [round(t, 6) for t in times],
                 "counters": report.bcp_counters,
                 "stats": stats,
             })
             print(f"{name:<10} {variant:<15} jobs={report.jobs} "
                   f"engine={report.engine} "
-                  f"time={report.verification_time:.3f}s "
+                  f"median={median:.3f}s of {len(times)} "
                   f"assignments={report.bcp_counters['assignments']:,} "
                   f"watch_visits={report.bcp_counters['watch_visits']:,} "
                   f"clause_visits="
                   f"{report.bcp_counters['clause_visits']:,}")
     return records
+
+
+def speedup_lines(records: list[dict]) -> list[str]:
+    """Per-instance vector-vs-arena median ratios for the forward pair.
+
+    The ratio is also stamped into the ``vector-forward`` record as
+    ``speedup_vs_arena`` so the trend log keeps the claim queryable.
+    """
+    medians: dict[tuple[str, str], dict] = {
+        (r["instance"], r["variant"]): r for r in records
+        if "variant" in r}
+    lines = []
+    for (name, variant), rec in medians.items():
+        if variant != "vector-forward":
+            continue
+        base = medians.get((name, "arena-forward"))
+        if base is None or not rec["verification_time"]:
+            continue
+        ratio = (base["verification_time"]
+                 / rec["verification_time"])
+        rec["speedup_vs_arena"] = round(ratio, 3)
+        lines.append(
+            f"{name}: arena-forward {base['verification_time']:.3f}s "
+            f"/ vector-forward {rec['verification_time']:.3f}s "
+            f"= {ratio:.2f}x")
+    return lines
+
+
+def environment_record() -> dict:
+    """The stack a bench invocation ran on — numpy version above all,
+    since the vector rows are meaningless without it."""
+    import os
+    import platform
+
+    return {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "kind": "environment",
+        "python": platform.python_version(),
+        "numpy": _numpy_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+    }
 
 
 def overhead_record(name: str, repeats: int = 3) -> dict:
@@ -231,6 +324,16 @@ def main(argv=None) -> int:
                         default=max(2, default_jobs()),
                         help="worker processes for the parallel variant "
                              "(min 2, so the pool path always runs)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="runs per (instance, variant); the "
+                             "recorded time is the median (default 3)")
+    parser.add_argument("--speedup-instances", nargs="*",
+                        default=list(SPEEDUP_INSTANCES),
+                        metavar="NAME",
+                        help="instances for the arena-forward vs "
+                             "vector-forward speedup pair (pass no "
+                             "names to skip; default: "
+                             f"{' '.join(SPEEDUP_INSTANCES)})")
     parser.add_argument("--output", type=Path,
                         default=REPO_ROOT / "BENCH_verification.json",
                         help="JSON file to append records to")
@@ -245,7 +348,18 @@ def main(argv=None) -> int:
                              "instance and append the record")
     args = parser.parse_args(argv)
 
-    records = bench_records(args.instances, args.jobs)
+    base_variants = tuple(v for v in VARIANTS
+                          if v not in SPEEDUP_VARIANTS)
+    records = [environment_record()]
+    records += bench_records(args.instances, args.jobs,
+                             repeats=args.repeats,
+                             variants=base_variants)
+    if args.speedup_instances:
+        records += bench_records(args.speedup_instances, args.jobs,
+                                 repeats=args.repeats,
+                                 variants=SPEEDUP_VARIANTS)
+        for line in speedup_lines(records):
+            print(f"speedup: {line}")
     if args.baseline is not None and args.baseline.exists():
         for line in compare_to_baseline(
                 records, json.loads(args.baseline.read_text())):

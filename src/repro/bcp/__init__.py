@@ -1,6 +1,6 @@
 """Boolean Constraint Propagation engines.
 
-Three interchangeable implementations of the paper's only algorithmic
+Four interchangeable implementations of the paper's only algorithmic
 prerequisite (Section 2):
 
 * :class:`WatchedPropagator` — two-watched-literal scheme (the one the
@@ -9,10 +9,15 @@ prerequisite (Section 2):
   differential-testing oracle and ablation baseline;
 * :class:`ArenaPropagator` — watched literals with blockers over a flat
   :class:`ClauseArena` literal pool; serializes to shared memory for
-  the zero-copy parallel backend.
+  the zero-copy parallel backend;
+* :class:`VectorPropagator` — frontier-batched counting scheme whose
+  hot loop runs as numpy bulk operations over the arena buffers
+  (available only when numpy is installed: ``pip install repro[fast]``).
 
 The CLI and the verification drivers select engines by name through
-:data:`ENGINES` / :func:`resolve_engine`.
+:data:`ENGINES` / :func:`resolve_engine`.  The pseudo-name ``"auto"``
+resolves to the fastest engine the environment supports: ``vector``
+when numpy is importable, else ``arena``.
 """
 
 from repro.bcp.arena import ArenaPropagator, ClauseArena
@@ -35,19 +40,46 @@ ENGINES: dict[str, type[PropagatorBase]] = {
     "arena": ArenaPropagator,
 }
 
+try:  # numpy is an optional extra (repro[fast]); base install runs without
+    from repro.bcp.vector import VectorPropagator
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    VectorPropagator = None
+else:
+    ENGINES["vector"] = VectorPropagator
+
+
+def numpy_available() -> bool:
+    """Whether the numpy-vectorized engine can be used."""
+    return VectorPropagator is not None
+
 
 def resolve_engine(engine) -> type[PropagatorBase]:
     """An engine class from a registry name, a class, or ``None``
-    (the default watched engine)."""
+    (the default watched engine).
+
+    The pseudo-name ``"auto"`` selects the fastest engine available:
+    ``vector`` if numpy is importable, ``arena`` otherwise — callers
+    that want the decision on record resolve through
+    :func:`repro.verify.verification._resolve_engine_cls`, which emits
+    a ``kernel_selected`` trace event.
+    """
     if engine is None:
         return WatchedPropagator
     if isinstance(engine, str):
+        if engine == "auto":
+            return ENGINES["vector"] if numpy_available() \
+                else ArenaPropagator
         try:
             return ENGINES[engine]
         except KeyError:
+            if engine == "vector":
+                raise ValueError(
+                    "the vector engine needs numpy (pip install "
+                    "repro[fast]); use --engine auto to fall back "
+                    "automatically") from None
             raise ValueError(
                 f"unknown BCP engine {engine!r}; expected one of "
-                f"{tuple(ENGINES)}") from None
+                f"{tuple(ENGINES)} or 'auto'") from None
     if isinstance(engine, type) and issubclass(engine, PropagatorBase):
         return engine
     raise ValueError(f"engine must be a name, a PropagatorBase "
@@ -67,11 +99,13 @@ __all__ = [
     "WatchedPropagator",
     "CountingPropagator",
     "ArenaPropagator",
+    "VectorPropagator",
     "ClauseArena",
     "PropagationCounters",
     "ENGINES",
     "resolve_engine",
     "engine_name",
+    "numpy_available",
     "TRUE",
     "FALSE",
     "UNDEF",

@@ -107,12 +107,17 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="worker processes for verification1 "
                                  "(default 1: sequential)")
     verify_cmd.add_argument("--engine", default=None,
-                            choices=["watched", "counting", "arena"],
+                            choices=["watched", "counting", "arena",
+                                     "vector", "auto"],
                             help="BCP engine (default: watched, or "
                                  "counting when --depgraph-out needs "
                                  "deterministic reasons); arena is the "
                                  "flat-pool kernel the shared-memory "
-                                 "parallel backend uses")
+                                 "parallel backend uses, vector its "
+                                 "numpy-vectorized twin (needs the "
+                                 "repro[fast] extra), and auto picks "
+                                 "vector when numpy is importable, "
+                                 "else arena")
     strictness = verify_cmd.add_mutually_exclusive_group()
     strictness.add_argument("--strict", action="store_true",
                             help="require a DIMACS header whose counts "
@@ -137,9 +142,12 @@ def _build_parser() -> argparse.ArgumentParser:
     drup_cmd.add_argument("cnf")
     drup_cmd.add_argument("drup")
     drup_cmd.add_argument("--engine", default=None,
-                          choices=["watched", "arena"],
+                          choices=["watched", "arena", "vector",
+                                   "auto"],
                           help="BCP engine (counting is rejected: it "
-                               "cannot honor deletions)")
+                               "cannot honor deletions; auto picks "
+                               "vector when numpy is importable, else "
+                               "arena)")
     _add_budget_arguments(drup_cmd)
     _add_obs_arguments(drup_cmd)
 

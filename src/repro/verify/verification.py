@@ -114,17 +114,32 @@ def _resolve_engine_cls(engine_cls, obs) -> type[PropagatorBase]:
     dependency graph is then identical for any check order or sharding
     (the ``--jobs 1`` vs ``--jobs 4`` artifact-identity guarantee).
     An explicit ``engine_cls`` — a :data:`repro.bcp.ENGINES` name
-    (``"watched"``, ``"counting"``, ``"arena"``) or a
-    :class:`~repro.bcp.engine.PropagatorBase` subclass — always wins
-    over this default.
+    (``"watched"``, ``"counting"``, ``"arena"``, ``"vector"``), the
+    pseudo-name ``"auto"`` (vector when numpy is importable, else
+    arena), or a :class:`~repro.bcp.engine.PropagatorBase` subclass —
+    always wins over this default.
+
+    With instrumentation attached the decision is put on record as a
+    ``kernel_selected`` trace event carrying what was requested, which
+    engine won, and whether its hot loop is the numpy or the
+    pure-Python kernel.
     """
     if engine_cls is not None:
-        return resolve_engine(engine_cls)
-    if obs is not None and obs.wants_depgraph:
+        requested = engine_cls if isinstance(engine_cls, str) \
+            else getattr(engine_cls, "__name__", repr(engine_cls))
+        resolved = resolve_engine(engine_cls)
+    elif obs is not None and obs.wants_depgraph:
         from repro.bcp.counting import CountingPropagator
 
-        return CountingPropagator
-    return WatchedPropagator
+        requested = "default(depgraph)"
+        resolved = CountingPropagator
+    else:
+        requested = "default"
+        resolved = WatchedPropagator
+    if obs is not None:
+        obs.event("kernel_selected", requested=requested,
+                  engine=engine_name(resolved), kernel=resolved.kernel)
+    return resolved
 
 
 def _publish_checker_stats(obs, checker: ProofChecker) -> None:

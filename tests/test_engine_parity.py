@@ -1,7 +1,8 @@
 """Engine-parity differential tests.
 
-The BCP engines (watched, counting, arena) are interchangeable by
-contract: every verification procedure must produce the same verdict,
+The BCP engines (watched, counting, arena, and — when numpy is
+installed — vector) are interchangeable by contract: every
+verification procedure must produce the same verdict,
 the same failed/marked indices, and the same unsat core regardless of
 which engine ran the checks.  These tests pin that contract on the
 paper's worked example and on solved instances — including under the
@@ -112,7 +113,8 @@ class TestSolvedInstance:
         trimmed = trim_proof(formula, proof, engine_cls=engine).trimmed
         assert verify_proof_v1(report.core.as_formula(), trimmed).ok
 
-    @pytest.mark.parametrize("engine", ["watched", "arena"])
+    @pytest.mark.parametrize("engine", [
+        e for e in ("watched", "arena", "vector") if e in ENGINES])
     def test_forward_drup_verdict(self, solved, engine):
         formula, _, drup = solved
         report = check_drup(formula, drup, engine_cls=engine)
@@ -186,14 +188,16 @@ class TestStartMethodIdentity:
 
     @pytest.mark.skipif(not fork_available(),
                         reason="needs both fork and spawn")
+    @pytest.mark.parametrize("engine", [
+        e for e in ("arena", "vector") if e in ENGINES])
     def test_fork_and_spawn_reports_identical(self, solved,
-                                              monkeypatch):
+                                              monkeypatch, engine):
         formula, proof, _ = solved
         reports = {}
         for method in ("fork", "spawn"):
             monkeypatch.setenv("REPRO_START_METHOD", method)
             reports[method] = verify_proof_v1(
-                formula, proof, "arena", mode="incremental", jobs=2)
+                formula, proof, engine, mode="incremental", jobs=2)
         monkeypatch.delenv("REPRO_START_METHOD")
         for field in self.REPORT_FIELDS:
             assert getattr(reports["fork"], field) \
