@@ -17,6 +17,14 @@ not installed); the ``arena-forward``/``vector-forward`` pair is the
 rebuild-mode forward pass where the vectorized frontier batching pays
 off most — the speedup row the vector engine's acceptance rests on.
 
+The ``streaming`` family is different in kind: deletion-chain traces
+(``repro.benchgen.deletion_chain``) checked by the one-pass
+bounded-memory driver (``repro verify-stream``) under a
+``max_live_clauses`` cap set ~10x below the trace's addition volume —
+the record proves the over-cap proof verifies inside the budget and
+logs the live-window peak and window-shift count alongside the usual
+medians.
+
 Runs in two forms:
 
 * under pytest (``pytest benchmarks/ --benchmark-only``) as table rows
@@ -80,6 +88,18 @@ VARIANTS = tuple(VARIANT_SPECS)
 # expected, not a regression; see docs/verification.md.
 SPEEDUP_INSTANCES = ("pipe_5",)
 SPEEDUP_VARIANTS = ("arena-forward", "vector-forward")
+
+# The streaming family: deletion-chain traces whose addition volume is
+# ~10x the live-clause cap they are verified under.  ``chain400`` is
+# the acceptance configuration (10 * cap additions through a cap-40
+# window), ``chain2000`` matches the CI streaming job, ``chain20000``
+# is the throughput row.  (name -> n_vars, window, max_live_clauses)
+STREAMING_SPECS = {
+    "chain400": (400, 8, 40),
+    "chain2000": (2000, 8, 200),
+    "chain20000": (20000, 16, 2000),
+}
+STREAMING_ENGINES = ("watched", "arena", "vector")
 
 
 def _numpy_version():
@@ -195,6 +215,86 @@ def bench_records(instances, jobs: int, repeats: int = 3,
                   f"watch_visits={report.bcp_counters['watch_visits']:,} "
                   f"clause_visits="
                   f"{report.bcp_counters['clause_visits']:,}")
+    return records
+
+
+def streaming_records(names, repeats: int = 3,
+                      engines=STREAMING_ENGINES) -> list[dict]:
+    """One record per (chain instance, engine) for the streaming family.
+
+    Each trace is written to a temp directory with
+    :func:`repro.benchgen.write_deletion_chain_drup` (streamed, never
+    materialized) and checked with :func:`repro.verify.verify_stream`
+    under a ``max_live_clauses`` budget ~10x below the addition count.
+    The recorded ``over_cap_factor`` is that ratio; every record
+    asserts the proof verified *correct* inside the cap.
+    """
+    import tempfile
+
+    from repro.benchgen.streaming import (
+        deletion_chain_formula,
+        write_deletion_chain_drup,
+    )
+    from repro.verify.budget import CheckBudget
+    from repro.verify.streaming import verify_stream
+
+    repeats = max(1, repeats)
+    records = []
+    with tempfile.TemporaryDirectory(prefix="repro-bench-stream-") \
+            as workdir:
+        for name in names:
+            n_vars, window, cap = STREAMING_SPECS[name]
+            formula = deletion_chain_formula(n_vars)
+            trace = Path(workdir) / f"{name}.drup"
+            info = write_deletion_chain_drup(trace, n_vars,
+                                             window=window)
+            for engine in engines:
+                if engine == "vector" and _numpy_version() is None:
+                    print(f"{name:<10} streaming/{engine:<8} skipped: "
+                          "vector engine needs numpy (repro[fast])")
+                    continue
+                times = []
+                report = None
+                for _ in range(repeats):
+                    report = verify_stream(
+                        formula, trace, engine_cls=engine,
+                        budget=CheckBudget(max_live_clauses=cap))
+                    assert report.ok, \
+                        f"{name}/{engine} failed streaming verification"
+                    times.append(report.verification_time)
+                assert report.num_additions == info["additions"]
+                median = statistics.median(times)
+                records.append({
+                    "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ",
+                                               time.gmtime()),
+                    "kind": "streaming",
+                    "instance": name,
+                    "variant": f"streaming-{engine}",
+                    "engine": report.engine,
+                    "n_vars": n_vars,
+                    "window": window,
+                    "max_live_clauses": cap,
+                    "over_cap_factor": round(
+                        info["additions"] / cap, 2),
+                    "ok": report.ok,
+                    "additions": report.num_additions,
+                    "deletions": report.num_deletions,
+                    "peak_live_clauses": report.peak_live_clauses,
+                    "window_shifts": report.window_shifts,
+                    "verification_time": round(median, 6),
+                    "repeats": repeats,
+                    "times": [round(t, 6) for t in times],
+                    "counters": report.bcp_counters,
+                    "stats": (report.stats.as_dict()
+                              if report.stats is not None else None),
+                })
+                print(f"{name:<10} streaming/{engine:<8} "
+                      f"median={median:.3f}s of {len(times)} "
+                      f"additions={report.num_additions:,} "
+                      f"(cap {cap}, "
+                      f"{info['additions'] / cap:.0f}x over) "
+                      f"peak_live={report.peak_live_clauses:,} "
+                      f"shifts={report.window_shifts}")
     return records
 
 
@@ -334,6 +434,13 @@ def main(argv=None) -> int:
                              "vector-forward speedup pair (pass no "
                              "names to skip; default: "
                              f"{' '.join(SPEEDUP_INSTANCES)})")
+    parser.add_argument("--streaming-instances", nargs="*",
+                        default=list(STREAMING_SPECS),
+                        metavar="NAME",
+                        help="deletion-chain instances for the "
+                             "bounded-memory streaming family (pass "
+                             "no names to skip; default: "
+                             f"{' '.join(STREAMING_SPECS)})")
     parser.add_argument("--output", type=Path,
                         default=REPO_ROOT / "BENCH_verification.json",
                         help="JSON file to append records to")
@@ -360,6 +467,9 @@ def main(argv=None) -> int:
                                  variants=SPEEDUP_VARIANTS)
         for line in speedup_lines(records):
             print(f"speedup: {line}")
+    if args.streaming_instances:
+        records += streaming_records(args.streaming_instances,
+                                     repeats=args.repeats)
     if args.baseline is not None and args.baseline.exists():
         for line in compare_to_baseline(
                 records, json.loads(args.baseline.read_text())):

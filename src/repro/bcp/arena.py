@@ -92,6 +92,12 @@ class ClauseArena:
         self.starts: "array[int]" = array("i", [0])
         self.flags = bytearray()
         self.num_vars = 0
+        # Live-set accounting: clauses/pool words not yet tombstoned.
+        # The streaming verifier budgets and evicts on these, so they
+        # are maintained eagerly by append()/tombstone() instead of
+        # recomputed by scanning flags.
+        self.live_clauses = 0
+        self.live_words = 0
         # True when pool/starts are read-only views of shared memory.
         self.readonly = False
         self._shm = None
@@ -99,6 +105,18 @@ class ClauseArena:
     @property
     def num_clauses(self) -> int:
         return len(self.starts) - 1
+
+    @property
+    def dead_words(self) -> int:
+        """Pool words held by tombstoned clauses (the pool is never
+        compacted in place — eviction means rebuilding elsewhere)."""
+        return len(self.pool) - self.live_words
+
+    def live_bytes(self) -> int:
+        """Estimated resident footprint of the *live* clause set:
+        live pool words plus one offset word per live clause."""
+        return (self.live_words + self.live_clauses) \
+            * self.pool.itemsize
 
     def append(self, enc_lits) -> int:
         """Append a clause of encoded literals; return its cid."""
@@ -114,9 +132,20 @@ class ClauseArena:
             if var > num_vars:
                 num_vars = var
         self.num_vars = num_vars
+        self.live_words += len(pool) - self.starts[cid]
+        self.live_clauses += 1
         self.starts.append(len(pool))
         self.flags.append(0)
         return cid
+
+    def tombstone(self, cid: int) -> None:
+        """Mark clause ``cid`` deleted and update the live accounting
+        (idempotent: a second tombstone of the same cid is a no-op)."""
+        if self.flags[cid] & _DELETED:
+            return
+        self.flags[cid] |= _DELETED
+        self.live_clauses -= 1
+        self.live_words -= self.length(cid)
 
     def length(self, cid: int) -> int:
         return self.starts[cid + 1] - self.starts[cid]
@@ -199,6 +228,8 @@ class ClauseArena:
         arena.pool = view[offset:offset + pool_len].toreadonly()
         arena.flags = bytearray(num_clauses)
         arena.num_vars = num_vars
+        arena.live_clauses = num_clauses
+        arena.live_words = pool_len
         arena.readonly = True
         arena._shm = shm
         view.release()
@@ -402,7 +433,7 @@ class ArenaPropagator(PropagatorBase):
             return
         if self.arena.length(cid):
             self._detach(cid)
-        self.arena.flags[cid] |= _DELETED
+        self.arena.tombstone(cid)
 
     # -- propagation -------------------------------------------------------
 

@@ -381,7 +381,7 @@ class VectorPropagator(PropagatorBase):
         immutable and possibly physically read-only."""
         if self.arena.flags[cid] & _DELETED:
             return
-        self.arena.flags[cid] |= _DELETED
+        self.arena.tombstone(cid)
         self._detach(cid)
 
     def enqueue(self, enc: int, reason: int | None) -> bool:

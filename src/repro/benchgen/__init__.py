@@ -11,10 +11,20 @@ from repro.benchgen.registry import (
     build_instance,
     instance_names,
 )
+from repro.benchgen.streaming import (
+    deletion_chain,
+    deletion_chain_formula,
+    iter_deletion_chain_events,
+    write_deletion_chain_drup,
+)
 from repro.benchgen.xor_chains import parity_contradiction
 
 __all__ = [
     "pigeonhole",
+    "deletion_chain",
+    "deletion_chain_formula",
+    "iter_deletion_chain_events",
+    "write_deletion_chain_drup",
     "parity_contradiction",
     "random_ksat",
     "random_unsat",

@@ -151,6 +151,53 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_budget_arguments(drup_cmd)
     _add_obs_arguments(drup_cmd)
 
+    stream_cmd = sub.add_parser(
+        "verify-stream",
+        help="forward-check a DRUP trace in one bounded-memory "
+             "streaming pass (chunked parse, deletion-aware "
+             "eviction, checkpoint/resume)")
+    stream_cmd.add_argument("cnf")
+    stream_cmd.add_argument("drup")
+    stream_cmd.add_argument("--engine", default=None,
+                            choices=["watched", "arena", "vector",
+                                     "auto"],
+                            help="BCP engine (counting is rejected: "
+                                 "streaming lives on deletion events)")
+    _add_budget_arguments(stream_cmd)
+    stream_cmd.add_argument("--max-live-clauses", type=int,
+                            default=None, metavar="N",
+                            help="abort with exit code 3 (and a resume "
+                                 "token, with --checkpoint) when the "
+                                 "live proof-added clause set would "
+                                 "exceed N")
+    stream_cmd.add_argument("--max-bytes", type=int, default=None,
+                            metavar="BYTES",
+                            help="same, for the live set's estimated "
+                                 "resident footprint in bytes")
+    stream_cmd.add_argument("--checkpoint", metavar="FILE",
+                            default=None,
+                            help="flush a resume token here (schema "
+                                 "repro.obs.checkpoint/v1) every "
+                                 "--checkpoint-every events and on "
+                                 "interrupt/budget exhaustion; "
+                                 "deleted once a verdict is reached")
+    stream_cmd.add_argument("--checkpoint-every", type=int,
+                            default=None, metavar="N",
+                            help="checkpoint cadence in trace events "
+                                 "(default 5000)")
+    stream_cmd.add_argument("--resume", action="store_true",
+                            help="continue from the --checkpoint "
+                                 "token instead of starting over")
+    stream_cmd.add_argument("--lenient-deletions", action="store_true",
+                            help="skip (with a warning) deletions of "
+                                 "unknown clauses instead of failing "
+                                 "with exit code 65")
+    stream_cmd.add_argument("--chunk-bytes", type=int, default=None,
+                            metavar="BYTES",
+                            help="trace read granularity (default "
+                                 "65536)")
+    _add_obs_arguments(stream_cmd)
+
     obs_cmd = sub.add_parser(
         "obs", help="inspect the run-history store and detect "
                     "regressions")
@@ -215,9 +262,13 @@ def _add_budget_arguments(cmd: argparse.ArgumentParser) -> None:
 
 
 def _budget_from(args: argparse.Namespace) -> CheckBudget | None:
-    if args.timeout is None and args.max_props is None:
+    max_live = getattr(args, "max_live_clauses", None)
+    max_bytes = getattr(args, "max_bytes", None)
+    if args.timeout is None and args.max_props is None \
+            and max_live is None and max_bytes is None:
         return None
-    return CheckBudget(timeout=args.timeout, max_props=args.max_props)
+    return CheckBudget(timeout=args.timeout, max_props=args.max_props,
+                       max_live_clauses=max_live, max_bytes=max_bytes)
 
 
 def _add_obs_arguments(cmd: argparse.ArgumentParser,
@@ -612,6 +663,88 @@ def _cmd_verify_drup(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify_stream(args: argparse.Namespace) -> int:
+    import os
+    import signal
+
+    from repro.verify.streaming import (
+        DEFAULT_CHECKPOINT_EVERY,
+        verify_stream,
+    )
+    from repro.proofs.stream import DEFAULT_CHUNK_BYTES
+
+    if args.resume and args.checkpoint is None:
+        print("c error: --resume requires --checkpoint",
+              file=sys.stderr)
+        return EXIT_ERROR
+    formula = read_dimacs(args.cnf)
+    obs = _obs_from(args)
+
+    def _sigterm(signum, frame):
+        raise KeyboardInterrupt
+
+    # SIGTERM gets the same treatment as ^C: the streaming driver
+    # flushes a resume token before unwinding, so a supervisor kill
+    # is just a pause.  Only install from the main thread (signal
+    # raises ValueError elsewhere, e.g. under embedded use).
+    previous_sigterm = None
+    try:
+        previous_sigterm = signal.signal(signal.SIGTERM, _sigterm)
+    except ValueError:
+        pass
+    try:
+        report = _run_instrumented(
+            args, obs,
+            lambda: verify_stream(
+                formula, args.drup,
+                budget=_budget_from(args),
+                obs=obs,
+                engine_cls=args.engine,
+                checkpoint_path=args.checkpoint,
+                checkpoint_every=(args.checkpoint_every
+                                  if args.checkpoint_every is not None
+                                  else DEFAULT_CHECKPOINT_EVERY),
+                resume=args.resume,
+                lenient_deletions=args.lenient_deletions,
+                chunk_bytes=(args.chunk_bytes
+                             if args.chunk_bytes is not None
+                             else DEFAULT_CHUNK_BYTES)))
+    finally:
+        if previous_sigterm is not None:
+            signal.signal(signal.SIGTERM, previous_sigterm)
+    if report is None:
+        if args.checkpoint is not None \
+                and os.path.exists(args.checkpoint):
+            print(f"c resume token at {args.checkpoint} "
+                  f"(rerun with --resume)")
+        return EXIT_INTERRUPT
+    print(f"s {report.outcome.upper()}")
+    print(f"c additions={report.num_additions} "
+          f"deletions={report.num_deletions} "
+          f"peak_live={report.peak_live_clauses} "
+          f"window_shifts={report.window_shifts} "
+          f"checkpoints={report.checkpoints_written} "
+          f"time={report.verification_time:.3f}s")
+    if report.resumed_from_event is not None:
+        print(f"c resumed from event {report.resumed_from_event}")
+    for warning in report.warnings:
+        print(f"c warning: {warning}")
+    _print_stats_footer(args, report, report.bcp_counters)
+    _write_obs_artifacts(obs, args, report)
+    _record_history(obs, args, report)
+    if report.exhausted:
+        print(f"c budget exhausted: {report.failure_reason}")
+        if report.checkpoint_path is not None:
+            print(f"c resume token at {report.checkpoint_path} "
+                  f"(rerun with --resume)")
+        return EXIT_RESOURCE_LIMIT
+    if not report.ok:
+        print(f"c failed at event {report.failed_event_index}: "
+              f"{report.failure_reason}")
+        return EXIT_PROOF_BAD
+    return 0
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     from repro.obs import HistoryStore, check_regression, compare_runs
     from repro.obs.insight import (
@@ -662,7 +795,7 @@ def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {"solve": _cmd_solve, "verify": _cmd_verify,
                 "core": _cmd_core, "verify-drup": _cmd_verify_drup,
-                "obs": _cmd_obs}
+                "verify-stream": _cmd_verify_stream, "obs": _cmd_obs}
     try:
         return handlers[args.command](args)
     except (DimacsParseError, ProofFormatError) as exc:

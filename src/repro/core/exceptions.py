@@ -33,6 +33,12 @@ class ProofFormatError(ReproError):
     """Raised when a proof file or proof object is structurally malformed."""
 
 
+class CheckpointError(ReproError):
+    """Raised when a streaming-verification resume token is unusable:
+    missing, structurally invalid, or recorded against a different
+    formula/proof than the one being resumed."""
+
+
 class CircuitError(ReproError):
     """Raised on inconsistent circuit construction (unknown nets, arity)."""
 

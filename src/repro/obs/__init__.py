@@ -55,12 +55,14 @@ from repro.obs.registry import (
     MetricsRegistry,
 )
 from repro.obs.schema import (
+    CHECKPOINT_SCHEMA,
     KNOWN_SCHEMAS,
     METRICS_SCHEMA,
     TRACE_SCHEMA,
     deterministic_view,
     validate_analytics,
     validate_any,
+    validate_checkpoint,
     validate_depgraph,
     validate_metrics,
     validate_trace,
@@ -103,6 +105,8 @@ __all__ = [
     "write_depgraph_jsonl",
     "KNOWN_SCHEMAS",
     "METRICS_SCHEMA",
+    "CHECKPOINT_SCHEMA",
+    "validate_checkpoint",
     "TRACE_SCHEMA",
     "DEPGRAPH_SCHEMA",
     "ANALYTICS_SCHEMA",

@@ -12,7 +12,12 @@ Four artifact kinds leave a verification run:
   :mod:`repro.obs.insight.depgraph`);
 * an **analytics document** (``repro.obs.analytics/v1``) — one JSON
   object with the proof-shape quantities of the paper's Section 5
-  (see :mod:`repro.obs.insight.analytics`).
+  (see :mod:`repro.obs.insight.analytics`);
+* a **checkpoint / resume token** (``repro.obs.checkpoint/v1``) — one
+  JSON object recording a streaming verification's trace position,
+  live clause window, and budget spend (see
+  :mod:`repro.verify.streaming`); written atomically mid-run, deleted
+  once a verdict is reached.
 
 :data:`KNOWN_SCHEMAS` maps each schema id to its validator;
 :func:`validate_any` dispatches on a document's declared schema and
@@ -45,6 +50,7 @@ METRICS_SCHEMA = "repro.obs.metrics/v1"
 TRACE_SCHEMA = "repro.obs.trace/v1"
 DEPGRAPH_SCHEMA = "repro.obs.depgraph/v1"
 ANALYTICS_SCHEMA = "repro.obs.analytics/v1"
+CHECKPOINT_SCHEMA = "repro.obs.checkpoint/v1"
 
 _EVENT_TYPES = ("header", "begin", "end", "event")
 
@@ -331,6 +337,46 @@ def validate_analytics(doc) -> list[str]:
     return problems
 
 
+def validate_checkpoint(doc) -> list[str]:
+    """Structural problems of a streaming resume token (empty: valid)."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"checkpoint must be a JSON object, "
+                f"got {type(doc).__name__}"]
+    if doc.get("schema") != CHECKPOINT_SCHEMA:
+        problems.append(f"schema must be {CHECKPOINT_SCHEMA!r}, "
+                        f"got {doc.get('schema')!r}")
+    for key in ("offset", "next_line", "next_index", "additions",
+                "deletions", "peak_live_clauses", "window_shifts"):
+        value = doc.get(key)
+        if not isinstance(value, int) or value < 0:
+            problems.append(f"{key} must be a non-negative int, "
+                            f"got {value!r}")
+    for key in ("formula_sha256", "proof_sha256", "engine"):
+        if not isinstance(doc.get(key), str) or not doc[key]:
+            problems.append(f"{key} must be a non-empty string")
+    deleted = doc.get("deleted_formula_indices")
+    if not isinstance(deleted, list) \
+            or not all(isinstance(i, int) and i >= 0 for i in deleted):
+        problems.append("deleted_formula_indices must be a list of "
+                        "non-negative ints")
+    live = doc.get("live_additions")
+    if not isinstance(live, list) \
+            or not all(isinstance(lits, list)
+                       and all(isinstance(lit, int) and lit != 0
+                               for lit in lits)
+                       for lits in live):
+        problems.append("live_additions must be a list of clauses "
+                        "(lists of non-zero int literals)")
+    spent = doc.get("budget_spent")
+    if not isinstance(spent, dict) \
+            or not isinstance(spent.get("props"), int) \
+            or not isinstance(spent.get("seconds"), (int, float)):
+        problems.append("budget_spent must be "
+                        "{'props': int, 'seconds': number}")
+    return problems
+
+
 # Schema id -> (artifact kind, validator).  JSONL kinds take the parsed
 # line list; JSON kinds take the single document object.
 KNOWN_SCHEMAS = {
@@ -338,6 +384,7 @@ KNOWN_SCHEMAS = {
     TRACE_SCHEMA: ("jsonl", validate_trace),
     DEPGRAPH_SCHEMA: ("jsonl", validate_depgraph),
     ANALYTICS_SCHEMA: ("json", validate_analytics),
+    CHECKPOINT_SCHEMA: ("json", validate_checkpoint),
 }
 
 

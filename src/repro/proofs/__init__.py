@@ -10,8 +10,16 @@ from repro.proofs.drup import (
     DrupProof,
     format_drup,
     parse_drup,
+    parse_drup_line,
     read_drup,
     write_drup,
+)
+from repro.proofs.stream import (
+    DEFAULT_CHUNK_BYTES,
+    DrupStreamReader,
+    StreamedEvent,
+    iter_drup_file,
+    read_drup_chunked,
 )
 from repro.proofs.log import ProofLog, ProofStep
 from repro.proofs.resolution import (
@@ -53,8 +61,14 @@ __all__ = [
     "DrupEvent",
     "format_drup",
     "parse_drup",
+    "parse_drup_line",
     "read_drup",
     "write_drup",
+    "DrupStreamReader",
+    "StreamedEvent",
+    "iter_drup_file",
+    "read_drup_chunked",
+    "DEFAULT_CHUNK_BYTES",
     "parse_proof",
     "read_proof",
     "write_proof",

@@ -100,31 +100,44 @@ def format_drup(proof: DrupProof, comment: str | None = None) -> str:
     return out.getvalue()
 
 
+def parse_drup_line(raw_line: str,
+                    line_number: int) -> DrupEvent | None:
+    """Parse one DRUP text line into an event (None: comment/blank).
+
+    Shared by the whole-text :func:`parse_drup` and the chunked
+    :class:`repro.proofs.stream.DrupStreamReader`, so both surfaces
+    raise byte-identical :class:`ProofFormatError` diagnostics.
+    """
+    line = raw_line.strip()
+    if not line or line.startswith("c"):
+        return None
+    kind = ADD
+    if line.startswith("d ") or line == "d":
+        kind = DELETE
+        line = line[1:].strip()
+    tokens = line.split()
+    if not tokens or tokens[-1] != "0":
+        raise ProofFormatError(
+            f"line {line_number}: missing terminating 0")
+    try:
+        literals = tuple(int(token) for token in tokens[:-1])
+    except ValueError as exc:
+        raise ProofFormatError(
+            f"line {line_number}: bad literal in {raw_line!r}"
+        ) from exc
+    if any(lit == 0 for lit in literals):
+        raise ProofFormatError(
+            f"line {line_number}: 0 inside a clause body")
+    return DrupEvent(kind, literals)
+
+
 def parse_drup(text: str) -> DrupProof:
     """Parse DRUP text into an event stream."""
     events: list[DrupEvent] = []
     for line_number, raw_line in enumerate(text.splitlines(), start=1):
-        line = raw_line.strip()
-        if not line or line.startswith("c"):
-            continue
-        kind = ADD
-        if line.startswith("d ") or line == "d":
-            kind = DELETE
-            line = line[1:].strip()
-        tokens = line.split()
-        if not tokens or tokens[-1] != "0":
-            raise ProofFormatError(
-                f"line {line_number}: missing terminating 0")
-        try:
-            literals = tuple(int(token) for token in tokens[:-1])
-        except ValueError as exc:
-            raise ProofFormatError(
-                f"line {line_number}: bad literal in {raw_line!r}"
-            ) from exc
-        if any(lit == 0 for lit in literals):
-            raise ProofFormatError(
-                f"line {line_number}: 0 inside a clause body")
-        events.append(DrupEvent(kind, literals))
+        event = parse_drup_line(raw_line, line_number)
+        if event is not None:
+            events.append(event)
     return DrupProof(events)
 
 

@@ -1,7 +1,12 @@
-"""Fault-injection tooling: adversarial mutation of known-good proofs.
+"""Fault-injection tooling.
 
-See :mod:`repro.testing.mutate` for the operator roster and the
-differential driver.
+Two complementary harnesses:
+
+* :mod:`repro.testing.mutate` — adversarial mutation of known-good
+  proofs (logical faults: the checkers must reject);
+* :mod:`repro.testing.faults` — operational faults against the
+  streaming verifier's process envelope (truncation, corruption,
+  signals, budgets, worker death: typed exit codes, never tracebacks).
 """
 
 from repro.testing.mutate import (
@@ -21,7 +26,24 @@ from repro.testing.mutate import (
     run_differential,
 )
 
+# Lazy so `python -m repro.testing.faults` does not import the module
+# twice (once for the package, once for runpy).
+_FAULT_EXPORTS = ("SCENARIOS", "FaultOutcome", "run_suite")
+
+
+def __getattr__(name: str):
+    if name in _FAULT_EXPORTS:
+        from repro.testing import faults
+
+        return getattr(faults, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
+    "SCENARIOS",
+    "FaultOutcome",
+    "run_suite",
     "ProofMutator",
     "ProofMutation",
     "MutationVerdict",

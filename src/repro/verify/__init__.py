@@ -14,6 +14,13 @@ from repro.verify.report import (
     VerificationStats,
 )
 from repro.verify.forward import ForwardCheckReport, check_drup
+from repro.verify.streaming import (
+    CHECKPOINT_SCHEMA,
+    StreamingCheckReport,
+    load_checkpoint,
+    validate_checkpoint,
+    verify_stream,
+)
 from repro.verify.reconstruct import (
     ReconstructionResult,
     reconstruct_resolution_graph,
@@ -32,6 +39,11 @@ __all__ = [
     "trim_proof",
     "check_drup",
     "ForwardCheckReport",
+    "verify_stream",
+    "StreamingCheckReport",
+    "load_checkpoint",
+    "validate_checkpoint",
+    "CHECKPOINT_SCHEMA",
     "TrimResult",
     "reconstruct_resolution_graph",
     "ReconstructionResult",

@@ -51,6 +51,39 @@ class TestClauseArena:
         # length() reads the offsets; the propagator's clause_len is
         # the flag-aware accessor.
 
+    def test_live_accounting(self):
+        """The streaming window-shift trigger reads these counters:
+        appends grow them, tombstones shrink them, idempotently."""
+        arena = ClauseArena()
+        arena.append(enc_clause([1, 2, 3]))
+        arena.append(enc_clause([-1]))
+        assert arena.live_clauses == 2
+        assert arena.live_words == 4
+        assert arena.dead_words == 0
+        bytes_before = arena.live_bytes()
+        assert bytes_before == (4 + 2) * arena.pool.itemsize
+
+        arena.tombstone(0)
+        assert arena.live_clauses == 1
+        assert arena.live_words == 1
+        assert arena.dead_words == 3
+        assert arena.live_bytes() < bytes_before
+        # The pool itself never shrinks — only the live view does.
+        assert len(arena.pool) == 4
+
+        arena.tombstone(0)     # idempotent: no double decrement
+        assert arena.live_clauses == 1
+        assert arena.live_words == 1
+
+    def test_remove_clause_tombstones(self):
+        propagator = ArenaPropagator(3)
+        cid = propagator.add_clause(enc_clause([1, 2, 3]),
+                                    propagate_units=False)
+        live_before = propagator.arena.live_clauses
+        propagator.remove_clause(cid)
+        assert propagator.arena.live_clauses == live_before - 1
+        assert propagator.clause_len(cid) == 0
+
 
 class TestBuildArena:
     def test_layout_matches_checker_cids(self):

@@ -57,6 +57,31 @@ class TestCheckBudget:
         rebased = meter.rebase(PropagationCounters())
         assert rebased.deadline == meter.deadline
 
+    def test_memory_axis_validation(self):
+        with pytest.raises(ValueError):
+            CheckBudget(max_live_clauses=0)
+        with pytest.raises(ValueError):
+            CheckBudget(max_live_clauses=-1)
+        with pytest.raises(ValueError):
+            CheckBudget(max_bytes=0)
+        assert not CheckBudget(max_live_clauses=5).unlimited
+        assert not CheckBudget(max_bytes=1024).unlimited
+
+    def test_memory_axes_trip_only_when_measured(self):
+        """The memory axes are opt-in per call: a caller that never
+        reports live totals (the non-streaming checkers) cannot trip
+        them."""
+        counters = PropagationCounters()
+        meter = CheckBudget(max_live_clauses=3,
+                            max_bytes=100).start(counters)
+        assert meter.exhausted(counters) is None
+        assert meter.exhausted(counters, live_clauses=3) is None
+        reason = meter.exhausted(counters, live_clauses=4)
+        assert reason is not None and "live-clause budget" in reason
+        assert meter.exhausted(counters, live_bytes=100) is None
+        reason = meter.exhausted(counters, live_bytes=101)
+        assert reason is not None and "memory budget" in reason
+
 
 class TestBudgetedVerification:
     @pytest.mark.parametrize("order", ["backward", "forward"])

@@ -172,6 +172,91 @@ class TestMutationSweep:
             assert matrices[engine] == baseline
 
 
+class TestDeletionParity:
+    """Deletion handling is part of the engine contract: the streaming
+    checker's verdict, counts, and cumulative props must not depend on
+    which removal-capable engine ran, and the counting engine (which
+    cannot remove) must be refused identically everywhere."""
+
+    REMOVAL = [e for e in ("watched", "arena", "vector")
+               if e in ENGINES]
+
+    @pytest.fixture(scope="class")
+    def chain_files(self, tmp_path_factory):
+        from repro.benchgen.streaming import (
+            deletion_chain_formula,
+            write_deletion_chain_drup,
+        )
+        from repro.core.dimacs import read_dimacs, write_dimacs
+
+        tmp = tmp_path_factory.mktemp("chain")
+        cnf, drup = tmp / "chain.cnf", tmp / "chain.drup"
+        write_dimacs(deletion_chain_formula(300), cnf)
+        write_deletion_chain_drup(drup, 300, window=4)
+        return read_dimacs(cnf), drup
+
+    def test_streaming_identity(self, chain_files):
+        from repro.verify.streaming import verify_stream
+
+        formula, drup = chain_files
+        identities = {}
+        for engine in self.REMOVAL:
+            report = verify_stream(formula, drup, engine_cls=engine)
+            identities[engine] = (
+                report.outcome, report.num_additions,
+                report.num_deletions, report.peak_live_clauses,
+                report.window_shifts,
+                report.bcp_counters["assignments"])
+        assert len(set(identities.values())) == 1, identities
+
+    def test_streaming_matches_forward(self, chain_files, solved):
+        from repro.proofs.drup import write_drup
+        from repro.verify.streaming import verify_stream
+
+        # The solver's own deletion-free trace, plus the deletion
+        # chain: streaming and in-memory forward checking agree on
+        # both, for every removal engine.
+        formula, drup = chain_files
+        for engine in self.REMOVAL:
+            streamed = verify_stream(formula, drup, engine_cls=engine)
+            from repro.proofs.drup import read_drup
+
+            in_memory = check_drup(formula, read_drup(drup),
+                                   engine_cls=engine)
+            assert streamed.outcome == in_memory.outcome
+            assert streamed.num_deletions == in_memory.num_deletions
+
+    def test_counting_refused_by_stream_and_forward(self, chain_files):
+        from repro.proofs.drup import read_drup
+        from repro.verify.streaming import verify_stream
+
+        formula, drup = chain_files
+        with pytest.raises(ValueError, match="does not support"):
+            verify_stream(formula, drup, engine_cls="counting")
+        with pytest.raises(ValueError, match="deletion"):
+            check_drup(formula, read_drup(drup),
+                       engine_cls="counting")
+
+    @pytest.mark.skipif(not fork_available(),
+                        reason="needs both fork and spawn")
+    @pytest.mark.parametrize("engine", [
+        e for e in ("arena", "vector") if e in ENGINES])
+    def test_tombstones_cross_fork_and_spawn(self, solved,
+                                             monkeypatch, engine):
+        """Parallel v1 ships the clause arena over shared memory; a
+        tombstone-aware arena must produce the same verdict whether
+        the workers forked or spawned."""
+        formula, proof, _ = solved
+        identities = {}
+        for method in ("fork", "spawn"):
+            monkeypatch.setenv("REPRO_START_METHOD", method)
+            report = verify_proof_v1(formula, proof, engine,
+                                     mode="incremental", jobs=2)
+            identities[method] = _v1_identity(report)
+        monkeypatch.delenv("REPRO_START_METHOD")
+        assert identities["fork"] == identities["spawn"]
+
+
 class TestStartMethodIdentity:
     """``--jobs N`` must produce identical reports whether the pool
     forks or spawns — the shared-memory arena is the transport that

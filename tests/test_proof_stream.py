@@ -1,0 +1,123 @@
+"""Chunked, resumable DRUP trace reading (:mod:`repro.proofs.stream`).
+
+The stream reader is a differential twin of :func:`read_drup`: over any
+well-formed trace, at any chunk size, it must yield the same events —
+plus byte-exact resume offsets and typed errors for torn or rotten
+files (the operational faults :mod:`repro.testing.faults` injects at
+process level).
+"""
+
+import pytest
+
+from repro.core.exceptions import ProofFormatError
+from repro.proofs.drup import ADD, DELETE, format_drup, read_drup
+from repro.proofs.stream import (
+    DrupStreamReader,
+    iter_drup_file,
+    read_drup_chunked,
+)
+
+TRACE = """\
+c a comment line
+1 2 0
+c deletions interleave with additions
+
+d 1 2 0
+-3 0
+d -3 0
+5 -6 7 0
+0
+"""
+
+
+@pytest.fixture
+def trace_path(tmp_path):
+    path = tmp_path / "trace.drup"
+    path.write_text(TRACE)
+    return path
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("chunk_bytes", [1, 2, 3, 7, 64, 1 << 16])
+    def test_matches_read_drup(self, trace_path, chunk_bytes):
+        whole = read_drup(trace_path)
+        chunked = read_drup_chunked(trace_path,
+                                    chunk_bytes=chunk_bytes)
+        assert list(chunked.events) == list(whole.events)
+
+    @pytest.mark.parametrize("chunk_bytes", [1, 5, 4096])
+    def test_roundtrip_formatted_trace(self, tmp_path, chunk_bytes):
+        path = tmp_path / "rt.drup"
+        path.write_text(TRACE)
+        proof = read_drup(path)
+        path.write_text(format_drup(proof))
+        again = read_drup_chunked(path, chunk_bytes=chunk_bytes)
+        assert list(again.events) == list(proof.events)
+
+    def test_event_kinds_and_indices(self, trace_path):
+        events = list(iter_drup_file(trace_path))
+        assert [s.index for s in events] == list(range(6))
+        assert [s.event.kind for s in events] == [
+            ADD, DELETE, ADD, DELETE, ADD, ADD]
+        assert events[-1].event.literals == ()
+
+    def test_no_trailing_newline(self, tmp_path):
+        path = tmp_path / "bare.drup"
+        path.write_text("1 0\n0")
+        events = [s.event for s in iter_drup_file(path)]
+        assert [e.literals for e in events] == [(1,), ()]
+
+
+class TestResume:
+    def test_offsets_reproduce_every_suffix(self, trace_path):
+        events = list(iter_drup_file(trace_path, chunk_bytes=4))
+        for cut in range(len(events)):
+            at = events[cut]
+            suffix = list(iter_drup_file(
+                trace_path, start_offset=at.offset,
+                start_line=at.line_number + 1,
+                start_index=at.index + 1, chunk_bytes=4))
+            assert [(s.index, s.event) for s in suffix] \
+                == [(s.index, s.event) for s in events[cut + 1:]]
+
+    def test_offset_points_past_the_line(self, trace_path):
+        data = trace_path.read_bytes()
+        for streamed in iter_drup_file(trace_path):
+            prefix = data[:streamed.offset]
+            assert prefix.endswith(b"\n") or streamed.offset == len(
+                data)
+
+
+class TestTornFiles:
+    def test_truncated_final_clause(self, tmp_path):
+        path = tmp_path / "torn.drup"
+        path.write_text("1 2 0\n-3 ")
+        with pytest.raises(ProofFormatError,
+                           match="truncated trace"):
+            list(iter_drup_file(path))
+
+    def test_missing_zero_midfile_names_its_line(self, tmp_path):
+        path = tmp_path / "bad.drup"
+        path.write_text("1 2 0\n3 4\n5 0\n")
+        with pytest.raises(ProofFormatError, match="line 2"):
+            list(iter_drup_file(path))
+
+    def test_undecodable_bytes(self, tmp_path):
+        path = tmp_path / "rot.drup"
+        path.write_bytes(b"1 2 0\n\xff\xfe 0\n")
+        with pytest.raises(ProofFormatError, match="undecodable"):
+            list(iter_drup_file(path))
+
+    @pytest.mark.parametrize("chunk_bytes", [1, 3, 1 << 16])
+    def test_errors_independent_of_chunking(self, tmp_path,
+                                            chunk_bytes):
+        path = tmp_path / "torn.drup"
+        path.write_text("1 0\nd 1")
+        with pytest.raises(ProofFormatError):
+            list(iter_drup_file(path, chunk_bytes=chunk_bytes))
+
+    def test_reader_is_reiterable(self, trace_path):
+        reader = DrupStreamReader(trace_path, chunk_bytes=8)
+        first = [s.event for s in reader]
+        second = [s.event for s in reader]
+        assert first == second
