@@ -191,6 +191,27 @@ def bench_records(instances, jobs: int, repeats: int = 3,
                 times.append(report.verification_time)
             stats = (report.stats.as_dict()
                      if report.stats is not None else None)
+            # Parallel variants get one extra *untimed* traced run so
+            # the record carries pool attribution (utilization, skew,
+            # stragglers) without instrumenting the timed repeats.
+            attribution = None
+            if used_jobs > 1:
+                from repro.obs import Tracer
+                from repro.obs.timeline import attribution_summary
+
+                traced = Obs(tracer=Tracer())
+                attributed = run_variant(data.formula, data.proof,
+                                         variant, used_jobs,
+                                         obs=traced)
+                assert attributed.ok
+                attribution = attribution_summary(traced.tracer.events)
+                if attribution is not None:
+                    # The per-shard rows are bulky; the trend log only
+                    # needs the pool-efficiency summary.
+                    attribution = {
+                        k: attribution[k]
+                        for k in ("utilization", "skew_ratio",
+                                  "workers")}
             median = statistics.median(times)
             records.append({
                 "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ",
@@ -207,6 +228,7 @@ def bench_records(instances, jobs: int, repeats: int = 3,
                 "times": [round(t, 6) for t in times],
                 "counters": report.bcp_counters,
                 "stats": stats,
+                "attribution": attribution,
             })
             print(f"{name:<10} {variant:<15} jobs={report.jobs} "
                   f"engine={report.engine} "

@@ -20,6 +20,7 @@ traceback.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.core.dimacs import read_dimacs, write_dimacs
@@ -199,8 +200,8 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_obs_arguments(stream_cmd)
 
     obs_cmd = sub.add_parser(
-        "obs", help="inspect the run-history store and detect "
-                    "regressions")
+        "obs", help="inspect run history, timelines, and live runs; "
+                    "detect regressions")
     obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
 
     history_cmd = obs_sub.add_parser(
@@ -211,6 +212,56 @@ def _build_parser() -> argparse.ArgumentParser:
                              metavar="N",
                              help="show at most the N newest runs "
                                   "(default 20)")
+    history_sub = history_cmd.add_subparsers(dest="history_command",
+                                             required=False)
+    prune_cmd = history_sub.add_parser(
+        "prune", help="drop all but the newest N fingerprints "
+                      "(atomic rewrite)")
+    prune_cmd.add_argument("--keep", type=int, required=True,
+                           metavar="N",
+                           help="fingerprints to keep (newest first)")
+    # SUPPRESS so a --history-dir given before 'prune' survives the
+    # subparser's defaults pass.
+    prune_cmd.add_argument("--history-dir", metavar="DIR",
+                           default=argparse.SUPPRESS)
+
+    timeline_cmd = obs_sub.add_parser(
+        "timeline",
+        help="reconstruct a trace into a global timeline: lanes, "
+             "utilization, shard skew, critical path, attribution")
+    timeline_cmd.add_argument("trace", metavar="TRACE.jsonl",
+                              help="a repro.obs.trace/v1 file "
+                                   "(--trace-out of a run)")
+    timeline_cmd.add_argument("--out", metavar="PATH", default=None,
+                              help="write the repro.obs.timeline/v1 "
+                                   "JSON document here")
+    timeline_cmd.add_argument("--html", metavar="PATH", default=None,
+                              help="write a self-contained Gantt+"
+                                   "critical-path HTML rendering here")
+    timeline_cmd.add_argument("--top", type=int, default=5, metavar="N",
+                              help="straggler rows in the attribution "
+                                   "section (default 5)")
+    timeline_cmd.add_argument("--quiet", action="store_true",
+                              help="suppress the text rendering on "
+                                   "stdout")
+
+    top_cmd = obs_sub.add_parser(
+        "top", help="show in-flight runs from their live status files")
+    top_cmd.add_argument("--live-dir", metavar="DIR",
+                         default=None,
+                         help="live status directory (default: "
+                              "$REPRO_LIVE_DIR or .repro/live)")
+    top_cmd.add_argument("--follow", action="store_true",
+                         help="keep refreshing until every run is "
+                              "done or stale (Ctrl-C to stop)")
+    top_cmd.add_argument("--interval", type=float, default=2.0,
+                         metavar="SECONDS",
+                         help="refresh interval with --follow "
+                              "(default 2.0)")
+    top_cmd.add_argument("--stale-after", type=float, default=30.0,
+                         metavar="SECONDS",
+                         help="mark a run stale after this long "
+                              "without a heartbeat (default 30)")
 
     compare_cmd = obs_sub.add_parser(
         "compare", help="per-metric delta table between two runs")
@@ -247,6 +298,12 @@ def _build_parser() -> argparse.ArgumentParser:
                              metavar="PCT",
                              help="fail when any phase time grew more "
                                   "than PCT%%")
+    regress_cmd.add_argument("--min-utilization", type=float,
+                             default=None, metavar="PCT",
+                             help="fail when the current run's "
+                                  "recorded worker utilization is "
+                                  "below PCT%% (parallel runs with an "
+                                  "attribution section)")
     return parser
 
 
@@ -302,6 +359,11 @@ def _add_obs_arguments(cmd: argparse.ArgumentParser,
     group.add_argument("--no-history", action="store_true",
                        help="do not append this run's fingerprint to "
                             "the history store")
+    group.add_argument("--live-dir", metavar="DIR",
+                       default=os.environ.get("REPRO_LIVE_DIR"),
+                       help="write a live status file here on every "
+                            "progress beat, for 'repro obs top' "
+                            "(default: $REPRO_LIVE_DIR)")
     if insight:
         group.add_argument("--depgraph-out", metavar="PATH",
                            default=None,
@@ -334,16 +396,26 @@ def _obs_from(args: argparse.Namespace) -> Obs | None:
     from repro.obs import DepGraphRecorder, MetricsRegistry, Tracer
 
     wants_metrics = (args.metrics_out is not None or args.stats)
-    wants_trace = args.trace_out is not None
+    # Parallel runs that will record history also get a tracer: its
+    # shard-granularity spans are what the history ``attribution``
+    # section (utilization / skew gating) is computed from, at a cost
+    # of a few events per shard — nothing on the per-check hot path.
+    wants_trace = (args.trace_out is not None
+                   or ((getattr(args, "jobs", 1) or 1) > 1
+                       and not getattr(args, "no_history", True)))
     wants_depgraph = _wants_insight(args)
+    live_dir = getattr(args, "live_dir", None)
     if not (wants_metrics or wants_trace or args.progress
-            or wants_depgraph):
+            or wants_depgraph or live_dir is not None):
         return None
     return Obs(
         metrics=MetricsRegistry() if wants_metrics else None,
         tracer=Tracer() if wants_trace else None,
         progress_stream=sys.stderr if args.progress else None,
-        depgraph=DepGraphRecorder() if wants_depgraph else None)
+        depgraph=DepGraphRecorder() if wants_depgraph else None,
+        live_dir=live_dir,
+        live_meta={"command": args.command,
+                   "instance": getattr(args, "cnf", None)})
 
 
 def _write_obs_artifacts(obs: Obs | None, args: argparse.Namespace,
@@ -424,15 +496,27 @@ def _write_insight_artifacts(obs: Obs | None, args: argparse.Namespace,
 
 def _record_history(obs: Obs | None, args: argparse.Namespace, report,
                     analytics=None) -> None:
-    """Append this run's fingerprint to the history store."""
+    """Append this run's fingerprint to the history store.
+
+    Parallel runs that traced their shards also get an ``attribution``
+    section (utilization, skew, per-shard cost, top stragglers), so
+    ``obs compare``/``check-regression`` can gate on pool efficiency,
+    not just wall time.
+    """
     if report is None or getattr(args, "no_history", True):
         return
     from repro.obs import HistoryStore, fingerprint, make_run_id
 
+    attribution = None
+    if obs is not None and obs.tracer is not None:
+        from repro.obs.timeline import attribution_summary
+
+        attribution = attribution_summary(obs.tracer.events)
     record = fingerprint(
         report,
         run_id=obs.run_id if obs is not None else make_run_id(),
-        command=args.command, instance=args.cnf, analytics=analytics)
+        command=args.command, instance=args.cnf, analytics=analytics,
+        attribution=attribution)
     HistoryStore(args.history_dir).append(record)
 
 
@@ -745,6 +829,54 @@ def _cmd_verify_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_timeline(args: argparse.Namespace) -> int:
+    from repro.obs import read_jsonl
+    from repro.obs.timeline import (
+        build_timeline,
+        render_timeline_html,
+        render_timeline_text,
+        write_timeline_json,
+    )
+
+    events = read_jsonl(args.trace)
+    doc = build_timeline(events, top=args.top)
+    if args.out is not None:
+        write_timeline_json(doc, args.out)
+        print(f"c timeline written to {args.out}")
+    if args.html is not None:
+        from repro.obs import atomic_write_text
+
+        atomic_write_text(args.html, render_timeline_html(doc))
+        print(f"c timeline HTML written to {args.html}")
+    if not args.quiet:
+        print(render_timeline_text(doc), end="")
+    return 0
+
+
+def _cmd_obs_top(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.obs.live import (
+        all_settled,
+        format_top_table,
+        read_live_statuses,
+    )
+
+    live_dir = (args.live_dir or os.environ.get("REPRO_LIVE_DIR")
+                or os.path.join(DEFAULT_HISTORY_DIR, "live"))
+    while True:
+        statuses = read_live_statuses(live_dir)
+        now = _time.time()
+        print(format_top_table(statuses, now=now,
+                               stale_after=args.stale_after), end="")
+        if not args.follow:
+            return 0
+        if statuses and all_settled(statuses, now=now,
+                                    stale_after=args.stale_after):
+            return 0
+        _time.sleep(args.interval)
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     from repro.obs import HistoryStore, check_regression, compare_runs
     from repro.obs.insight import (
@@ -752,10 +884,18 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         format_history,
         load_fingerprint,
     )
-    import os
 
+    if args.obs_command == "timeline":
+        return _cmd_obs_timeline(args)
+    if args.obs_command == "top":
+        return _cmd_obs_top(args)
     store = HistoryStore(args.history_dir)
     if args.obs_command == "history":
+        if getattr(args, "history_command", None) == "prune":
+            removed = store.prune(args.keep)
+            print(f"c history pruned: {removed} fingerprint(s) "
+                  f"removed, {min(args.keep, len(store.read()))} kept")
+            return 0
         print(format_history(store.read(), limit=args.limit))
         return 0
 
@@ -775,7 +915,8 @@ def _cmd_obs(args: argparse.Namespace) -> int:
             baseline, current,
             max_wall_pct=args.max_wall_pct,
             max_props_drop_pct=args.max_props_drop_pct,
-            max_phase_pct=args.max_phase_pct)
+            max_phase_pct=args.max_phase_pct,
+            min_utilization_pct=args.min_utilization)
     except LookupError as exc:
         print(f"c error: {exc}", file=sys.stderr)
         return EXIT_ERROR

@@ -5,8 +5,14 @@ A zero-dependency observability layer for the verification pipeline:
 * :class:`MetricsRegistry` with :class:`Counter` / :class:`Gauge` /
   :class:`Histogram` and associative snapshot merging (worker
   aggregation);
-* :class:`Tracer` spans emitting a structured JSONL event log;
-* :class:`ProgressReporter` heartbeat lines;
+* :class:`Tracer` spans emitting a structured JSONL event log with a
+  cross-process trace context (``trace_id`` + monotonic/wall epoch
+  anchors rebased into pool workers);
+* the :mod:`repro.obs.timeline` reconstructor — one global timeline
+  per trace with utilization, idle gaps, shard skew, critical path,
+  and per-shard attribution;
+* :class:`ProgressReporter` heartbeat lines, optionally mirrored to
+  :mod:`repro.obs.live` status files for ``repro obs top``;
 * exporters (JSON summary, Prometheus text, ``c stats:`` footer) and
   schema validators for every artifact kind;
 * the :mod:`repro.obs.insight` subpackage — proof dependency graphs,
@@ -45,6 +51,11 @@ from repro.obs.insight import (
     write_depgraph_dot,
     write_depgraph_jsonl,
 )
+from repro.obs.live import (
+    LiveStatusWriter,
+    format_top_table,
+    read_live_statuses,
+)
 from repro.obs.progress import ProgressReporter
 from repro.obs.registry import (
     DEFAULT_TIME_BUCKETS,
@@ -57,17 +68,35 @@ from repro.obs.registry import (
 from repro.obs.schema import (
     CHECKPOINT_SCHEMA,
     KNOWN_SCHEMAS,
+    LIVE_SCHEMA,
     METRICS_SCHEMA,
+    TIMELINE_SCHEMA,
     TRACE_SCHEMA,
     deterministic_view,
     validate_analytics,
     validate_any,
     validate_checkpoint,
     validate_depgraph,
+    validate_live,
     validate_metrics,
+    validate_timeline,
     validate_trace,
 )
-from repro.obs.spans import Tracer, make_run_id, read_jsonl
+from repro.obs.spans import (
+    Tracer,
+    make_run_id,
+    make_trace_id,
+    read_jsonl,
+    rebase_epoch,
+    worker_tracer,
+)
+from repro.obs.timeline import (
+    attribution_summary,
+    build_timeline,
+    render_timeline_html,
+    render_timeline_text,
+    write_timeline_json,
+)
 
 __all__ = [
     "Obs",
@@ -114,4 +143,19 @@ __all__ = [
     "METRICS_FORMATS",
     "DEFAULT_TIME_BUCKETS",
     "DEFAULT_WORK_BUCKETS",
+    "TIMELINE_SCHEMA",
+    "LIVE_SCHEMA",
+    "validate_timeline",
+    "validate_live",
+    "make_trace_id",
+    "rebase_epoch",
+    "worker_tracer",
+    "build_timeline",
+    "attribution_summary",
+    "render_timeline_text",
+    "render_timeline_html",
+    "write_timeline_json",
+    "LiveStatusWriter",
+    "read_live_statuses",
+    "format_top_table",
 ]

@@ -48,7 +48,9 @@ class Obs:
                  progress_stream=None,
                  progress_interval: float = 0.5,
                  run_id: str | None = None,
-                 depgraph=None):
+                 depgraph=None,
+                 live_dir=None,
+                 live_meta: dict | None = None):
         if run_id is None:
             run_id = tracer.run_id if tracer is not None else make_run_id()
         self.run_id = run_id
@@ -57,7 +59,13 @@ class Obs:
         self.depgraph = depgraph
         self.progress_stream = progress_stream
         self.progress_interval = progress_interval
-        self.wants_progress = progress_stream is not None
+        # The live view rides the progress heartbeat: a live_dir turns
+        # progress on even without a console stream (console stays
+        # quiet, the status file still updates — see repro.obs.live).
+        self.live_dir = live_dir
+        self.live_meta = dict(live_meta or {})
+        self.wants_progress = (progress_stream is not None
+                               or live_dir is not None)
         self.started = time.perf_counter()
 
     @classmethod
@@ -171,9 +179,18 @@ class Obs:
                           label: str = "checks") -> ProgressReporter | None:
         if not self.wants_progress:
             return None
+        status_writer = None
+        if self.live_dir is not None:
+            from repro.obs.live import LiveStatusWriter
+
+            status_writer = LiveStatusWriter(
+                self.live_dir, self.run_id, meta=self.live_meta)
         return ProgressReporter(total, label=label,
                                 stream=self.progress_stream,
-                                interval=self.progress_interval)
+                                interval=self.progress_interval,
+                                status_writer=status_writer,
+                                console=self.progress_stream
+                                is not None)
 
     # -- timed phases ------------------------------------------------------
 

@@ -82,19 +82,58 @@ def _format_value(value: float) -> str:
     return repr(value) if isinstance(value, float) else str(value)
 
 
+def sanitize_metric_name(name: str) -> str:
+    """Coerce a name into the Prometheus charset
+    ``[a-zA-Z_:][a-zA-Z0-9_:]*``.
+
+    Invalid characters become ``_``; a leading digit gets a ``_``
+    prefix; an empty name becomes ``_``.  The registry doesn't
+    restrict names (library users put dots and dashes in theirs), so
+    the exporter owns the coercion — scrapers reject a whole
+    exposition over one bad name.
+    """
+    cleaned = "".join(
+        ch if (ch.isascii() and (ch.isalnum() or ch in "_:"))
+        else "_" for ch in name)
+    if not cleaned:
+        return "_"
+    if cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def escape_help_text(text: str) -> str:
+    """Escape a ``# HELP`` line per the exposition format: backslash
+    and newline."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format: backslash,
+    double quote, newline."""
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
 def prometheus_text(registry: MetricsRegistry) -> str:
     """The registry in the Prometheus exposition text format.
 
     Histograms follow the convention: cumulative ``_bucket`` series
     with ``le`` labels (ending at ``le="+Inf"``), plus ``_sum`` and
     ``_count``.  Gauge maxima are exported as a sibling ``_max``
-    gauge.
+    gauge.  Names are sanitized into the Prometheus charset, counters
+    get the conventional ``_total`` suffix if they lack one, and HELP
+    text is escaped — one odd metric must not invalidate the whole
+    exposition.
     """
     lines: list[str] = []
     for metric in registry:
-        name = metric.name
+        name = sanitize_metric_name(metric.name)
+        if metric.kind == "counter" and not name.endswith("_total"):
+            name += "_total"
         if metric.help:
-            lines.append(f"# HELP {name} {metric.help}")
+            lines.append(
+                f"# HELP {name} {escape_help_text(metric.help)}")
         if metric.kind == "counter":
             lines.append(f"# TYPE {name} counter")
             lines.append(f"{name} {metric.value}")

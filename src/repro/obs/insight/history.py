@@ -79,12 +79,16 @@ def _engine_kernel(engine: str | None) -> str | None:
 def fingerprint(report, *, run_id: str, command: str,
                 instance: str | None = None,
                 analytics=None,
-                wall_time: float | None = None) -> dict:
+                wall_time: float | None = None,
+                attribution: dict | None = None) -> dict:
     """A run's history record, from its report (and optional analytics).
 
     ``wall_time`` defaults to the report's ``verification_time``;
     ``analytics`` is a :class:`~repro.obs.insight.analytics.
-    ProofShapeAnalytics` (or ``None`` when insight capture was off).
+    ProofShapeAnalytics` (or ``None`` when insight capture was off);
+    ``attribution`` is the compact parallel-run summary from
+    :func:`repro.obs.timeline.attribution_summary` (``None`` for
+    sequential runs or runs without tracing).
     """
     wall = report.verification_time if wall_time is None else wall_time
     stats = report.stats
@@ -115,6 +119,7 @@ def fingerprint(report, *, run_id: str, command: str,
                          in stats.phase_times.items()}
                         if stats is not None else {}),
         "analytics": None,
+        "attribution": attribution,
     }
     if analytics is not None:
         shape = analytics.as_dict()
@@ -163,6 +168,31 @@ class HistoryStore:
                         and record.get("schema") == RUN_SCHEMA:
                     records.append(record)
         return records
+
+    def prune(self, keep: int) -> int:
+        """Drop all but the newest ``keep`` fingerprints; returns how
+        many were removed.
+
+        The store is append-only and otherwise grows without bound —
+        one line per CLI run adds up on a box running benchmarks in a
+        loop.  The rewrite is atomic (tmp + replace, like every
+        artifact writer), so a concurrent reader sees either the old
+        or the new store, never a torn one.  A concurrent *appender*
+        racing the replace can lose its line — prune is an operator
+        action, not something to run under live traffic.
+        """
+        if keep < 0:
+            raise ValueError(f"keep must be >= 0, got {keep}")
+        records = self.read()
+        if len(records) <= keep:
+            return 0
+        kept = records[len(records) - keep:]
+        from repro.obs.export import atomic_write_text
+
+        text = "".join(json.dumps(record, sort_keys=True) + "\n"
+                       for record in kept)
+        atomic_write_text(self.path, text)
+        return len(records) - keep
 
     def select(self, selector: str) -> dict:
         """Resolve an index (``-1``, ``2``) or run-id prefix to a run."""
@@ -243,6 +273,17 @@ def compare_runs(a: dict, b: dict) -> list[dict]:
         for key in sorted(set(shape_a) | set(shape_b)):
             rows.append(row(f"analytics:{key}", shape_a.get(key),
                             shape_b.get(key), 0))
+    attr_a, attr_b = a.get("attribution"), b.get("attribution")
+    if attr_a and attr_b:
+        rows.append(row("attribution:utilization",
+                        attr_a.get("utilization"),
+                        attr_b.get("utilization"), -1))
+        rows.append(row("attribution:skew_ratio",
+                        attr_a.get("skew_ratio"),
+                        attr_b.get("skew_ratio"), +1))
+        rows.append(row("attribution:workers",
+                        attr_a.get("workers"),
+                        attr_b.get("workers"), 0))
     return rows
 
 
@@ -283,7 +324,9 @@ def format_compare_table(a: dict, b: dict,
 def check_regression(baseline: dict, current: dict, *,
                      max_wall_pct: float | None = None,
                      max_props_drop_pct: float | None = None,
-                     max_phase_pct: float | None = None) -> list[str]:
+                     max_phase_pct: float | None = None,
+                     min_utilization_pct: float | None = None,
+                     ) -> list[str]:
     """Threshold violations of ``current`` against ``baseline``.
 
     Each threshold is optional (``None`` skips that check):
@@ -293,7 +336,11 @@ def check_regression(baseline: dict, current: dict, *,
     * ``max_props_drop_pct`` — props/s throughput may drop at most
       this %;
     * ``max_phase_pct`` — every individual phase time may grow at most
-      this %.
+      this %;
+    * ``min_utilization_pct`` — an absolute floor on the current run's
+      recorded worker utilization (parallel runs with an attribution
+      section only; a run without one skips the check — utilization
+      is undefined for sequential runs).
 
     Returns human-readable violation lines (empty: no regression).
     A current run with a worse outcome than the baseline is always a
@@ -333,6 +380,14 @@ def check_regression(baseline: dict, current: dict, *,
                     f"phase {phase} regressed {pct:+.1f}% "
                     f"({base_phases[phase]:.6g}s -> {seconds:.6g}s; "
                     f"threshold +{max_phase_pct:g}%)")
+    if min_utilization_pct is not None:
+        attribution = current.get("attribution") or {}
+        utilization = attribution.get("utilization")
+        if isinstance(utilization, (int, float)) \
+                and utilization * 100.0 < min_utilization_pct:
+            violations.append(
+                f"worker utilization {utilization * 100:.1f}% below "
+                f"floor {min_utilization_pct:g}%")
     return violations
 
 

@@ -1,0 +1,152 @@
+"""Live operational view: status files for in-flight runs.
+
+A long ``verify``/``verify-stream`` already has a progress heartbeat
+(:mod:`repro.obs.progress`), but it prints to the run's own stderr —
+invisible to an operator on another terminal.  With ``--live-dir``
+(or ``REPRO_LIVE_DIR``) the heartbeat *also* writes a small JSON
+status file, atomically replaced on every beat::
+
+    <live_dir>/<run_id>.json      # repro.obs.live/v1
+
+``repro obs top`` reads every status file in the directory and
+renders a ``top``-style table; ``--follow`` polls until all runs
+finish or go stale.  The write is a single atomic replace per beat
+(throttled by the heartbeat interval), far off any hot loop, and a
+status file is rewritten with ``state: "done"`` at the end of the run
+rather than deleted — the final state of a run is part of the view.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.obs.export import atomic_write_text
+
+LIVE_SCHEMA = "repro.obs.live/v1"
+
+#: Seconds without an update after which ``obs top`` flags a run as
+#: stale (likely killed without cleanup).
+DEFAULT_STALE_AFTER = 30.0
+
+
+class LiveStatusWriter:
+    """Writes one run's heartbeat to ``<live_dir>/<run_id>.json``.
+
+    Plugs into :class:`~repro.obs.progress.ProgressReporter` as its
+    ``status_writer``; every emitted heartbeat becomes one atomic
+    file replace.  Write failures are swallowed — a full disk must
+    not fail a verification run over its status file.
+    """
+
+    def __init__(self, live_dir, run_id: str,
+                 meta: dict | None = None, wall=time.time):
+        self.live_dir = str(live_dir)
+        self.run_id = run_id
+        self.path = os.path.join(self.live_dir, f"{run_id}.json")
+        self.meta = dict(meta or {})
+        self._wall = wall
+
+    def update(self, done: int, total: int, label: str,
+               elapsed: float, eta: float | None,
+               state: str = "running") -> None:
+        rate = done / elapsed if elapsed > 0 else None
+        doc = {
+            "schema": LIVE_SCHEMA,
+            "run": self.run_id,
+            "pid": os.getpid(),
+            "state": state,
+            "done": done,
+            "total": total,
+            "label": label,
+            "elapsed": elapsed,
+            "eta": eta,
+            "rate": rate,
+            "updated": self._wall(),
+            "meta": self.meta,
+        }
+        try:
+            os.makedirs(self.live_dir, exist_ok=True)
+            atomic_write_text(
+                self.path,
+                json.dumps(doc, sort_keys=True) + "\n")
+        except OSError:
+            pass
+
+
+def read_live_statuses(live_dir) -> list[dict]:
+    """Every parseable ``repro.obs.live/v1`` doc in ``live_dir``,
+    sorted by run id.  Unparseable or foreign files are skipped — a
+    half-written file can't exist (writes are atomic) but stray files
+    can."""
+    statuses = []
+    try:
+        names = sorted(os.listdir(live_dir))
+    except OSError:
+        return []
+    for name in names:
+        if not name.endswith(".json"):
+            continue
+        try:
+            with open(os.path.join(live_dir, name),
+                      encoding="utf-8") as handle:
+                doc = json.load(handle)
+        except (OSError, ValueError):
+            continue
+        if isinstance(doc, dict) and doc.get("schema") == LIVE_SCHEMA:
+            statuses.append(doc)
+    statuses.sort(key=lambda d: d.get("run", ""))
+    return statuses
+
+
+def format_top_table(statuses: list[dict], now: float | None = None,
+                     stale_after: float = DEFAULT_STALE_AFTER) -> str:
+    """A ``top``-style table over live status docs."""
+    if now is None:
+        now = time.time()
+    if not statuses:
+        return "no live runs\n"
+    header = (f"{'RUN':<16} {'PID':>7} {'STATE':<8} "
+              f"{'PROGRESS':>14} {'%':>6} {'RATE':>9} "
+              f"{'ELAPSED':>8} {'ETA':>6}  COMMAND")
+    lines = [header]
+    for doc in statuses:
+        state = doc.get("state", "?")
+        updated = doc.get("updated")
+        if (state == "running" and updated is not None
+                and now - updated > stale_after):
+            state = "stale"
+        done = doc.get("done", 0)
+        total = doc.get("total", 0)
+        pct = f"{done / total * 100:.1f}" if total else "?"
+        rate = doc.get("rate")
+        rate_s = f"{rate:.0f}/s" if rate else "-"
+        eta = doc.get("eta")
+        eta_s = f"{eta:.0f}s" if eta is not None else "-"
+        elapsed = doc.get("elapsed")
+        elapsed_s = f"{elapsed:.1f}s" if elapsed is not None else "-"
+        meta = doc.get("meta") or {}
+        command = meta.get("command", "")
+        instance = meta.get("instance", "")
+        label = f"{command} {instance}".strip()
+        lines.append(
+            f"{doc.get('run', '?'):<16} {doc.get('pid', '?'):>7} "
+            f"{state:<8} {f'{done}/{total}':>14} {pct:>6} "
+            f"{rate_s:>9} {elapsed_s:>8} {eta_s:>6}  {label}")
+    return "\n".join(lines) + "\n"
+
+
+def all_settled(statuses: list[dict], now: float | None = None,
+                stale_after: float = DEFAULT_STALE_AFTER) -> bool:
+    """True when no run is still actively reporting (everything is
+    done, failed, or stale) — the ``obs top --follow`` exit test."""
+    if now is None:
+        now = time.time()
+    for doc in statuses:
+        if doc.get("state") != "running":
+            continue
+        updated = doc.get("updated")
+        if updated is None or now - updated <= stale_after:
+            return False
+    return True

@@ -23,28 +23,43 @@ class ProgressReporter:
     ``interval`` is the minimum seconds between lines (0 prints every
     update — used by tests); the final :meth:`finish` line is never
     throttled, so every enabled run ends with a complete count.
+
+    ``status_writer`` (optional, see
+    :class:`~repro.obs.live.LiveStatusWriter`) receives every emitted
+    beat as a structured update; ``console=False`` keeps the status
+    writer fed without printing lines (a run watched only through
+    ``repro obs top``).
     """
 
     def __init__(self, total: int, label: str = "checks",
                  stream=None, interval: float = 0.5,
-                 clock=time.monotonic):
+                 clock=time.monotonic, status_writer=None,
+                 console: bool = True):
         self.total = total
         self.label = label
         self.stream = stream if stream is not None else sys.stderr
         self.interval = interval
+        self.status_writer = status_writer
+        self.console = console
         self._clock = clock
         self._start = clock()
         self._last_emit: float | None = None
         self.lines_emitted = 0
 
-    def _emit(self, done: int, now: float) -> None:
+    def _emit(self, done: int, now: float, final: bool = False) -> None:
         elapsed = now - self._start
+        eta = None
         line = (f"c progress: {done}/{self.total} {self.label}, "
                 f"{elapsed:.1f}s elapsed")
         if done and 0 < done < self.total and elapsed > 0:
             eta = elapsed * (self.total - done) / done
             line += f", eta {eta:.0f}s"
-        print(line, file=self.stream, flush=True)
+        if self.console:
+            print(line, file=self.stream, flush=True)
+        if self.status_writer is not None:
+            self.status_writer.update(
+                done, self.total, self.label, elapsed, eta,
+                state="done" if final else "running")
         self._last_emit = now
         self.lines_emitted += 1
 
@@ -58,4 +73,4 @@ class ProgressReporter:
 
     def finish(self, done: int) -> None:
         """Emit the final line unconditionally."""
-        self._emit(done, self._clock())
+        self._emit(done, self._clock(), final=True)

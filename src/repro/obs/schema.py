@@ -17,7 +17,14 @@ Four artifact kinds leave a verification run:
   JSON object recording a streaming verification's trace position,
   live clause window, and budget spend (see
   :mod:`repro.verify.streaming`); written atomically mid-run, deleted
-  once a verdict is reached.
+  once a verdict is reached;
+* a **timeline document** (``repro.obs.timeline/v1``) — one JSON
+  object reconstructed from a trace log by ``repro obs timeline``:
+  lanes, utilization, shard skew, critical path, attribution (see
+  :mod:`repro.obs.timeline`);
+* a **live status file** (``repro.obs.live/v1``) — one JSON object
+  per in-flight run, atomically replaced on every progress beat and
+  read by ``repro obs top`` (see :mod:`repro.obs.live`).
 
 :data:`KNOWN_SCHEMAS` maps each schema id to its validator;
 :func:`validate_any` dispatches on a document's declared schema and
@@ -51,6 +58,8 @@ TRACE_SCHEMA = "repro.obs.trace/v1"
 DEPGRAPH_SCHEMA = "repro.obs.depgraph/v1"
 ANALYTICS_SCHEMA = "repro.obs.analytics/v1"
 CHECKPOINT_SCHEMA = "repro.obs.checkpoint/v1"
+TIMELINE_SCHEMA = "repro.obs.timeline/v1"
+LIVE_SCHEMA = "repro.obs.live/v1"
 
 _EVENT_TYPES = ("header", "begin", "end", "event")
 
@@ -159,6 +168,14 @@ def validate_trace(events) -> list[str]:
     if len(run_ids) != 1:
         problems.append(f"all events must share one run id, "
                         f"saw {sorted(map(str, run_ids))}")
+    # Trace-context consistency: every event carrying a trace id must
+    # agree (one process tree = one trace).  Traces written before the
+    # field existed carry none at all — that stays valid.
+    trace_ids = {event["trace"] for event in events
+                 if event.get("trace")}
+    if len(trace_ids) > 1:
+        problems.append(f"all events must share one trace id, "
+                        f"saw {sorted(trace_ids)}")
     last_ts = None
     open_spans: dict[int, str] = {}
     for position, event in enumerate(events):
@@ -377,6 +394,148 @@ def validate_checkpoint(doc) -> list[str]:
     return problems
 
 
+def validate_timeline(doc) -> list[str]:
+    """Structural problems of a timeline document (empty: valid)."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"timeline document must be a JSON object, "
+                f"got {type(doc).__name__}"]
+    if doc.get("schema") != TIMELINE_SCHEMA:
+        problems.append(f"schema must be {TIMELINE_SCHEMA!r}, "
+                        f"got {doc.get('schema')!r}")
+    window = doc.get("window")
+    if (not isinstance(window, dict)
+            or not all(isinstance(window.get(k), (int, float))
+                       for k in ("begin", "end", "wall"))):
+        problems.append("window must be {'begin','end','wall': number}")
+    elif window["end"] < window["begin"]:
+        problems.append("window.end must be >= window.begin")
+    spans = doc.get("spans")
+    if not isinstance(spans, list):
+        problems.append("missing 'spans' list")
+        spans = []
+    keys = set()
+    ids = set()
+    for position, span in enumerate(spans):
+        where = f"spans[{position}]"
+        if not isinstance(span, dict):
+            problems.append(f"{where} must be an object")
+            continue
+        for field in ("key", "name", "worker"):
+            if not isinstance(span.get(field), str):
+                problems.append(f"{where}.{field} must be a string")
+        for field in ("begin", "end", "dur"):
+            if not isinstance(span.get(field), (int, float)):
+                problems.append(f"{where}.{field} must be a number")
+        key = span.get("key")
+        if key in keys:
+            problems.append(f"{where}: duplicate span key {key!r}")
+        keys.add(key)
+        span_id = span.get("id")
+        if span_id in ids:
+            problems.append(f"{where}: duplicate span id {span_id!r}")
+        ids.add(span_id)
+    for position, span in enumerate(spans):
+        if not isinstance(span, dict):
+            continue
+        parent = span.get("parent")
+        if parent is not None and parent not in ids:
+            problems.append(f"spans[{position}]: orphaned span "
+                            f"(parent {parent!r} not in timeline)")
+    workers = doc.get("workers")
+    if not isinstance(workers, list):
+        problems.append("missing 'workers' list")
+        workers = []
+    for position, row in enumerate(workers):
+        where = f"workers[{position}]"
+        if not isinstance(row, dict):
+            problems.append(f"{where} must be an object")
+            continue
+        utilization = row.get("utilization")
+        if (not isinstance(utilization, (int, float))
+                or not 0.0 <= utilization <= 1.0 + 1e-9):
+            problems.append(f"{where}.utilization must be a number "
+                            f"in [0, 1], got {utilization!r}")
+        if not isinstance(row.get("gaps"), list):
+            problems.append(f"{where}.gaps must be a list")
+    utilization = doc.get("utilization")
+    if utilization is not None and (
+            not isinstance(utilization, (int, float))
+            or not 0.0 <= utilization <= 1.0 + 1e-9):
+        problems.append("utilization must be null or a number in "
+                        f"[0, 1], got {utilization!r}")
+    path = doc.get("critical_path")
+    if not isinstance(path, list):
+        problems.append("missing 'critical_path' list")
+        path = []
+    for position, entry in enumerate(path):
+        where = f"critical_path[{position}]"
+        if not isinstance(entry, dict) \
+                or not isinstance(entry.get("key"), str) \
+                or not isinstance(entry.get("self"), (int, float)):
+            problems.append(f"{where} must carry a string key and "
+                            "numeric self time")
+        elif entry["key"] not in keys:
+            problems.append(f"{where}: key {entry['key']!r} not in "
+                            "spans")
+    if not isinstance(doc.get("critical_path_wall"), (int, float)):
+        problems.append("critical_path_wall must be a number")
+    attribution = doc.get("attribution")
+    if attribution is not None:
+        if not isinstance(attribution, dict) \
+                or not isinstance(attribution.get("shards"), list) \
+                or not isinstance(attribution.get("top_stragglers"),
+                                  list):
+            problems.append("attribution, when present, must carry "
+                            "'shards' and 'top_stragglers' lists")
+        else:
+            for position, row in enumerate(attribution["shards"]):
+                where = f"attribution.shards[{position}]"
+                if not isinstance(row, dict) \
+                        or not isinstance(row.get("wall"),
+                                          (int, float)):
+                    problems.append(f"{where} must carry a numeric "
+                                    "wall time")
+    dropped = doc.get("dropped")
+    if (not isinstance(dropped, dict)
+            or not all(isinstance(dropped.get(k), int)
+                       for k in ("duplicates", "orphans", "open"))):
+        problems.append("dropped must be {'duplicates','orphans',"
+                        "'open': int}")
+    return problems
+
+
+def validate_live(doc) -> list[str]:
+    """Structural problems of a live status file (empty: valid)."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"live status must be a JSON object, "
+                f"got {type(doc).__name__}"]
+    if doc.get("schema") != LIVE_SCHEMA:
+        problems.append(f"schema must be {LIVE_SCHEMA!r}, "
+                        f"got {doc.get('schema')!r}")
+    if not isinstance(doc.get("run"), str) or not doc.get("run"):
+        problems.append("run must be a non-empty string")
+    if doc.get("state") not in ("running", "done"):
+        problems.append(f"state must be 'running' or 'done', "
+                        f"got {doc.get('state')!r}")
+    for key in ("done", "total", "pid"):
+        value = doc.get(key)
+        if not isinstance(value, int) or value < 0:
+            problems.append(f"{key} must be a non-negative int, "
+                            f"got {value!r}")
+    for key in ("elapsed", "updated"):
+        if not isinstance(doc.get(key), (int, float)):
+            problems.append(f"{key} must be a number")
+    for key in ("eta", "rate"):
+        value = doc.get(key)
+        if value is not None and not isinstance(value, (int, float)):
+            problems.append(f"{key} must be null or a number")
+    if not isinstance(doc.get("meta"), dict):
+        problems.append("meta must be an object")
+    return problems
+
+
 # Schema id -> (artifact kind, validator).  JSONL kinds take the parsed
 # line list; JSON kinds take the single document object.
 KNOWN_SCHEMAS = {
@@ -385,6 +544,8 @@ KNOWN_SCHEMAS = {
     DEPGRAPH_SCHEMA: ("jsonl", validate_depgraph),
     ANALYTICS_SCHEMA: ("json", validate_analytics),
     CHECKPOINT_SCHEMA: ("json", validate_checkpoint),
+    TIMELINE_SCHEMA: ("json", validate_timeline),
+    LIVE_SCHEMA: ("json", validate_live),
 }
 
 

@@ -30,8 +30,27 @@ Event schema (``repro.obs.trace/v1``) — every event carries:
 ``end`` events additionally carry ``dur`` (seconds).  Workers in the
 parallel backend buffer events locally and ship them to the parent
 inside each shard result, where they are re-emitted with a ``shard``
-attribute — fork inherits the monotonic clock epoch on Linux, so worker
-timestamps stay on the parent's axis.
+attribute.
+
+Trace context
+-------------
+Every event additionally carries ``trace`` — a globally unique trace
+id shared by the whole process tree of one run.  The ``run`` id
+correlates artifacts written by one parent process; the ``trace`` id
+survives worker replay untouched, so events from any number of
+processes can be re-assembled into one timeline
+(:mod:`repro.obs.timeline`).
+
+Worker timestamps must land on the *parent's* time axis.  Under
+``fork`` the child inherits the parent's monotonic clock readings, so
+reusing the parent epoch is exact; under ``spawn`` the monotonic
+clock may (platform-dependently) restart from an unrelated origin.
+:func:`rebase_epoch` makes the choice explicit: it measures the
+monotonic-vs-wall drift against the parent's ``(epoch, epoch_wall)``
+anchor pair and, when the monotonic clocks disagree, derives a local
+epoch from the wall-clock anchor instead — worker events then carry
+parent-axis timestamps regardless of start method.  Workers build
+their tracer through :func:`worker_tracer`, which applies the rebase.
 """
 
 from __future__ import annotations
@@ -46,11 +65,66 @@ TRACE_SCHEMA = "repro.obs.trace/v1"
 
 _run_counter = itertools.count(1)
 
+#: Monotonic-vs-wall disagreement (seconds) past which a worker's
+#: monotonic clock is declared unrelated to the parent's and the
+#: wall-clock anchor is used instead.  Fork/same-boot clocks agree to
+#: microseconds; an unrelated epoch is off by hours.
+EPOCH_DRIFT_TOLERANCE = 5.0
+
 
 def make_run_id() -> str:
     """A run id unique enough to correlate artifacts of one process
     tree: pid plus a per-process sequence number."""
     return f"r{os.getpid()}-{next(_run_counter)}"
+
+
+def make_trace_id() -> str:
+    """A globally unique trace id (128 random bits, hex) stamped on
+    every event of one run's process tree."""
+    return os.urandom(16).hex()
+
+
+def rebase_epoch(epoch: float | None, epoch_wall: float | None,
+                 clock=time.monotonic, wall=time.time,
+                 tolerance: float = EPOCH_DRIFT_TOLERANCE,
+                 ) -> float | None:
+    """A local monotonic epoch equivalent to a parent's ``epoch``.
+
+    ``epoch`` is the parent tracer's monotonic epoch and ``epoch_wall``
+    the wall-clock time captured at that same instant (the anchor
+    pair).  When this process's monotonic clock agrees with the
+    parent's — elapsed-since-epoch matches elapsed-since-anchor within
+    ``tolerance`` — the parent epoch is reused verbatim (fork, or any
+    platform whose monotonic clock is system-wide).  Otherwise (spawn
+    onto an unrelated clock) the local epoch is derived from the wall
+    anchor: ``now_monotonic - (now_wall - epoch_wall)``, which puts
+    local timestamps on the parent axis with wall-clock-read accuracy.
+
+    ``None`` inputs degrade gracefully: no ``epoch`` means "fresh
+    tracer"; no ``epoch_wall`` (a pre-context caller) assumes a shared
+    monotonic clock, the historical behavior.
+    """
+    if epoch is None:
+        return None
+    if epoch_wall is None:
+        return epoch
+    drift = (clock() - epoch) - (wall() - epoch_wall)
+    if abs(drift) <= tolerance:
+        return epoch
+    return clock() - (wall() - epoch_wall)
+
+
+def worker_tracer(run_id: str | None = None,
+                  epoch: float | None = None,
+                  epoch_wall: float | None = None,
+                  trace_id: str | None = None,
+                  clock=time.monotonic, wall=time.time) -> "Tracer":
+    """A tracer for a pool worker, stamped with the parent's run and
+    trace ids and rebased onto the parent's time axis (see
+    :func:`rebase_epoch`)."""
+    return Tracer(run_id=run_id, clock=clock,
+                  epoch=rebase_epoch(epoch, epoch_wall, clock, wall),
+                  trace_id=trace_id)
 
 
 class Tracer:
@@ -63,12 +137,19 @@ class Tracer:
     """
 
     def __init__(self, run_id: str | None = None,
-                 clock=time.monotonic, epoch: float | None = None):
+                 clock=time.monotonic, epoch: float | None = None,
+                 trace_id: str | None = None, wall=time.time):
         self.run_id = run_id if run_id is not None else make_run_id()
+        self.trace_id = (trace_id if trace_id is not None
+                         else make_trace_id())
         self._clock = clock
         # A shared epoch lets worker-side tracers stamp events on the
-        # parent's time axis (monotonic survives fork on Linux).
+        # parent's time axis; workers rebase onto it via
+        # :func:`worker_tracer` so this holds under spawn too.
         self.epoch = epoch if epoch is not None else clock()
+        # Wall-clock anchor captured against the epoch: the second half
+        # of the (epoch, epoch_wall) pair :func:`rebase_epoch` needs.
+        self.epoch_wall = wall() - (clock() - self.epoch)
         self.events: list[dict] = []
         self._next_span = itertools.count(1)
         self._stack: list[int] = []
@@ -87,9 +168,9 @@ class Tracer:
         parent = self.current_span
         begin_ts = self._ts()
         self.events.append({
-            "ts": begin_ts, "run": self.run_id, "type": "begin",
-            "span": span_id, "parent": parent, "name": name,
-            "attrs": dict(attrs)})
+            "ts": begin_ts, "run": self.run_id, "trace": self.trace_id,
+            "type": "begin", "span": span_id, "parent": parent,
+            "name": name, "attrs": dict(attrs)})
         self._stack.append(span_id)
         end_attrs: dict = {}
         try:
@@ -98,14 +179,16 @@ class Tracer:
             self._stack.pop()
             end_ts = self._ts()
             self.events.append({
-                "ts": end_ts, "run": self.run_id, "type": "end",
+                "ts": end_ts, "run": self.run_id,
+                "trace": self.trace_id, "type": "end",
                 "span": span_id, "parent": parent, "name": name,
                 "dur": end_ts - begin_ts, "attrs": dict(end_attrs)})
 
     def event(self, name: str, **attrs) -> None:
         """Record an instant event inside the current span."""
         self.events.append({
-            "ts": self._ts(), "run": self.run_id, "type": "event",
+            "ts": self._ts(), "run": self.run_id,
+            "trace": self.trace_id, "type": "event",
             "span": self.current_span, "parent": self.current_span,
             "name": name, "attrs": dict(attrs)})
 
@@ -120,6 +203,7 @@ class Tracer:
         for event in events:
             copied = dict(event)
             copied["run"] = self.run_id
+            copied["trace"] = self.trace_id
             for key in ("span", "parent"):
                 old = copied.get(key)
                 if old is not None:
@@ -138,7 +222,8 @@ class Tracer:
         The first line is a header record (``type: "header"``) naming
         the schema and run id, so a trace file is self-describing.
         """
-        header = {"ts": 0.0, "run": self.run_id, "type": "header",
+        header = {"ts": 0.0, "run": self.run_id,
+                  "trace": self.trace_id, "type": "header",
                   "schema": TRACE_SCHEMA, "name": "trace",
                   "attrs": {}}
         lines = [json.dumps(header, sort_keys=True)]

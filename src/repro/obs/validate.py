@@ -26,6 +26,7 @@ from repro.obs.schema import (
     DEPGRAPH_SCHEMA,
     KNOWN_SCHEMAS,
     METRICS_SCHEMA,
+    TIMELINE_SCHEMA,
     TRACE_SCHEMA,
     declared_schema,
     validate_any,
@@ -73,6 +74,10 @@ def main(argv: list[str] | None = None) -> int:
                         metavar="FILE",
                         help="a proof-shape analytics JSON document to "
                              "validate (repeatable)")
+    parser.add_argument("--timeline", action="append", default=[],
+                        metavar="FILE",
+                        help="a reconstructed timeline JSON document "
+                             "to validate (repeatable)")
     parser.add_argument("files", nargs="*", metavar="FILE",
                         help="artifacts validated against whatever "
                              "schema id they declare")
@@ -82,10 +87,12 @@ def main(argv: list[str] | None = None) -> int:
         + [(path, TRACE_SCHEMA) for path in args.trace]
         + [(path, DEPGRAPH_SCHEMA) for path in args.depgraph]
         + [(path, ANALYTICS_SCHEMA) for path in args.analytics]
+        + [(path, TIMELINE_SCHEMA) for path in args.timeline]
         + [(path, None) for path in args.files])
     if not jobs:
         parser.error("nothing to validate: give --metrics, --trace, "
-                     "--depgraph, --analytics and/or positional files")
+                     "--depgraph, --analytics, --timeline and/or "
+                     "positional files")
 
     problems = 0
     for path, expected in jobs:

@@ -176,9 +176,6 @@ class ReportBuilder:
               **fields):
         """Construct the report: common fields + per-call fields +
         the measured ``verification_time`` and ``stats``."""
-        if self.progress is not None:
-            self.progress.finish(self._checks)
-            self.progress = None
         if self.obs is not None and bcp_counters is not None:
             self.obs.record_bcp_counters(bcp_counters)
         merged = {**self._common, **fields}
@@ -192,6 +189,11 @@ class ReportBuilder:
                                  merged.get("num_additions"))
         if isinstance(num_checked, int) and num_checked > self._checks:
             self._checks = num_checked
+        # Finish the heartbeat only after the reconciliation above, so
+        # a pool run's final line reports the real check count.
+        if self.progress is not None:
+            self.progress.finish(self._checks)
+            self.progress = None
         if self.obs is not None:
             self.obs.counter_add("repro_verify_checks_total",
                                  self._checks,

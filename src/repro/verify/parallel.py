@@ -298,14 +298,23 @@ def _run_shard(checker: ProofChecker, shard: tuple[int, int],
                order: str, instrument: bool = False,
                epoch: float | None = None,
                run_id: str | None = None,
-               depgraph: bool = False) -> ShardResult:
+               depgraph: bool = False,
+               epoch_wall: float | None = None,
+               trace_id: str | None = None,
+               attempt: int = 0) -> ShardResult:
     """Scan one shard in the requested direction (shared by the pool
     workers and the in-process degraded fallback).
 
     With ``instrument`` set, per-check wall time and propagation work
     are observed into a shard-local registry, the slowest checks are
-    kept, and the whole shard is wrapped in a ``shard`` trace span
-    (stamped on the parent's time axis via the shared ``epoch``).
+    kept, and the whole shard is wrapped in a ``shard`` trace span —
+    stamped with the parent's ``trace_id`` and on the parent's time
+    axis via the shared ``(epoch, epoch_wall)`` anchor (rebased when
+    this process's monotonic clock is unrelated, i.e. under spawn;
+    see :func:`repro.obs.spans.rebase_epoch`).  The span's end attrs
+    carry the shard's cost attribution (checks, wall, props,
+    clause_visits) and the ``attempt`` number that produced it, so
+    the timeline can tell a retried shard's spans apart.
     With ``depgraph`` set, each passing check's conflict-analysis
     antecedents are buffered as plain record dicts (shipped back in
     :attr:`ShardResult.depgraph`, merged order-free by the parent).
@@ -332,7 +341,7 @@ def _run_shard(checker: ProofChecker, shard: tuple[int, int],
             DEFAULT_WORK_BUCKETS,
             MetricsRegistry,
         )
-        from repro.obs.spans import Tracer
+        from repro.obs.spans import worker_tracer
 
         registry = MetricsRegistry()
         hist_seconds = registry.histogram(
@@ -341,8 +350,11 @@ def _run_shard(checker: ProofChecker, shard: tuple[int, int],
         hist_work = registry.histogram(
             "repro_check_work", buckets=DEFAULT_WORK_BUCKETS,
             help="Propagation work units per check")
-        tracer = Tracer(run_id=run_id, epoch=epoch)
-        tracer_cm = tracer.span("shard", lo=lo, hi=hi, pid=os.getpid())
+        tracer = worker_tracer(run_id=run_id, epoch=epoch,
+                               epoch_wall=epoch_wall,
+                               trace_id=trace_id)
+        tracer_cm = tracer.span("shard", lo=lo, hi=hi,
+                                pid=os.getpid(), attempt=attempt)
         tracer_cm.__enter__()
     shard_start = time.perf_counter()
     for index in indices:
@@ -380,14 +392,21 @@ def _run_shard(checker: ProofChecker, shard: tuple[int, int],
             first_failure = index
             break
     duration = time.perf_counter() - shard_start
+    after = counters.as_dict()
+    delta = {key: after[key] - before[key] for key in after}
     if instrument:
         tracer_cm.__exit__(None, None, None)
-        tracer.events[-1]["attrs"]["checks"] = checked
+        # Cost attribution on the span's end attrs: the timeline
+        # reconstructor reads these into its per-shard attribution
+        # rows and straggler ranking.
+        tracer.events[-1]["attrs"].update(
+            checks=checked, wall=duration,
+            props=(delta.get("assignments", 0)
+                   + delta.get("clause_visits", 0)),
+            clause_visits=delta.get("clause_visits", 0))
         registry.histogram(
             "repro_shard_seconds",
             help="Wall time per shard").observe(duration)
-    after = counters.as_dict()
-    delta = {key: after[key] - before[key] for key in after}
     return ShardResult(first_failure, checked, delta,
                        budget_reason=budget_reason,
                        stopped_at_index=stopped_at,
@@ -408,7 +427,10 @@ def _shard_worker(shard: tuple[int, int], attempt: int) -> ShardResult:
                       instrument=_SHARED.get("obs_enabled", False),
                       epoch=_SHARED.get("obs_epoch"),
                       run_id=_SHARED.get("obs_run"),
-                      depgraph=_SHARED.get("depgraph_enabled", False))
+                      depgraph=_SHARED.get("depgraph_enabled", False),
+                      epoch_wall=_SHARED.get("obs_epoch_wall"),
+                      trace_id=_SHARED.get("obs_trace"),
+                      attempt=attempt)
 
 
 def _reduce(results: dict[tuple[int, int], ShardResult],
@@ -455,6 +477,11 @@ class _ObsSink:
         self.obs = obs
         self.builder = builder
         self.checked = 0
+        # Shards whose trace has already been replayed: a duplicate
+        # result for the same bounds (a retried shard whose first
+        # attempt landed late) must not produce duplicate spans in
+        # the merged timeline.
+        self._absorbed: set[tuple[int, int]] = set()
         if obs is not None:
             obs.counter_add("repro_parallel_shards_total", num_shards,
                             help="Shards the proof was split into")
@@ -469,6 +496,16 @@ class _ObsSink:
                                  "sequential checking")
 
     def absorb(self, shard: tuple[int, int], result: ShardResult) -> None:
+        if shard in self._absorbed:
+            # A duplicate execution of the same bounds (late first
+            # attempt of a retried shard): its verdict is identical by
+            # construction, and absorbing it again would double-count
+            # metrics and duplicate spans.
+            if self.obs is not None:
+                self.obs.event("duplicate_shard_suppressed",
+                               shard=list(shard))
+            return
+        self._absorbed.add(shard)
         self.checked += result.num_checked
         obs = self.obs
         if obs is None:
@@ -551,11 +588,14 @@ def run_sharded_v1(formula: CnfFormula, proof: ConflictClauseProof,
     arena = None
     initializer = None
     initargs: tuple = ()
+    tracer = obs.tracer if obs is not None else None
     obs_fields = dict(
         obs_enabled=obs is not None,
-        obs_epoch=(obs.tracer.epoch
-                   if obs is not None and obs.tracer is not None
-                   else None),
+        obs_epoch=tracer.epoch if tracer is not None else None,
+        obs_epoch_wall=(getattr(tracer, "epoch_wall", None)
+                        if tracer is not None else None),
+        obs_trace=(getattr(tracer, "trace_id", None)
+                   if tracer is not None else None),
         obs_run=obs.run_id if obs is not None else None,
         depgraph_enabled=(obs is not None and obs.wants_depgraph))
     if use_shm:
@@ -671,15 +711,24 @@ def _run_degraded(formula: CnfFormula, proof: ConflictClauseProof,
     if meter is not None:
         checker.meter = meter.rebase(checker.engine.counters)
     instrument = sink is not None and sink.obs is not None
-    epoch = (sink.obs.tracer.epoch
-             if instrument and sink.obs.tracer is not None else None)
+    tracer = sink.obs.tracer if instrument else None
+    epoch = tracer.epoch if tracer is not None else None
+    epoch_wall = getattr(tracer, "epoch_wall", None) \
+        if tracer is not None else None
+    trace_id = getattr(tracer, "trace_id", None) \
+        if tracer is not None else None
     run_id = sink.obs.run_id if instrument else None
     depgraph = instrument and sink.obs.wants_depgraph
     ordered = sorted(remaining, reverse=(order == "backward"))
     for shard in ordered:
         results[shard] = _run_shard(checker, shard, order,
                                     instrument=instrument, epoch=epoch,
-                                    run_id=run_id, depgraph=depgraph)
+                                    run_id=run_id, depgraph=depgraph,
+                                    epoch_wall=epoch_wall,
+                                    trace_id=trace_id,
+                                    # Degrade follows the failed pool
+                                    # attempts 0 and 1.
+                                    attempt=2)
         if sink is not None:
             sink.absorb(shard, results[shard])
         if results[shard].budget_reason is not None:

@@ -432,27 +432,42 @@ def verify_stream(formula: CnfFormula, proof_path, *,
                 pass
 
     def shift_window() -> None:
-        """Rebuild the engine over only the live clauses."""
+        """Rebuild the engine over only the live clauses.
+
+        The rebuild is traced as a ``window_shift`` *span* (not an
+        instant event): it is real wall time the timeline must
+        account for, and on long streams the shifts show up as the
+        critical path's serial segments.
+        """
         nonlocal engine, counters, loaded, units, active, live_lits, \
             formula_index, meter, window_shifts
         window_shifts += 1
-        _fold_counters(prior_counters, counters)
-        if meter is not None:
-            meter = meter.rebase(None)
-            meter._base = -prior_counters.total_work()
-        old_live = live_lits
-        old_findex = formula_index
-        engine = engine_cls(formula.num_vars)
-        live_lits = {}
-        formula_index = {}
-        units = {}
-        active = {}
-        for old_cid, lits in old_live.items():
-            load(lits, old_findex.get(old_cid))
-        counters = engine.counters
-        loaded = len(live_lits)
+        span_cm = (obs.tracer.span("window_shift",
+                                   shift=window_shifts)
+                   if obs is not None and obs.tracer is not None
+                   else None)
+        end_attrs = span_cm.__enter__() if span_cm is not None else None
+        try:
+            _fold_counters(prior_counters, counters)
+            if meter is not None:
+                meter = meter.rebase(None)
+                meter._base = -prior_counters.total_work()
+            old_live = live_lits
+            old_findex = formula_index
+            engine = engine_cls(formula.num_vars)
+            live_lits = {}
+            formula_index = {}
+            units = {}
+            active = {}
+            for old_cid, lits in old_live.items():
+                load(lits, old_findex.get(old_cid))
+            counters = engine.counters
+            loaded = len(live_lits)
+        finally:
+            if span_cm is not None:
+                end_attrs["live_clauses"] = len(live_lits)
+                span_cm.__exit__(None, None, None)
         if obs is not None:
-            obs.event("window_shifted", live_clauses=len(live_lits))
             obs.counter_add("repro_stream_window_shifts_total",
                             help="Engine rebuilds over the live window")
 

@@ -76,6 +76,7 @@ class TestRobustnessDoc:
     def test_referenced_test_files_exist(self):
         doc = (REPO / "docs" / "robustness.md").read_text()
         for piece in doc.split("`"):
+            piece = piece.split("::")[0]
             if piece.startswith(("tests/", "benchmarks/")):
                 assert (REPO / piece).exists(), piece
 
@@ -84,8 +85,12 @@ class TestObservabilityDoc:
     def test_schemas_and_flags_documented(self):
         doc = (REPO / "docs" / "observability.md").read_text()
         for term in ("repro.obs.metrics/v1", "repro.obs.trace/v1",
+                     "repro.obs.timeline/v1", "repro.obs.live/v1",
                      "--metrics-out", "--trace-out", "--progress",
                      "--stats", "deterministic_view",
+                     "repro obs timeline", "repro obs top",
+                     "--live-dir", "--min-utilization",
+                     "rebase_epoch", "critical path",
                      "python -m repro.obs.validate"):
             assert term in doc, term
 
@@ -109,6 +114,7 @@ class TestObservabilityDoc:
     def test_referenced_test_files_exist(self):
         doc = (REPO / "docs" / "observability.md").read_text()
         for piece in doc.split("`"):
+            piece = piece.split("::")[0]
             if piece.startswith(("tests/", "benchmarks/")):
                 assert (REPO / piece).exists(), piece
 

@@ -301,3 +301,125 @@ class TestInterruptFlush:
               "--depgraph-out", str(dep), "--no-history"])
         # Atomic writes never leave *.tmp behind.
         assert not list(tmp_path.glob("*.tmp"))
+
+
+class TestTimelineCli:
+    """The ``repro obs timeline`` / ``obs top`` / ``history prune``
+    operational verbs, end to end through the CLI."""
+
+    def _trace(self, unsat_cnf, good_proof, tmp_path, jobs=None):
+        trace = tmp_path / "trace.jsonl"
+        argv = ["verify", str(unsat_cnf), str(good_proof),
+                "--trace-out", str(trace), "--no-history"]
+        if jobs:
+            argv += ["--procedure", "verification1",
+                     "--jobs", str(jobs)]
+        assert main(argv) == 0
+        return trace
+
+    def test_timeline_artifact_validates(self, unsat_cnf, good_proof,
+                                         tmp_path, capsys):
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("parallel backend needs fork")
+        trace = self._trace(unsat_cnf, good_proof, tmp_path, jobs=2)
+        out_json = tmp_path / "timeline.json"
+        out_html = tmp_path / "timeline.html"
+        capsys.readouterr()
+        assert main(["obs", "timeline", str(trace),
+                     "--out", str(out_json),
+                     "--html", str(out_html)]) == 0
+        out = capsys.readouterr().out
+        assert "utilization=" in out
+        assert "critical path" in out
+        doc = json.loads(out_json.read_text())
+        assert doc["schema"] == "repro.obs.timeline/v1"
+        assert doc["utilization"] is not None
+        assert doc["attribution"] is not None
+        assert doc["dropped"] == {"duplicates": 0, "orphans": 0,
+                                  "open": 0}
+        assert out_html.read_text().startswith("<!DOCTYPE html>")
+        assert validate_main(["--timeline", str(out_json)]) == 0
+        assert validate_main([str(out_json)]) == 0  # sniffed
+
+    def test_timeline_sequential_trace(self, unsat_cnf, good_proof,
+                                       tmp_path, capsys):
+        trace = self._trace(unsat_cnf, good_proof, tmp_path)
+        capsys.readouterr()
+        assert main(["obs", "timeline", str(trace), "--quiet"]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_timeline_missing_file_exits_error(self, tmp_path,
+                                               capsys):
+        code = main(["obs", "timeline", str(tmp_path / "nope.jsonl")])
+        assert code == EXIT_ERROR
+        assert "c error:" in capsys.readouterr().err
+
+    def test_live_dir_and_top(self, unsat_cnf, good_proof, tmp_path,
+                              capsys):
+        live = tmp_path / "live"
+        assert main(["verify", str(unsat_cnf), str(good_proof),
+                     "--live-dir", str(live), "--no-history"]) == 0
+        files = list(live.glob("*.json"))
+        assert len(files) == 1
+        doc = json.loads(files[0].read_text())
+        assert doc["schema"] == "repro.obs.live/v1"
+        assert doc["state"] == "done"
+        assert doc["meta"]["command"] == "verify"
+        capsys.readouterr()
+        assert main(["obs", "top", "--live-dir", str(live)]) == 0
+        out = capsys.readouterr().out
+        assert "RUN" in out and "done" in out
+
+    def test_top_empty_dir(self, tmp_path, capsys):
+        assert main(["obs", "top",
+                     "--live-dir", str(tmp_path / "none")]) == 0
+        assert "no live runs" in capsys.readouterr().out
+
+    def test_history_prune(self, unsat_cnf, good_proof, tmp_path,
+                           capsys):
+        history = tmp_path / "hist"
+        for _ in range(3):
+            assert main(["verify", str(unsat_cnf), str(good_proof),
+                         "--history-dir", str(history)]) == 0
+        capsys.readouterr()
+        assert main(["obs", "history", "--history-dir", str(history),
+                     "prune", "--keep", "1"]) == 0
+        assert "2 fingerprint(s) removed" in capsys.readouterr().out
+        assert len(HistoryStore(str(history)).read()) == 1
+
+    def test_parallel_history_carries_attribution(
+            self, unsat_cnf, good_proof, tmp_path):
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("parallel backend needs fork")
+        history = tmp_path / "hist"
+        assert main(["verify", str(unsat_cnf), str(good_proof),
+                     "--procedure", "verification1", "--jobs", "2",
+                     "--history-dir", str(history)]) == 0
+        record = HistoryStore(str(history)).read()[-1]
+        attribution = record["attribution"]
+        assert attribution is not None
+        assert attribution["workers"] >= 1
+        assert 0.0 <= attribution["utilization"] <= 1.0
+        assert attribution["shards"]
+
+    def test_min_utilization_gate_exits_3(self, unsat_cnf, good_proof,
+                                          tmp_path, capsys):
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("parallel backend needs fork")
+        history = tmp_path / "hist"
+        assert main(["verify", str(unsat_cnf), str(good_proof),
+                     "--procedure", "verification1", "--jobs", "2",
+                     "--history-dir", str(history)]) == 0
+        capsys.readouterr()
+        code = main(["obs", "check-regression",
+                     "--history-dir", str(history),
+                     "--baseline", "-1", "--current", "-1",
+                     "--min-utilization", "100"])
+        assert code == EXIT_RESOURCE_LIMIT
+        assert "utilization" in capsys.readouterr().out

@@ -210,3 +210,92 @@ class TestFormatHistory:
         assert "r-0" not in text
         # Positions are absolute, so selectors keep working.
         assert text.splitlines()[2].startswith("3")
+
+
+def _attribution(utilization, skew=1.2, workers=4):
+    return {"utilization": utilization, "skew_ratio": skew,
+            "workers": workers, "shards": [], "top_stragglers": []}
+
+
+class TestPrune:
+    def test_keeps_newest_n(self, tmp_path):
+        store = HistoryStore(str(tmp_path))
+        for i in range(5):
+            store.append(synthetic(f"r-{i}", 1.0, 1000.0))
+        removed = store.prune(keep=2)
+        assert removed == 3
+        assert [r["id"] for r in store.read()] == ["r-3", "r-4"]
+        # The rewrite is a well-formed JSONL file.
+        lines = (tmp_path / "history.jsonl").read_text().splitlines()
+        assert len(lines) == 2
+        assert all(json.loads(line)["schema"] == RUN_SCHEMA
+                   for line in lines)
+
+    def test_noop_when_small_enough(self, tmp_path):
+        store = HistoryStore(str(tmp_path))
+        store.append(synthetic("r-0", 1.0, 1000.0))
+        assert store.prune(keep=5) == 0
+        assert store.prune(keep=1) == 0
+        assert [r["id"] for r in store.read()] == ["r-0"]
+
+    def test_keep_zero_empties(self, tmp_path):
+        store = HistoryStore(str(tmp_path))
+        store.append(synthetic("r-0", 1.0, 1000.0))
+        assert store.prune(keep=0) == 1
+        assert store.read() == []
+
+    def test_negative_keep_rejected(self, tmp_path):
+        store = HistoryStore(str(tmp_path))
+        with pytest.raises(ValueError):
+            store.prune(keep=-1)
+
+    def test_missing_file_is_empty(self, tmp_path):
+        store = HistoryStore(str(tmp_path / "absent"))
+        assert store.prune(keep=3) == 0
+
+
+class TestAttribution:
+    def test_fingerprint_carries_attribution(self):
+        obs = Obs.enabled()
+        report = verify_proof_v2(PAPER_F, PAPER_PROOF, obs=obs)
+        record = fingerprint(report, run_id="r-attr",
+                             command="verify",
+                             attribution=_attribution(0.9))
+        assert record["attribution"]["utilization"] == 0.9
+        again = json.loads(json.dumps(record))
+        assert again["attribution"] == record["attribution"]
+        # Sequential runs record None.
+        plain = fingerprint(report, run_id="r-seq", command="verify")
+        assert plain["attribution"] is None
+
+    def test_compare_adds_attribution_rows(self):
+        a = synthetic("r-a", 1.0, 1000.0)
+        b = synthetic("r-b", 1.0, 1000.0)
+        a["attribution"] = _attribution(0.9, skew=1.1)
+        b["attribution"] = _attribution(0.6, skew=1.8)
+        rows = {row["metric"]: row for row in compare_runs(a, b)}
+        util = rows["attribution:utilization"]
+        assert util["worse"] is True  # utilization dropped
+        assert rows["attribution:skew_ratio"]["worse"] is True
+        assert rows["attribution:workers"]["worse"] is None
+
+    def test_compare_skips_rows_without_attribution(self):
+        a = synthetic("r-a", 1.0, 1000.0)
+        b = synthetic("r-b", 1.0, 1000.0)
+        metrics = {row["metric"] for row in compare_runs(a, b)}
+        assert not any(m.startswith("attribution:") for m in metrics)
+
+    def test_min_utilization_gate(self):
+        a = synthetic("r-a", 1.0, 1000.0)
+        b = synthetic("r-b", 1.0, 1000.0)
+        b["attribution"] = _attribution(0.5)
+        assert check_regression(a, b,
+                                min_utilization_pct=40.0) == []
+        violations = check_regression(a, b,
+                                      min_utilization_pct=80.0)
+        assert any("utilization" in v for v in violations)
+
+    def test_min_utilization_ignored_without_attribution(self):
+        a = synthetic("r-a", 1.0, 1000.0)
+        assert check_regression(a, dict(a),
+                                min_utilization_pct=99.0) == []

@@ -2,7 +2,9 @@
 
 import io
 import json
+import re
 
+from repro.obs.export import escape_label_value, sanitize_metric_name
 from repro.obs import (
     METRICS_SCHEMA,
     MetricsRegistry,
@@ -12,9 +14,11 @@ from repro.obs import (
     metrics_document,
     prometheus_text,
     read_jsonl,
+    rebase_epoch,
     stats_footer,
     validate_metrics,
     validate_trace,
+    worker_tracer,
 )
 
 
@@ -241,3 +245,146 @@ class TestDeterministicView:
         assert "repro_bcp_assignments_total" not in view["metrics"]
         assert "repro_check_work" not in view["metrics"]
         assert "repro_verify_checks_total" in view["metrics"]
+
+
+class TestTraceContext:
+    def test_every_event_carries_the_trace_id(self):
+        tracer = Tracer(run_id="r1", trace_id="f" * 32)
+        with tracer.span("verify"):
+            tracer.event("beat")
+        buf = io.StringIO()
+        tracer.write_jsonl(buf)
+        records = read_jsonl(io.StringIO(buf.getvalue()))
+        assert records[0]["type"] == "header"
+        assert all(r["trace"] == "f" * 32 for r in records)
+
+    def test_trace_id_is_generated_and_unique(self):
+        a, b = Tracer(run_id="r1"), Tracer(run_id="r2")
+        assert len(a.trace_id) == 32
+        assert int(a.trace_id, 16) >= 0
+        assert a.trace_id != b.trace_id
+
+    def test_replay_overrides_worker_trace_id(self):
+        parent = Tracer(run_id="p", trace_id="a" * 32)
+        worker = Tracer(run_id="w", trace_id="b" * 32)
+        with worker.span("shard", lo=0, hi=1):
+            pass
+        parent.replay(worker.events, shard=[0, 1])
+        assert all(e["trace"] == "a" * 32 for e in parent.events)
+
+    def test_validate_trace_rejects_mixed_trace_ids(self):
+        tracer = Tracer(run_id="r1")
+        with tracer.span("verify"):
+            pass
+        buf = io.StringIO()
+        tracer.write_jsonl(buf)
+        events = read_jsonl(io.StringIO(buf.getvalue()))
+        events[-1]["trace"] = "0" * 32
+        assert any("trace" in p for p in validate_trace(events))
+        # Legacy traces without trace ids stay valid.
+        for event in events:
+            del event["trace"]
+        assert validate_trace(events) == []
+
+
+class TestRebaseEpoch:
+    def test_shared_monotonic_clock_reuses_parent_epoch(self):
+        """Fork (or any shared system clock): drift is ~0, so the
+        parent epoch is reused verbatim."""
+        clock = FakeClock()
+        wall = FakeClock()
+        wall.now = 1000.0
+        clock.now = 5.0
+        epoch, epoch_wall = 2.0, 997.0  # anchored 3s ago
+        assert rebase_epoch(epoch, epoch_wall, clock=clock,
+                            wall=wall) == 2.0
+
+    def test_unrelated_clock_rebases_onto_wall_anchor(self):
+        """Spawn onto a restarted monotonic clock: the local epoch is
+        derived from the wall anchor so worker timestamps land on the
+        parent axis."""
+        clock = FakeClock()
+        wall = FakeClock()
+        wall.now = 1000.0
+        clock.now = 0.25  # fresh clock, parent's epoch means nothing
+        epoch, epoch_wall = 500.0, 997.0
+        rebased = rebase_epoch(epoch, epoch_wall, clock=clock,
+                               wall=wall)
+        assert rebased == 0.25 - 3.0
+        # A timestamp taken now lands 3s after the parent anchor.
+        assert clock.now - rebased == 3.0
+
+    def test_none_inputs_degrade_gracefully(self):
+        assert rebase_epoch(None, None) is None
+        assert rebase_epoch(None, 123.0) is None
+        assert rebase_epoch(7.0, None) == 7.0
+
+    def test_worker_tracer_stamps_parent_identity(self):
+        clock = FakeClock()
+        wall = FakeClock()
+        wall.now = 1000.0
+        parent = Tracer(run_id="p", clock=clock, wall=wall)
+        clock.now = 2.0
+        wall.now = 1002.0
+        worker = worker_tracer(run_id=parent.run_id,
+                               epoch=parent.epoch,
+                               epoch_wall=parent.epoch_wall,
+                               trace_id=parent.trace_id,
+                               clock=clock, wall=wall)
+        assert worker.run_id == "p"
+        assert worker.trace_id == parent.trace_id
+        assert worker.epoch == parent.epoch
+        with worker.span("shard", lo=0, hi=1):
+            clock.now = 3.0
+        assert worker.events[0]["ts"] == 2.0  # parent axis
+
+
+class TestPrometheusHardening:
+    def test_names_are_sanitized(self):
+        assert sanitize_metric_name("repro.verify-rate") == \
+            "repro_verify_rate"
+        assert sanitize_metric_name("9lives") == "_9lives"
+        assert sanitize_metric_name("") == "_"
+        assert sanitize_metric_name("ok_name:v1") == "ok_name:v1"
+        assert sanitize_metric_name("émigré") == "_migr_"
+
+    def test_counters_get_total_suffix(self):
+        registry = MetricsRegistry()
+        registry.counter("repro.checks").inc(2)
+        registry.counter("repro_props_total").inc(3)
+        text = prometheus_text(registry)
+        assert "repro_checks_total 2" in text
+        # An existing suffix is not doubled.
+        assert "repro_props_total 3" in text
+        assert "repro_props_total_total" not in text
+
+    def test_help_text_is_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total",
+                         help="multi\nline \\ help").inc(1)
+        text = prometheus_text(registry)
+        assert "# HELP c_total multi\\nline \\\\ help" in text
+        assert "multi\nline" not in text
+
+    def test_label_value_escaping(self):
+        assert escape_label_value('a"b\\c\nd') == \
+            'a\\"b\\\\c\\nd'
+
+    def test_round_trip_exposition_stays_parseable(self):
+        """Every emitted line must match the exposition grammar even
+        with hostile metric names and help text."""
+        registry = MetricsRegistry()
+        registry.counter("weird.name-1", help="h\ne\\lp").inc(1)
+        registry.gauge("2gauge").set(4)
+        registry.histogram("histo gram",
+                           buckets=(0.5,)).observe(0.1)
+        text = prometheus_text(registry)
+        name_re = re.compile(
+            r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+            r'(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\\n])*"\})? '
+            r"-?[0-9.eE+inf-]+$")
+        for line in text.strip().splitlines():
+            if line.startswith("#"):
+                assert "\n" not in line[1:]
+                continue
+            assert name_re.match(line), line

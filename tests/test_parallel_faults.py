@@ -182,3 +182,120 @@ class TestParallelBudget:
         assert report.outcome in (RESOURCE_LIMIT_EXCEEDED,
                                   "proof_is_correct")
         assert report.num_checked <= len(proof)
+
+
+class TestTraceReplayUnderFaults:
+    """Shard retry and in-process degradation must leave the merged
+    trace duplicate- and orphan-free: exactly one shard span per shard
+    bound in the reconstructed timeline."""
+
+    def _timeline(self, formula, proof, jobs=4):
+        import io
+
+        from repro.obs import (
+            MetricsRegistry,
+            Obs,
+            Tracer,
+            build_timeline,
+            read_jsonl,
+            validate_trace,
+        )
+        obs = Obs(metrics=MetricsRegistry(), tracer=Tracer())
+        report = verify_proof_v1(formula, proof, jobs=jobs,
+                                 mode="incremental", obs=obs)
+        buf = io.StringIO()
+        obs.tracer.write_jsonl(buf)
+        events = read_jsonl(io.StringIO(buf.getvalue()))
+        assert validate_trace(events) == []
+        return report, build_timeline(events)
+
+    def _assert_one_span_per_shard(self, doc, expected_shards):
+        shard_spans = [s for s in doc["spans"]
+                       if s["name"] == "shard"]
+        bounds = sorted((s["attrs"]["lo"], s["attrs"]["hi"])
+                        for s in shard_spans)
+        assert bounds == sorted(expected_shards)
+        assert len(bounds) == len(set(bounds))
+        assert doc["dropped"]["orphans"] == 0
+        assert doc["dropped"]["open"] == 0
+        # Every shard span sits on a worker lane with cost attrs.
+        for span in shard_spans:
+            assert span["worker"].startswith("worker-")
+            assert span["attrs"]["checks"] == (span["attrs"]["hi"]
+                                               - span["attrs"]["lo"])
+            assert span["attrs"]["props"] >= 0
+
+    def test_retried_shard_yields_single_span(self, instance):
+        formula, proof = instance
+        shards = make_shards(len(proof), 4)
+        install_fault(shards[0], deaths=1)
+        report, doc = self._timeline(formula, proof)
+        assert report.ok
+        assert report.worker_failures >= 1
+        self._assert_one_span_per_shard(doc, shards)
+        # Dedup happened at absorb time or merge time — either way
+        # nothing duplicated survives and attribution is complete.
+        assert len(doc["attribution"]["shards"]) == len(shards)
+        assert doc["utilization"] is not None
+
+    def test_degraded_shard_attempt_attr_and_single_span(
+            self, instance):
+        formula, proof = instance
+        shards = make_shards(len(proof), 4)
+        install_fault(shards[0], deaths=2)
+        report, doc = self._timeline(formula, proof)
+        assert report.ok
+        assert any("degraded" in w for w in report.warnings)
+        self._assert_one_span_per_shard(doc, shards)
+        degraded = next(s for s in doc["spans"]
+                        if s["name"] == "shard"
+                        and tuple(s["attrs"]["shard"]) == shards[0])
+        assert degraded["attrs"]["attempt"] == 2
+
+    def test_clean_run_attempt_zero_everywhere(self, instance):
+        formula, proof = instance
+        shards = make_shards(len(proof), 4)
+        report, doc = self._timeline(formula, proof)
+        assert report.ok
+        self._assert_one_span_per_shard(doc, shards)
+        assert all(s["attrs"]["attempt"] == 0
+                   for s in doc["spans"] if s["name"] == "shard")
+        assert doc["dropped"]["duplicates"] == 0
+
+
+class TestSpawnTraceRebasing:
+    def test_spawn_run_yields_coherent_timeline(self, instance,
+                                                monkeypatch):
+        """Under ``REPRO_START_METHOD=spawn`` the workers rebase onto
+        the parent's time axis (see ``repro.obs.spans.rebase_epoch``):
+        shard spans must land *inside* the parent's pool span, carry
+        the parent's trace id, and build a valid timeline — the
+        regression this guards is worker timestamps on an unrelated
+        monotonic origin."""
+        import multiprocessing
+
+        from repro.obs import MetricsRegistry, Obs, Tracer, \
+            build_timeline, validate_timeline
+
+        if "spawn" not in multiprocessing.get_all_start_methods():
+            pytest.skip("platform has no spawn start method")
+        monkeypatch.setenv("REPRO_START_METHOD", "spawn")
+        formula, proof = instance
+        obs = Obs(metrics=MetricsRegistry(), tracer=Tracer())
+        report = verify_proof_v1(formula, proof, jobs=2,
+                                 mode="incremental", obs=obs)
+        assert report.ok
+        assert all(e["trace"] == obs.tracer.trace_id
+                   for e in obs.tracer.events)
+        doc = build_timeline(obs.tracer.events)
+        assert validate_timeline(doc) == []
+        pool = next(s for s in doc["spans"] if s["name"] == "pool")
+        shard_spans = [s for s in doc["spans"]
+                       if s["name"] == "shard"]
+        assert shard_spans
+        slack = 2.0  # wall-anchor rebase is wall-read accurate
+        for span in shard_spans:
+            assert span["begin"] >= pool["begin"] - slack
+            assert span["end"] <= pool["end"] + slack
+        assert doc["utilization"] is not None
+        assert doc["dropped"]["orphans"] == 0
