@@ -36,7 +36,12 @@ Runs in two forms:
   single-shot times on a noisy runner swing by ±25%), all raw times
   are kept in the record, and each invocation stamps an
   ``environment`` record (python/numpy/platform) so speedup rows can
-  be traced to the stack that produced them.
+  be traced to the stack that produced them.  Every row family also
+  carries memory columns — measured ``peak_rss_bytes`` (kernel
+  watermark reset per repeat where supported) and, for arena-backed
+  engines, the ``arena_peak_bytes`` pool high-water mark — and the
+  ``--overhead-instance`` record bounds both the metrics-only and the
+  background-memory-sampler instrumentation cost.
 """
 
 import json
@@ -53,7 +58,14 @@ if __name__ == "__main__":  # standalone: make src/ + repo root importable
 
 import pytest
 
-from repro.obs import MetricsRegistry, Obs, metrics_document
+from repro.obs import (
+    MemSampler,
+    MetricsRegistry,
+    Obs,
+    metrics_document,
+    read_rss,
+    reset_peak_rss,
+)
 from repro.verify.parallel import default_jobs
 from repro.verify.verification import verify_proof_v1
 
@@ -108,6 +120,47 @@ def _numpy_version():
     except ImportError:
         return None
     return numpy.__version__
+
+
+class _PeakRssMeter:
+    """Per-repeat peak-RSS bookkeeping for the standalone records.
+
+    On Linux, :func:`repro.obs.reset_peak_rss` clears the kernel's
+    ``VmHWM`` watermark before each timed repeat so :func:`read_rss`
+    afterwards reports the peak attributable to *that* repeat.  Where
+    the reset is unsupported the peaks are cumulative across the whole
+    invocation; the record says so via ``peak_rss_reset`` so trend
+    tooling knows which comparisons are honest.  The two procfs
+    touches per repeat are far below timer resolution.
+    """
+
+    def __init__(self):
+        self.peaks: list[int] = []
+        self.reset_ok = True
+
+    def before_repeat(self) -> None:
+        self.reset_ok = reset_peak_rss() and self.reset_ok
+
+    def after_repeat(self) -> None:
+        reading = read_rss()
+        if reading is not None:
+            self.peaks.append(reading[1])
+
+    def fields(self) -> dict:
+        if not self.peaks:
+            return {"peak_rss_bytes": None, "peak_rss_reset": False}
+        return {"peak_rss_bytes": max(self.peaks),
+                "peak_rss_reset": self.reset_ok}
+
+
+def _arena_peak_bytes(metrics: MetricsRegistry) -> int | None:
+    """The high-water arena pool size a metrics-attached run recorded
+    (gauge ``repro_mem_arena_pool_bytes``); None for engines without an
+    arena or runs that never published the gauge."""
+    entry = metrics.snapshot().get("repro_mem_arena_pool_bytes")
+    if entry is None:
+        return None
+    return entry["value"]["max"]
 
 _table = register_collector(TableCollector(
     "Backward verification1: rebuild vs incremental vs arena "
@@ -169,7 +222,11 @@ def bench_records(instances, jobs: int, repeats: int = 3,
     ``times``) — single-shot wall times on shared runners are noise.
     Each record also carries the report's per-phase ``stats``
     breakdown — the same numbers the CLI's ``--stats`` footer prints —
-    so the trend log separates setup from check time.
+    so the trend log separates setup from check time, plus the memory
+    columns: ``peak_rss_bytes`` (max measured peak across the timed
+    repeats, watermark-reset per repeat where the kernel allows) and,
+    for arena-backed engines, ``arena_peak_bytes`` from an untimed
+    metrics-attached run.
     """
     repeats = max(1, repeats)
     records = []
@@ -184,26 +241,37 @@ def bench_records(instances, jobs: int, repeats: int = 3,
             used_jobs = jobs if VARIANT_SPECS[variant][3] else 1
             times = []
             report = None
+            rss = _PeakRssMeter()
             for _ in range(repeats):
+                rss.before_repeat()
                 report = run_variant(data.formula, data.proof, variant,
                                      used_jobs)
                 assert report.ok, f"{name}/{variant} failed verification"
                 times.append(report.verification_time)
+                rss.after_repeat()
             stats = (report.stats.as_dict()
                      if report.stats is not None else None)
-            # Parallel variants get one extra *untimed* traced run so
-            # the record carries pool attribution (utilization, skew,
-            # stragglers) without instrumenting the timed repeats.
+            # Parallel variants get one extra *untimed* instrumented
+            # run so the record carries pool attribution (utilization,
+            # skew, stragglers) without instrumenting the timed
+            # repeats; arena-backed engines piggyback their peak pool
+            # gauge on the same run (or get their own untimed metrics
+            # run when sequential).
             attribution = None
+            arena_peak = None
+            arena_engine = VARIANT_SPECS[variant][0] in ("arena",
+                                                         "vector")
             if used_jobs > 1:
                 from repro.obs import Tracer
                 from repro.obs.timeline import attribution_summary
 
-                traced = Obs(tracer=Tracer())
+                traced = Obs(tracer=Tracer(),
+                             metrics=MetricsRegistry())
                 attributed = run_variant(data.formula, data.proof,
                                          variant, used_jobs,
                                          obs=traced)
                 assert attributed.ok
+                arena_peak = _arena_peak_bytes(traced.metrics)
                 attribution = attribution_summary(traced.tracer.events)
                 if attribution is not None:
                     # The per-shard rows are bulky; the trend log only
@@ -212,6 +280,12 @@ def bench_records(instances, jobs: int, repeats: int = 3,
                         k: attribution[k]
                         for k in ("utilization", "skew_ratio",
                                   "workers")}
+            elif arena_engine:
+                metered = Obs(metrics=MetricsRegistry())
+                gauged = run_variant(data.formula, data.proof, variant,
+                                     1, obs=metered)
+                assert gauged.ok
+                arena_peak = _arena_peak_bytes(metered.metrics)
             median = statistics.median(times)
             records.append({
                 "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ",
@@ -229,6 +303,8 @@ def bench_records(instances, jobs: int, repeats: int = 3,
                 "counters": report.bcp_counters,
                 "stats": stats,
                 "attribution": attribution,
+                "arena_peak_bytes": arena_peak,
+                **rss.fields(),
             })
             print(f"{name:<10} {variant:<15} jobs={report.jobs} "
                   f"engine={report.engine} "
@@ -277,14 +353,29 @@ def streaming_records(names, repeats: int = 3,
                     continue
                 times = []
                 report = None
+                rss = _PeakRssMeter()
                 for _ in range(repeats):
+                    rss.before_repeat()
                     report = verify_stream(
                         formula, trace, engine_cls=engine,
                         budget=CheckBudget(max_live_clauses=cap))
                     assert report.ok, \
                         f"{name}/{engine} failed streaming verification"
                     times.append(report.verification_time)
+                    rss.after_repeat()
                 assert report.num_additions == info["additions"]
+                # One untimed metrics-attached run for the arena
+                # gauges the streaming driver records at every window
+                # shift and at the verdict.
+                arena_peak = None
+                if engine in ("arena", "vector"):
+                    metered = Obs(metrics=MetricsRegistry())
+                    gauged = verify_stream(
+                        formula, trace, engine_cls=engine,
+                        budget=CheckBudget(max_live_clauses=cap),
+                        obs=metered)
+                    assert gauged.ok
+                    arena_peak = _arena_peak_bytes(metered.metrics)
                 median = statistics.median(times)
                 records.append({
                     "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ",
@@ -309,6 +400,8 @@ def streaming_records(names, repeats: int = 3,
                     "counters": report.bcp_counters,
                     "stats": (report.stats.as_dict()
                               if report.stats is not None else None),
+                    "arena_peak_bytes": arena_peak,
+                    **rss.fields(),
                 })
                 print(f"{name:<10} streaming/{engine:<8} "
                       f"median={median:.3f}s of {len(times)} "
@@ -362,16 +455,24 @@ def environment_record() -> dict:
     }
 
 
-def overhead_record(name: str, repeats: int = 3) -> dict:
+def overhead_record(name: str, repeats: int = 3,
+                    mem_period: float = 0.05) -> dict:
     """Measure what attaching instrumentation costs on one instance.
 
     Runs the incremental variant ``repeats`` times plain (``obs=None``,
-    the disabled fast path) and ``repeats`` times with a metrics
-    registry attached, takes the best of each (noise floor), and
-    reports the enabled-vs-disabled overhead.  The instrumented run's
-    metrics document (schema ``repro.obs.metrics/v1`` — the same
-    artifact ``repro verify --metrics-out`` writes) is embedded so the
-    trend log carries the full metric set.
+    the disabled fast path), ``repeats`` times with a metrics registry
+    attached, and ``repeats`` times with the metrics registry *plus* a
+    background :class:`~repro.obs.MemSampler` ticking every
+    ``mem_period`` seconds; takes the best of each (noise floor) and
+    reports the enabled-vs-disabled overheads.  The
+    ``enabled_overhead_pct`` number is the "disabled means free" CI
+    gate (memory sampling never attaches unless asked for, so the
+    metrics-only row is the cost every instrumented run pays);
+    ``mem_sampler_overhead_pct`` bounds the sampling thread on top of
+    that.  The instrumented run's metrics document (schema
+    ``repro.obs.metrics/v1`` — the same artifact ``repro verify
+    --metrics-out`` writes) is embedded so the trend log carries the
+    full metric set.
     """
     data = solved_instance(name)
     disabled = min(
@@ -391,15 +492,44 @@ def overhead_record(name: str, repeats: int = 3) -> dict:
             run={"id": obs.run_id, "command": "bench", "instance": name},
             stats=report.stats.as_dict())
     enabled = min(enabled_times)
+    mem_times = []
+    mem_samples = 0
+    for _ in range(repeats):
+        sampler = MemSampler()
+        obs = Obs(metrics=MetricsRegistry(), mem=sampler)
+        sampler.start(mem_period)
+        try:
+            report = run_variant(data.formula, data.proof,
+                                 "incremental", 1, obs=obs)
+        finally:
+            sampler.stop()
+            # Runs shorter than one period still record a reading.
+            sampler.sample()
+        assert report.ok
+        mem_times.append(report.verification_time)
+        mem_samples = max(mem_samples, len(sampler.samples))
+    mem_enabled = min(mem_times)
+
+    def _pct(value):
+        return (round(100.0 * (value - disabled) / disabled, 2)
+                if disabled > 0 else None)
+
     return {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "kind": "instrumentation_overhead",
         "instance": name,
         "disabled_time": round(disabled, 6),
         "enabled_time": round(enabled, 6),
-        "enabled_overhead_pct": round(
-            100.0 * (enabled - disabled) / disabled, 2)
-        if disabled > 0 else None,
+        "enabled_overhead_pct": _pct(enabled),
+        "mem_sampler_time": round(mem_enabled, 6),
+        "mem_sampler_period": mem_period,
+        "mem_sampler_samples": mem_samples,
+        "mem_sampler_overhead_pct": _pct(mem_enabled),
+        # The sampler's *marginal* cost over metrics-only — the number
+        # the "<3% when not profiling" acceptance gate reads.
+        "mem_sampler_marginal_pct": (
+            round(100.0 * (mem_enabled - enabled) / enabled, 2)
+            if enabled > 0 else None),
         "metrics": doc,
     }
 
@@ -501,7 +631,10 @@ def main(argv=None) -> int:
         print(f"instrumentation overhead on {record['instance']}: "
               f"disabled={record['disabled_time']:.3f}s "
               f"enabled={record['enabled_time']:.3f}s "
-              f"({record['enabled_overhead_pct']:+.1f}%)")
+              f"({record['enabled_overhead_pct']:+.1f}%) "
+              f"mem-sampled={record['mem_sampler_time']:.3f}s "
+              f"({record['mem_sampler_overhead_pct']:+.1f}%, "
+              f"{record['mem_sampler_samples']} samples)")
         records.append(record)
     existing = []
     if args.output.exists():

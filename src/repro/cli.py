@@ -304,6 +304,12 @@ def _build_parser() -> argparse.ArgumentParser:
                                   "recorded worker utilization is "
                                   "below PCT%% (parallel runs with an "
                                   "attribution section)")
+    regress_cmd.add_argument("--max-peak-rss-growth", type=float,
+                             default=None, metavar="PCT",
+                             help="fail when measured peak RSS grew "
+                                  "more than PCT%% over the baseline "
+                                  "(runs whose fingerprints carry a "
+                                  "memory section)")
     return parser
 
 
@@ -364,6 +370,20 @@ def _add_obs_arguments(cmd: argparse.ArgumentParser,
                        help="write a live status file here on every "
                             "progress beat, for 'repro obs top' "
                             "(default: $REPRO_LIVE_DIR)")
+    group.add_argument("--mem-out", metavar="PATH", default=None,
+                       help="write the measured-memory artifact here "
+                            "(schema repro.obs.mem/v1: RSS samples, "
+                            "peaks, arena gauges)")
+    group.add_argument("--mem-sample-period", type=float, default=None,
+                       metavar="SECONDS",
+                       help="also sample RSS on a background thread "
+                            "every SECONDS (default: one sample per "
+                            "progress heartbeat only)")
+    group.add_argument("--mem-profile", action="store_true",
+                       help="attribute allocation peaks to phases "
+                            "with tracemalloc (expensive — adds a "
+                            "tracemalloc section to --mem-out and "
+                            "the history fingerprint)")
     if insight:
         group.add_argument("--depgraph-out", metavar="PATH",
                            default=None,
@@ -405,9 +425,24 @@ def _obs_from(args: argparse.Namespace) -> Obs | None:
                        and not getattr(args, "no_history", True)))
     wants_depgraph = _wants_insight(args)
     live_dir = getattr(args, "live_dir", None)
+    wants_mem_doc = getattr(args, "mem_out", None) is not None
+    mem_profile = getattr(args, "mem_profile", False)
+    mem_period = getattr(args, "mem_sample_period", None)
+    # The mem artifact's gauges (RSS peaks, arena accounting) live in
+    # the metrics registry, so asking for memory telemetry implies one
+    # even without --metrics-out/--stats.
+    wants_metrics = (wants_metrics or wants_mem_doc or mem_profile
+                     or mem_period is not None)
     if not (wants_metrics or wants_trace or args.progress
             or wants_depgraph or live_dir is not None):
         return None
+    # Any instrumented run gets the RSS sampler: it only fires on
+    # progress beats (or its own --mem-sample-period thread), so it
+    # costs nothing on runs without a heartbeat, and it is what feeds
+    # the live view's RSS columns, the timeline memory lane, and the
+    # fingerprint's memory section.
+    from repro.obs.mem import MemProfiler, MemSampler
+
     return Obs(
         metrics=MetricsRegistry() if wants_metrics else None,
         tracer=Tracer() if wants_trace else None,
@@ -415,7 +450,9 @@ def _obs_from(args: argparse.Namespace) -> Obs | None:
         depgraph=DepGraphRecorder() if wants_depgraph else None,
         live_dir=live_dir,
         live_meta={"command": args.command,
-                   "instance": getattr(args, "cnf", None)})
+                   "instance": getattr(args, "cnf", None)},
+        mem=MemSampler(),
+        mem_profiler=MemProfiler() if mem_profile else None)
 
 
 def _write_obs_artifacts(obs: Obs | None, args: argparse.Namespace,
@@ -445,6 +482,40 @@ def _write_obs_artifacts(obs: Obs | None, args: argparse.Namespace,
     if args.trace_out is not None and obs.tracer is not None:
         obs.tracer.write_jsonl(args.trace_out)
         print(f"c trace written to {args.trace_out}")
+    mem_out = getattr(args, "mem_out", None)
+    if mem_out is not None and obs.mem is not None:
+        from repro.obs.mem import write_mem_json
+
+        run = {"id": obs.run_id, "command": args.command,
+               "interrupted": report is None}
+        write_mem_json(mem_out, obs.mem, run,
+                       arena=_mem_arena_section(obs),
+                       profile=obs.mem_profiler)
+        print(f"c memory telemetry written to {mem_out}")
+
+
+def _mem_arena_section(obs: Obs | None) -> dict | None:
+    """The mem artifact's ``arena`` section, recovered from the
+    ``repro_mem_arena_*`` gauges (their max-merge already folded
+    worker peaks in); None when no arena-backed engine reported."""
+    if obs is None or obs.metrics is None:
+        return None
+    snapshot = obs.metrics.snapshot()
+
+    def peak(name):
+        entry = snapshot.get(name)
+        if entry is None or entry.get("kind") != "gauge":
+            return None
+        return entry["value"]["max"]
+
+    pool = peak("repro_mem_arena_pool_bytes")
+    if pool is None:
+        return None
+    return {"pool_bytes": int(pool),
+            "live_bytes": int(peak("repro_mem_arena_live_bytes") or 0),
+            "watch_entries": int(peak("repro_mem_watch_entries") or 0),
+            "fragmentation": float(
+                peak("repro_mem_arena_fragmentation") or 0.0)}
 
 
 def _write_insight_artifacts(obs: Obs | None, args: argparse.Namespace,
@@ -516,8 +587,33 @@ def _record_history(obs: Obs | None, args: argparse.Namespace, report,
         report,
         run_id=obs.run_id if obs is not None else make_run_id(),
         command=args.command, instance=args.cnf, analytics=analytics,
-        attribution=attribution)
+        attribution=attribution, memory=_mem_history_section(obs))
     HistoryStore(args.history_dir).append(record)
+
+
+def _mem_history_section(obs: Obs | None) -> dict | None:
+    """The fingerprint's ``memory`` section: measured peak RSS (the
+    ``--max-peak-rss-growth`` gate input), arena peak, and the top
+    tracemalloc sites when ``--mem-profile`` captured them.  None when
+    the run had no sampler or it never produced a reading — an
+    unmeasured run must not gate."""
+    if obs is None or obs.mem is None:
+        return None
+    summary = obs.mem.summary()
+    if summary["peak_rss_bytes"] is None:
+        return None
+    memory = {"peak_rss_bytes": summary["peak_rss_bytes"],
+              "rss_bytes": summary["rss_bytes"],
+              "source": summary["source"],
+              "num_samples": summary["num_samples"]}
+    arena = _mem_arena_section(obs)
+    if arena is not None:
+        memory["arena_peak_bytes"] = arena["pool_bytes"]
+    if obs.mem_profiler is not None:
+        profile = obs.mem_profiler.document()
+        if profile is not None:
+            memory["tracemalloc_top"] = profile["top"][:5]
+    return memory
 
 
 def _run_instrumented(args: argparse.Namespace, obs: Obs | None, run,
@@ -536,11 +632,13 @@ def _run_instrumented(args: argparse.Namespace, obs: Obs | None, run,
 
         profiler = cProfile.Profile()
         profiler.enable()
+    _start_mem(args, obs)
     try:
         report = run()
     except KeyboardInterrupt:
         if profiler is not None:
             profiler.disable()
+        _finish_mem(obs)
         print("c error: interrupted", file=sys.stderr)
         if formula is not None and proof is not None:
             _write_insight_artifacts(obs, args, None, formula, proof)
@@ -548,10 +646,38 @@ def _run_instrumented(args: argparse.Namespace, obs: Obs | None, run,
         if profiler is not None:
             _write_profile(args, profiler, None)
         return None
+    _finish_mem(obs)
     if profiler is not None:
         profiler.disable()
         _write_profile(args, profiler, report)
     return report
+
+
+def _start_mem(args: argparse.Namespace, obs: Obs | None) -> None:
+    """Arm the memory facilities for one run: a first sample (so even
+    a heartbeat-less run records a baseline), the optional background
+    sampling thread, and the optional tracemalloc profiler."""
+    if obs is None:
+        return
+    if obs.mem_profiler is not None:
+        obs.mem_profiler.start()
+    if obs.mem is not None:
+        obs.mem.sample()
+        period = getattr(args, "mem_sample_period", None)
+        if period is not None and period > 0:
+            obs.mem.start(period)
+
+
+def _finish_mem(obs: Obs | None) -> None:
+    """Disarm them: stop the thread, take a final sample (the peak a
+    short run would otherwise miss), stop tracemalloc."""
+    if obs is None:
+        return
+    if obs.mem is not None:
+        obs.mem.stop()
+        obs.mem.sample()
+    if obs.mem_profiler is not None:
+        obs.mem_profiler.stop()
 
 
 def _write_profile(args: argparse.Namespace, profiler, report) -> None:
@@ -916,7 +1042,8 @@ def _cmd_obs(args: argparse.Namespace) -> int:
             max_wall_pct=args.max_wall_pct,
             max_props_drop_pct=args.max_props_drop_pct,
             max_phase_pct=args.max_phase_pct,
-            min_utilization_pct=args.min_utilization)
+            min_utilization_pct=args.min_utilization,
+            max_peak_rss_growth_pct=args.max_peak_rss_growth)
     except LookupError as exc:
         print(f"c error: {exc}", file=sys.stderr)
         return EXIT_ERROR

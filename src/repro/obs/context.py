@@ -16,7 +16,14 @@ see it at all, and no registry, tracer, or clock is touched.  An
   DepGraphRecorder`; with one attached the verification drivers
   record each checked clause's conflict-analysis antecedents (the
   proof dependency graph), and the parallel parent folds worker
-  record buffers in like metric snapshots.
+  record buffers in like metric snapshots;
+* ``mem`` — a :class:`~repro.obs.mem.MemSampler`; it rides the
+  progress heartbeat (one RSS read per beat) and feeds the same
+  metrics registry and tracer, so memory samples carry the run's
+  trace context.  A ``mem_profiler``
+  (:class:`~repro.obs.mem.MemProfiler`) additionally marks traced
+  allocation peaks at span boundaries when ``--mem-profile`` asked
+  for it.
 
 The helpers (`span`, `event`, `counter_add`, ...) are null-safe with
 respect to the *facilities* — an ``Obs`` with only a tracer ignores
@@ -50,13 +57,19 @@ class Obs:
                  run_id: str | None = None,
                  depgraph=None,
                  live_dir=None,
-                 live_meta: dict | None = None):
+                 live_meta: dict | None = None,
+                 mem=None,
+                 mem_profiler=None):
         if run_id is None:
             run_id = tracer.run_id if tracer is not None else make_run_id()
         self.run_id = run_id
         self.metrics = metrics
         self.tracer = tracer
         self.depgraph = depgraph
+        self.mem = mem
+        self.mem_profiler = mem_profiler
+        if mem is not None:
+            mem.bind(metrics, tracer)
         self.progress_stream = progress_stream
         self.progress_interval = progress_interval
         # The live view rides the progress heartbeat: a live_dir turns
@@ -70,7 +83,7 @@ class Obs:
 
     @classmethod
     def enabled(cls, tracing: bool = True, progress_stream=None,
-                depgraph: bool = False) -> "Obs":
+                depgraph: bool = False, mem: bool = True) -> "Obs":
         """An Obs with everything on — the library-user one-liner."""
         if depgraph:
             from repro.obs.insight.depgraph import DepGraphRecorder
@@ -78,17 +91,38 @@ class Obs:
             recorder = DepGraphRecorder()
         else:
             recorder = None
+        if mem:
+            from repro.obs.mem import MemSampler
+
+            sampler = MemSampler()
+        else:
+            sampler = None
         return cls(metrics=MetricsRegistry(),
                    tracer=Tracer() if tracing else None,
                    progress_stream=progress_stream,
-                   depgraph=recorder)
+                   depgraph=recorder, mem=sampler)
 
     # -- tracing -----------------------------------------------------------
 
     def span(self, name: str, **attrs):
+        if self.mem_profiler is not None:
+            return self._profiled_span(name, **attrs)
         if self.tracer is None:
             return _NULL
         return self.tracer.span(name, **attrs)
+
+    @contextmanager
+    def _profiled_span(self, name: str, **attrs):
+        """A span that also marks the tracemalloc phase attribution at
+        its boundary (``--mem-profile`` only — never the default
+        path)."""
+        inner = (self.tracer.span(name, **attrs)
+                 if self.tracer is not None else _NULL)
+        with inner as end_attrs:
+            try:
+                yield end_attrs
+            finally:
+                self.mem_profiler.mark(name)
 
     def event(self, name: str, **attrs) -> None:
         if self.tracer is not None:
@@ -184,13 +218,18 @@ class Obs:
             from repro.obs.live import LiveStatusWriter
 
             status_writer = LiveStatusWriter(
-                self.live_dir, self.run_id, meta=self.live_meta)
+                self.live_dir, self.run_id, meta=self.live_meta,
+                mem_provider=(self.mem.live_view
+                              if self.mem is not None else None))
         return ProgressReporter(total, label=label,
                                 stream=self.progress_stream,
                                 interval=self.progress_interval,
                                 status_writer=status_writer,
                                 console=self.progress_stream
-                                is not None)
+                                is not None,
+                                on_beat=(self.mem.sample
+                                         if self.mem is not None
+                                         else None))
 
     # -- timed phases ------------------------------------------------------
 

@@ -26,7 +26,9 @@ Fingerprint schema (``repro.obs.run/v1``)::
      "wall_time": 0.041,
      "checks": 120, "props": 5113, "props_per_sec": 124707.3,
      "checks_per_sec": 2926.8, "phase_times": {"setup": ..., ...},
-     "analytics": {"local_clauses": ..., ...} | null}
+     "analytics": {"local_clauses": ..., ...} | null,
+     "memory": {"peak_rss_bytes": ..., "arena_peak_bytes": ...,
+                "tracemalloc_top": [...]} | null}
 
 Selectors: runs are addressed by integer position (``0`` first,
 ``-1`` latest) or by a unique run-id prefix.
@@ -80,7 +82,8 @@ def fingerprint(report, *, run_id: str, command: str,
                 instance: str | None = None,
                 analytics=None,
                 wall_time: float | None = None,
-                attribution: dict | None = None) -> dict:
+                attribution: dict | None = None,
+                memory: dict | None = None) -> dict:
     """A run's history record, from its report (and optional analytics).
 
     ``wall_time`` defaults to the report's ``verification_time``;
@@ -88,7 +91,11 @@ def fingerprint(report, *, run_id: str, command: str,
     ProofShapeAnalytics` (or ``None`` when insight capture was off);
     ``attribution`` is the compact parallel-run summary from
     :func:`repro.obs.timeline.attribution_summary` (``None`` for
-    sequential runs or runs without tracing).
+    sequential runs or runs without tracing); ``memory`` is the
+    measured-memory section (``peak_rss_bytes``, optional
+    ``arena_peak_bytes``/``tracemalloc_top``) from the run's
+    :class:`~repro.obs.mem.MemSampler`, ``None`` when sampling was
+    off or never produced a reading.
     """
     wall = report.verification_time if wall_time is None else wall_time
     stats = report.stats
@@ -120,6 +127,7 @@ def fingerprint(report, *, run_id: str, command: str,
                         if stats is not None else {}),
         "analytics": None,
         "attribution": attribution,
+        "memory": memory,
     }
     if analytics is not None:
         shape = analytics.as_dict()
@@ -284,6 +292,17 @@ def compare_runs(a: dict, b: dict) -> list[dict]:
         rows.append(row("attribution:workers",
                         attr_a.get("workers"),
                         attr_b.get("workers"), 0))
+    mem_a, mem_b = a.get("memory"), b.get("memory")
+    if mem_a and mem_b:
+        # Lower is better on every memory axis.
+        rows.append(row("memory:peak_rss_bytes",
+                        mem_a.get("peak_rss_bytes"),
+                        mem_b.get("peak_rss_bytes"), +1))
+        if (mem_a.get("arena_peak_bytes") is not None
+                or mem_b.get("arena_peak_bytes") is not None):
+            rows.append(row("memory:arena_peak_bytes",
+                            mem_a.get("arena_peak_bytes"),
+                            mem_b.get("arena_peak_bytes"), +1))
     return rows
 
 
@@ -326,6 +345,7 @@ def check_regression(baseline: dict, current: dict, *,
                      max_props_drop_pct: float | None = None,
                      max_phase_pct: float | None = None,
                      min_utilization_pct: float | None = None,
+                     max_peak_rss_growth_pct: float | None = None,
                      ) -> list[str]:
     """Threshold violations of ``current`` against ``baseline``.
 
@@ -340,7 +360,11 @@ def check_regression(baseline: dict, current: dict, *,
     * ``min_utilization_pct`` — an absolute floor on the current run's
       recorded worker utilization (parallel runs with an attribution
       section only; a run without one skips the check — utilization
-      is undefined for sequential runs).
+      is undefined for sequential runs);
+    * ``max_peak_rss_growth_pct`` — measured peak RSS may grow at most
+      this % over the baseline (runs whose fingerprints carry a
+      ``memory`` section only; either side missing skips the check —
+      an unmeasured run cannot be gated).
 
     Returns human-readable violation lines (empty: no regression).
     A current run with a worse outcome than the baseline is always a
@@ -388,6 +412,17 @@ def check_regression(baseline: dict, current: dict, *,
             violations.append(
                 f"worker utilization {utilization * 100:.1f}% below "
                 f"floor {min_utilization_pct:g}%")
+    if max_peak_rss_growth_pct is not None:
+        mem_base = baseline.get("memory") or {}
+        mem_cur = current.get("memory") or {}
+        pct = _delta_pct(mem_base.get("peak_rss_bytes"),
+                         mem_cur.get("peak_rss_bytes"))
+        if pct is not None and pct > max_peak_rss_growth_pct:
+            violations.append(
+                f"peak RSS regressed {pct:+.1f}% "
+                f"({mem_base['peak_rss_bytes']} -> "
+                f"{mem_cur['peak_rss_bytes']} bytes; threshold "
+                f"+{max_peak_rss_growth_pct:g}%)")
     return violations
 
 

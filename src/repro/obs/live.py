@@ -41,12 +41,17 @@ class LiveStatusWriter:
     """
 
     def __init__(self, live_dir, run_id: str,
-                 meta: dict | None = None, wall=time.time):
+                 meta: dict | None = None, wall=time.time,
+                 mem_provider=None):
         self.live_dir = str(live_dir)
         self.run_id = run_id
         self.path = os.path.join(self.live_dir, f"{run_id}.json")
         self.meta = dict(meta or {})
         self._wall = wall
+        # Optional callable returning the memory sampler's compact
+        # view ({rss_bytes, peak_rss_bytes, updated}) — embedded per
+        # beat so `obs top` shows RSS and can flag a silent sampler.
+        self.mem_provider = mem_provider
 
     def update(self, done: int, total: int, label: str,
                elapsed: float, eta: float | None,
@@ -66,6 +71,11 @@ class LiveStatusWriter:
             "updated": self._wall(),
             "meta": self.meta,
         }
+        if self.mem_provider is not None:
+            try:
+                doc["mem"] = self.mem_provider()
+            except Exception:
+                doc["mem"] = None
         try:
             os.makedirs(self.live_dir, exist_ok=True)
             atomic_write_text(
@@ -100,6 +110,19 @@ def read_live_statuses(live_dir) -> list[dict]:
     return statuses
 
 
+def format_bytes(value) -> str:
+    """``62.1M``-style human bytes (``-`` when unknown) — shared by
+    the top table and the timeline memory lane."""
+    if not isinstance(value, (int, float)) or value <= 0:
+        return "-"
+    for unit in ("B", "K", "M", "G", "T"):
+        if value < 1024 or unit == "T":
+            return (f"{value:.0f}{unit}" if unit == "B"
+                    else f"{value:.1f}{unit}")
+        value /= 1024
+    return "-"
+
+
 def format_top_table(statuses: list[dict], now: float | None = None,
                      stale_after: float = DEFAULT_STALE_AFTER) -> str:
     """A ``top``-style table over live status docs."""
@@ -109,13 +132,22 @@ def format_top_table(statuses: list[dict], now: float | None = None,
         return "no live runs\n"
     header = (f"{'RUN':<16} {'PID':>7} {'STATE':<8} "
               f"{'PROGRESS':>14} {'%':>6} {'RATE':>9} "
-              f"{'ELAPSED':>8} {'ETA':>6}  COMMAND")
+              f"{'ELAPSED':>8} {'ETA':>6} {'RSS':>7} {'PEAK':>7}"
+              "  COMMAND")
     lines = [header]
     for doc in statuses:
         state = doc.get("state", "?")
         updated = doc.get("updated")
         if (state == "running" and updated is not None
                 and now - updated > stale_after):
+            state = "stale"
+        mem = doc.get("mem")
+        if (state == "running" and isinstance(mem, dict)
+                and isinstance(mem.get("updated"), (int, float))
+                and now - mem["updated"] > stale_after):
+            # The progress heartbeat still beats but the memory
+            # sampler went silent (dead sampler thread, unreadable
+            # procfs): surface the partial outage as staleness.
             state = "stale"
         done = doc.get("done", 0)
         total = doc.get("total", 0)
@@ -130,10 +162,14 @@ def format_top_table(statuses: list[dict], now: float | None = None,
         command = meta.get("command", "")
         instance = meta.get("instance", "")
         label = f"{command} {instance}".strip()
+        mem = doc.get("mem") if isinstance(doc.get("mem"), dict) else {}
+        rss_s = format_bytes(mem.get("rss_bytes"))
+        peak_s = format_bytes(mem.get("peak_rss_bytes"))
         lines.append(
             f"{doc.get('run', '?'):<16} {doc.get('pid', '?'):>7} "
             f"{state:<8} {f'{done}/{total}':>14} {pct:>6} "
-            f"{rate_s:>9} {elapsed_s:>8} {eta_s:>6}  {label}")
+            f"{rate_s:>9} {elapsed_s:>8} {eta_s:>6} {rss_s:>7} "
+            f"{peak_s:>7}  {label}")
     return "\n".join(lines) + "\n"
 
 

@@ -29,24 +29,36 @@ class ProgressReporter:
     beat as a structured update; ``console=False`` keeps the status
     writer fed without printing lines (a run watched only through
     ``repro obs top``).
+
+    ``on_beat`` (optional) runs once per emitted beat *before* the
+    status write — the memory sampler rides here, so each live status
+    update carries a fresh RSS reading.  It is exception-guarded: a
+    failing beat hook can never break the heartbeat, let alone the
+    run.
     """
 
     def __init__(self, total: int, label: str = "checks",
                  stream=None, interval: float = 0.5,
                  clock=time.monotonic, status_writer=None,
-                 console: bool = True):
+                 console: bool = True, on_beat=None):
         self.total = total
         self.label = label
         self.stream = stream if stream is not None else sys.stderr
         self.interval = interval
         self.status_writer = status_writer
         self.console = console
+        self.on_beat = on_beat
         self._clock = clock
         self._start = clock()
         self._last_emit: float | None = None
         self.lines_emitted = 0
 
     def _emit(self, done: int, now: float, final: bool = False) -> None:
+        if self.on_beat is not None:
+            try:
+                self.on_beat()
+            except Exception:
+                pass
         elapsed = now - self._start
         eta = None
         line = (f"c progress: {done}/{self.total} {self.label}, "

@@ -18,8 +18,13 @@ questions the raw log can't:
   the span that ends last, recurse into the child that ends last
   before the cursor, move the cursor to that child's begin, repeat;
 * **attribution** — per-shard wall/checks/props/clause-visits rows
-  plus the top stragglers, the section ``obs history`` persists so
-  ``obs compare``/``check-regression`` can gate on utilization.
+  (plus per-shard ``peak_rss`` when workers reported it) and the top
+  stragglers, the section ``obs history`` persists so
+  ``obs compare``/``check-regression`` can gate on utilization;
+* **memory** — every ``mem_sample`` instant event the
+  heartbeat-riding :class:`repro.obs.mem.MemSampler` stamped into the
+  trace, folded with per-shard peaks into a run-wide ``peak_rss``,
+  rendered as a sparkline lane (text) and a bar lane (HTML).
 
 Retried shards are deduplicated here as well as at absorb time
 (:class:`repro.verify.parallel._ObsSink`): among shard spans covering
@@ -37,6 +42,7 @@ import html as _html
 import json
 
 from repro.obs.export import atomic_write_text
+from repro.obs.live import format_bytes
 
 TIMELINE_SCHEMA = "repro.obs.timeline/v1"
 
@@ -328,6 +334,7 @@ def _attribution(spans: list[dict], top: int = TOP_STRAGGLERS,
             "checks": attrs.get("checks"),
             "props": attrs.get("props"),
             "clause_visits": attrs.get("clause_visits"),
+            "peak_rss": attrs.get("peak_rss"),
             "worker": span["worker"],
             "attempt": attrs.get("attempt", 0)})
     if not shards:
@@ -338,6 +345,45 @@ def _attribution(spans: list[dict], top: int = TOP_STRAGGLERS,
     return {"shards": shards,
             "top_stragglers": ranked[:top],
             "skew": _shard_skew(shards)}
+
+
+def _memory_section(spans: list[dict],
+                    attribution: dict | None) -> dict | None:
+    """The timeline's memory lane: every ``mem_sample`` instant event
+    (emitted by :class:`repro.obs.mem.MemSampler` riding the progress
+    heartbeat) plus the run-wide peak RSS.
+
+    The peak folds in per-shard ``peak_rss`` end-attrs too, so a
+    parallel run whose parent sampled little still reports the true
+    max across workers.  None when the trace carries no memory data
+    at all (sampler disabled) — renderers skip the lane entirely.
+    """
+    samples = []
+    for span in spans:
+        for record in span.get("events", ()):
+            if record.get("name") != "mem_sample":
+                continue
+            attrs = record.get("attrs", {})
+            rss = attrs.get("rss_bytes")
+            if not isinstance(rss, (int, float)):
+                continue
+            samples.append({
+                "ts": record["ts"],
+                "rss_bytes": int(rss),
+                "peak_rss_bytes": attrs.get("peak_rss_bytes"),
+                "worker": span["worker"]})
+    samples.sort(key=lambda s: s["ts"])
+    peaks = [s["peak_rss_bytes"] for s in samples
+             if isinstance(s["peak_rss_bytes"], (int, float))]
+    peaks.extend(s["rss_bytes"] for s in samples)
+    if attribution:
+        peaks.extend(row["peak_rss"] for row in attribution["shards"]
+                     if isinstance(row.get("peak_rss"),
+                                   (int, float)))
+    if not peaks:
+        return None
+    return {"samples": samples,
+            "peak_rss_bytes": int(max(peaks))}
 
 
 def _critical_path(spans: list[dict]) -> list[dict]:
@@ -422,6 +468,7 @@ def build_timeline(events: list[dict], top: int = TOP_STRAGGLERS,
     workers, utilization = _worker_stats(spans) if spans else ([],
                                                                None)
     attribution = _attribution(spans, top=top)
+    memory = _memory_section(spans, attribution)
     critical = _critical_path(spans)
     doc = {
         "schema": TIMELINE_SCHEMA,
@@ -443,6 +490,7 @@ def build_timeline(events: list[dict], top: int = TOP_STRAGGLERS,
             {"shards": attribution["shards"],
              "top_stragglers": attribution["top_stragglers"]}
             if attribution else None),
+        "memory": memory,
         "dropped": {"duplicates": duplicates, "orphans": orphans,
                     "open": open_count},
     }
@@ -465,6 +513,8 @@ def attribution_summary(events: list[dict],
                        if doc["shard_skew"] else None),
         "workers": len([w for w in doc["workers"]
                         if w["worker"] != "main"]),
+        "peak_rss_bytes": (doc["memory"]["peak_rss_bytes"]
+                           if doc.get("memory") else None),
         "shards": doc["attribution"]["shards"],
         "top_stragglers": doc["attribution"]["top_stragglers"],
     }
@@ -483,6 +533,24 @@ def write_timeline_json(doc: dict, path_or_file) -> None:
 
 
 _BAR_WIDTH = 48
+
+
+def _memory_lane(memory: dict, lo: float, hi: float) -> str:
+    """A fixed-width RSS sparkline over the timeline window: each
+    column shows the largest sample falling in that time slice,
+    scaled against the run peak (`` .:-=+*#`` from empty to peak)."""
+    levels = " .:-=+*#"
+    peak = max(memory["peak_rss_bytes"], 1)
+    cols = [0] * _BAR_WIDTH
+    span = max(hi - lo, 1e-9)
+    for sample in memory["samples"]:
+        col = int((sample["ts"] - lo) / span * _BAR_WIDTH)
+        col = min(max(col, 0), _BAR_WIDTH - 1)
+        cols[col] = max(cols[col], sample["rss_bytes"])
+    return "".join(
+        levels[min(len(levels) - 1,
+                   int(value / peak * (len(levels) - 1) + 0.5))]
+        if value else " " for value in cols)
 
 
 def _bar(begin: float, end: float, lo: float, hi: float) -> str:
@@ -534,6 +602,14 @@ def render_timeline_text(doc: dict) -> str:
             f"  {name:<14} |{''.join(bar)}| "
             f"busy={row['busy']:.3f}s idle={row['idle']:.3f}s "
             f"util={row['utilization'] * 100:.1f}%")
+    memory = doc.get("memory")
+    if memory:
+        lines.append("")
+        lane = _memory_lane(memory, lo, hi)
+        lines.append(
+            f"  {'memory':<14} |{lane}| "
+            f"peak={format_bytes(memory['peak_rss_bytes'])} "
+            f"samples={len(memory['samples'])}")
     lines.append("")
     lines.append(
         f"critical path ({doc['critical_path_wall']:.3f}s of "
@@ -548,11 +624,13 @@ def render_timeline_text(doc: dict) -> str:
         lines.append("top stragglers:")
         for row in attribution["top_stragglers"]:
             props = row["props"]
-            lines.append(
+            line = (
                 f"  {row['key']:<24} wall={row['wall']:.3f}s "
                 f"checks={row['checks']} "
-                f"props={props if props is not None else '?'} "
-                f"on {row['worker']}")
+                f"props={props if props is not None else '?'}")
+            if isinstance(row.get("peak_rss"), (int, float)):
+                line += f" rss={format_bytes(row['peak_rss'])}"
+            lines.append(line + f" on {row['worker']}")
     dropped = doc["dropped"]
     if any(dropped.values()):
         lines.append("")
@@ -631,6 +709,27 @@ def render_timeline_html(doc: dict) -> str:
             f'{_html.escape(entry["key"])}</div>')
     flame_height = max(22 * len(depth_end), 22)
 
+    memory = doc.get("memory")
+    mem_html = ""
+    if memory:
+        mem_peak = max(memory["peak_rss_bytes"], 1)
+        mem_bars = []
+        for sample in memory["samples"]:
+            left = pct(sample["ts"])
+            height = max(2.0, sample["rss_bytes"] / mem_peak * 40.0)
+            title = _html.escape(
+                f"{format_bytes(sample['rss_bytes'])} rss "
+                f"at +{sample['ts'] - lo:.3f}s "
+                f"({sample['worker']})")
+            mem_bars.append(
+                f'<div class="m" title="{title}" '
+                f'style="left:{left:.3f}%;'
+                f'height:{height:.0f}px;"></div>')
+        mem_html = (
+            f'<h2>Memory — peak '
+            f'{_html.escape(format_bytes(memory["peak_rss_bytes"]))}'
+            f'</h2>\n<div class="memlane">{"".join(mem_bars)}</div>\n')
+
     util = doc["utilization"]
     summary = (f"wall {window['wall']:.3f}s · critical path "
                f"{doc['critical_path_wall']:.3f}s")
@@ -639,6 +738,9 @@ def render_timeline_html(doc: dict) -> str:
     if doc["shard_skew"]:
         summary += (f" · shard skew "
                     f"{doc['shard_skew']['skew_ratio']:.2f}x")
+    if memory:
+        summary += (f" · peak rss "
+                    f"{format_bytes(memory['peak_rss_bytes'])}")
     return f"""<!DOCTYPE html>
 <html><head><meta charset="utf-8">
 <title>repro timeline {_html.escape(doc['run'] or '')}</title>
@@ -657,12 +759,16 @@ h1 {{ font-size: 16px; }}
   color: #fff; overflow: hidden; white-space: nowrap;
   font-size: 11px; line-height: 20px; padding-left: 2px;
   border-radius: 2px; box-sizing: border-box; }}
+.memlane {{ position: relative; height: 44px; margin-left: 9em;
+  background: #f2f2f2; }}
+.m {{ position: absolute; bottom: 0; width: 0.6%;
+  min-width: 2px; background: #76b7b2; }}
 </style></head><body>
 <h1>repro timeline — run {_html.escape(doc['run'] or '?')}</h1>
 <p>{_html.escape(summary)}</p>
 <h2>Gantt</h2>
 {''.join(rows)}
-<h2>Critical path</h2>
+{mem_html}<h2>Critical path</h2>
 <div class="flame">{''.join(flame)}</div>
 </body></html>
 """

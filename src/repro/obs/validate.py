@@ -25,6 +25,7 @@ from repro.obs.schema import (
     ANALYTICS_SCHEMA,
     DEPGRAPH_SCHEMA,
     KNOWN_SCHEMAS,
+    MEM_SCHEMA,
     METRICS_SCHEMA,
     TIMELINE_SCHEMA,
     TRACE_SCHEMA,
@@ -78,6 +79,10 @@ def main(argv: list[str] | None = None) -> int:
                         metavar="FILE",
                         help="a reconstructed timeline JSON document "
                              "to validate (repeatable)")
+    parser.add_argument("--mem", action="append", default=[],
+                        metavar="FILE",
+                        help="a memory telemetry JSON document to "
+                             "validate (repeatable)")
     parser.add_argument("files", nargs="*", metavar="FILE",
                         help="artifacts validated against whatever "
                              "schema id they declare")
@@ -88,11 +93,12 @@ def main(argv: list[str] | None = None) -> int:
         + [(path, DEPGRAPH_SCHEMA) for path in args.depgraph]
         + [(path, ANALYTICS_SCHEMA) for path in args.analytics]
         + [(path, TIMELINE_SCHEMA) for path in args.timeline]
+        + [(path, MEM_SCHEMA) for path in args.mem]
         + [(path, None) for path in args.files])
     if not jobs:
         parser.error("nothing to validate: give --metrics, --trace, "
-                     "--depgraph, --analytics, --timeline and/or "
-                     "positional files")
+                     "--depgraph, --analytics, --timeline, --mem "
+                     "and/or positional files")
 
     problems = 0
     for path, expected in jobs:

@@ -27,8 +27,14 @@ style limits plus the streaming driver's memory cap:
 ``max_live_clauses`` / ``max_bytes``
     The **memory** axes, consumed by the streaming forward checker
     (:mod:`repro.verify.streaming`): the number of *live* proof-added
-    clauses and their estimated resident footprint (live-set
-    accounting from the clause arena / the driver's own counters).
+    clauses and their estimated resident footprint.  The estimate
+    charges one 32-bit word per literal, one arena offset word per
+    clause, and the engine's watch-table bookkeeping
+    (:data:`~repro.verify.streaming.ENGINE_OVERHEAD_WORDS_PER_CLAUSE`
+    words per clause) — the earlier pool-words-only model
+    under-reported short clauses severely.  It remains an estimate:
+    runs with a memory sampler cross-check it against measured RSS at
+    every window shift and flag divergence as ``mem_estimate_drift``.
     Unlike time and work, memory pressure is relieved by deletion
     events, so these axes are checked against a *current* value the
     driver passes in — drivers that track no live set simply never

@@ -395,15 +395,39 @@ def _run_shard(checker: ProofChecker, shard: tuple[int, int],
     after = counters.as_dict()
     delta = {key: after[key] - before[key] for key in after}
     if instrument:
+        from repro.obs.mem import arena_mem_stats, read_rss
+
+        # One RSS read per shard (far off the per-check path): the
+        # worker's peak resident set, max-merged across the pool via
+        # the gauge semantics and attributed per shard on the span.
+        peak_rss = None
+        reading = read_rss()
+        if reading is not None:
+            rss, peak_rss, _source = reading
+            gauge = registry.gauge(
+                "repro_mem_worker_peak_rss_bytes",
+                help="Peak resident set across pool workers")
+            gauge.set(peak_rss)
+        arena_stats = arena_mem_stats(checker.engine)
+        if arena_stats is not None:
+            registry.gauge(
+                "repro_mem_arena_pool_bytes",
+                help="Clause-arena pool footprint").set(
+                    arena_stats["pool_bytes"])
+            registry.gauge(
+                "repro_mem_watch_entries",
+                help="Watch-table entries across all literals").set(
+                    arena_stats["watch_entries"])
         tracer_cm.__exit__(None, None, None)
         # Cost attribution on the span's end attrs: the timeline
         # reconstructor reads these into its per-shard attribution
-        # rows and straggler ranking.
+        # rows, straggler ranking, and memory lane.
         tracer.events[-1]["attrs"].update(
             checks=checked, wall=duration,
             props=(delta.get("assignments", 0)
                    + delta.get("clause_visits", 0)),
-            clause_visits=delta.get("clause_visits", 0))
+            clause_visits=delta.get("clause_visits", 0),
+            peak_rss=peak_rss)
         registry.histogram(
             "repro_shard_seconds",
             help="Wall time per shard").observe(duration)

@@ -26,7 +26,12 @@ reclaimed in place.  When the dead fraction crosses
 ``window_slack``, the driver rebuilds a fresh engine over only the
 live clauses — the "window shift" — and the old engine's storage is
 garbage.  Propagation-work accounting is carried across shifts, so
-budgets and reports see one continuous run.
+budgets and reports see one continuous run.  A run carrying a memory
+sampler (``obs.mem``) also cross-checks the ``max_bytes`` *estimate*
+against *measured* RSS at every shift: growth past both an absolute
+floor and a multiple of the estimate emits a ``mem_estimate_drift``
+trace event and bumps ``repro_mem_estimate_drift_total`` — the model
+being wrong is surfaced, never fatal.
 
 **Checkpoint/resume.**  Every ``checkpoint_every`` events (and on
 interrupt or budget exhaustion) the driver flushes a small JSON resume
@@ -65,6 +70,7 @@ from repro.core.exceptions import CheckpointError, ProofFormatError
 from repro.core.formula import CnfFormula
 from repro.core.literals import encode
 from repro.obs.export import atomic_write_text
+from repro.obs.mem import record_arena_gauges
 from repro.obs.schema import CHECKPOINT_SCHEMA, validate_checkpoint
 from repro.proofs.drup import ADD
 from repro.proofs.stream import DEFAULT_CHUNK_BYTES, DrupStreamReader
@@ -137,6 +143,22 @@ DEFAULT_WINDOW_SLACK = 2.0
 #: ...but never before this many are dead (rebuilds are O(live); tiny
 #: windows would thrash).
 _MIN_DEAD_FOR_SHIFT = 32
+
+#: Engine bookkeeping charged per live proof-added clause by the
+#: ``max_bytes`` estimate, in 32-bit words: two watch-table entries,
+#: each a (cid, blocker) pair, on top of the arena's one offset word
+#: per clause.  The original estimate counted pool words only and
+#: under-reported the real footprint of short clauses by roughly this
+#: factor — ``max_bytes`` budgets tripped far later than the RSS they
+#: were meant to bound.
+ENGINE_OVERHEAD_WORDS_PER_CLAUSE = 4
+
+#: ``mem_estimate_drift`` fires when measured RSS growth since setup
+#: exceeds this multiple of the byte estimate...
+MEM_DRIFT_FACTOR = 4.0
+#: ...and this absolute floor — interpreter noise and allocator slack
+#: dwarf small estimates, so tiny windows never alarm.
+MEM_DRIFT_FLOOR_BYTES = 32 * 1024 * 1024
 
 
 @dataclass
@@ -337,6 +359,19 @@ def verify_stream(formula: CnfFormula, proof_path, *,
             peak = len(live_lits)
         loaded = len(live_lits)
 
+        # RSS baseline for the estimate-vs-measured cross-check: any
+        # resident growth past this point is attributable to the
+        # proof's live set (plus interpreter/allocator noise — hence
+        # the drift floor).  Only armed when the run carries a memory
+        # sampler; a dead sampler silently disarms it.
+        mem_sampler = getattr(obs, "mem", None) \
+            if obs is not None else None
+        baseline_rss = None
+        if mem_sampler is not None:
+            baseline_sample = mem_sampler.sample()
+            if baseline_sample is not None:
+                baseline_rss = baseline_sample["rss_bytes"]
+
         meter = budget.start(engine.counters) \
             if budget is not None else None
         # Work done before the current engine existed: prior resumed
@@ -363,10 +398,14 @@ def verify_stream(formula: CnfFormula, proof_path, *,
 
     def live_bytes() -> int:
         # Engine-agnostic estimate over the *proof-added* live set:
-        # one int32 word per literal plus one offset word per clause
-        # (matches ClauseArena.live_bytes's model).  The formula is
-        # resident in any checker and is not charged to the proof cap.
-        return (live_addition_words + live_additions) * 4
+        # one int32 word per literal, one arena offset word per
+        # clause, plus the engine's own bookkeeping
+        # (ENGINE_OVERHEAD_WORDS_PER_CLAUSE — watch-table entries).
+        # The formula is resident in any checker and is not charged
+        # to the proof cap.
+        return (live_addition_words
+                + live_additions
+                * (1 + ENGINE_OVERHEAD_WORDS_PER_CLAUSE)) * 4
 
     def set_live_gauges() -> None:
         if obs is None:
@@ -470,6 +509,27 @@ def verify_stream(formula: CnfFormula, proof_path, *,
         if obs is not None:
             obs.counter_add("repro_stream_window_shifts_total",
                             help="Engine rebuilds over the live window")
+            record_arena_gauges(obs, engine)
+        # Cross-check the byte *estimate* against *measured* RSS at
+        # every shift (the natural cadence: the live set just changed
+        # shape).  A large multiple says the max_bytes model no longer
+        # tracks reality — surfaced as an event, never a failure.
+        if mem_sampler is not None and baseline_rss is not None:
+            shift_sample = mem_sampler.sample()
+            if shift_sample is not None:
+                growth = shift_sample["rss_bytes"] - baseline_rss
+                estimate = live_bytes()
+                if growth > MEM_DRIFT_FLOOR_BYTES \
+                        and growth > MEM_DRIFT_FACTOR \
+                        * max(estimate, 1):
+                    obs.event("mem_estimate_drift",
+                              measured_growth_bytes=growth,
+                              estimated_live_bytes=estimate,
+                              shift=window_shifts)
+                    obs.counter_add(
+                        "repro_mem_estimate_drift_total",
+                        help="Window shifts where measured RSS growth "
+                             "left the max_bytes estimate behind")
 
     def rup_check(literals) -> bool:
         engine.new_level()
@@ -547,7 +607,8 @@ def verify_stream(formula: CnfFormula, proof_path, *,
                         reason = meter.exhausted(
                             live_clauses=live_additions + 1,
                             live_bytes=live_bytes()
-                            + (len(event.literals) + 1) * 4)
+                            + (len(event.literals) + 1
+                               + ENGINE_OVERHEAD_WORDS_PER_CLAUSE) * 4)
                         if reason is not None:
                             return partial(reason, index)
                     additions += 1
@@ -630,6 +691,7 @@ def verify_stream(formula: CnfFormula, proof_path, *,
                         help="DRUP deletion events honored")
         obs.gauge_set("repro_drup_peak_active_clauses", peak,
                       help="Peak size of the active clause set")
+        record_arena_gauges(obs, engine)
     if not derived_empty:
         return verdict(
             PROOF_IS_NOT_CORRECT,

@@ -145,12 +145,17 @@ def _resolve_engine_cls(engine_cls, obs) -> type[PropagatorBase]:
 def _publish_checker_stats(obs, checker: ProofChecker) -> None:
     """Publish the checker's root-trail maintenance counters — the
     observable form of the rebuild-vs-incremental savings — plus the
-    captured dependency-graph totals, if a recorder is attached."""
+    captured dependency-graph totals, if a recorder is attached.
+    Arena-backed engines also report their memory gauges here (pool
+    bytes, occupancy, watch entries), once per run."""
     if obs is None:
         return
     for key, value in checker.root_stats.items():
         obs.counter_add(f"repro_checker_{key}_total", value,
                         help=f"Incremental checker: {key}")
+    from repro.obs.mem import record_arena_gauges
+
+    record_arena_gauges(obs, checker.engine)
     obs.publish_depgraph_totals()
 
 
