@@ -87,12 +87,29 @@ VARIANT_SPECS = {
     "incremental": (None, "incremental", "backward", False),
     "arena": ("arena", "incremental", "backward", False),
     "vector": ("vector", "incremental", "backward", False),
+    "vector-inc": ("vector-inc", "incremental", "backward", False),
     "parallel": (None, "incremental", "backward", True),
     "arena-parallel": ("arena", "incremental", "backward", True),
+    "arena-parallel-contiguous": ("arena", "incremental", "backward",
+                                  True),
     "arena-forward": ("arena", "rebuild", "forward", False),
     "vector-forward": ("vector", "rebuild", "forward", False),
 }
 VARIANTS = tuple(VARIANT_SPECS)
+
+#: variants that need the numpy install
+_NUMPY_ENGINES = ("vector", "vector-inc")
+
+#: variant -> forced ``REPRO_SHARD_PLANNER`` value.  The parallel
+#: variants pin the planner explicitly so the pair of rows
+#: (``arena-parallel`` = cost planner, ``arena-parallel-contiguous`` =
+#: legacy equal-count split) is a controlled comparison regardless of
+#: the caller's environment.
+VARIANT_PLANNER = {
+    "parallel": "cost",
+    "arena-parallel": "cost",
+    "arena-parallel-contiguous": "contiguous",
+}
 
 # The vector-vs-arena speedup demonstration (standalone runs): a
 # pipe-family instance big enough that per-round numpy overhead
@@ -100,6 +117,18 @@ VARIANTS = tuple(VARIANT_SPECS)
 # expected, not a regression; see docs/verification.md.
 SPEEDUP_INSTANCES = ("pipe_5",)
 SPEEDUP_VARIANTS = ("arena-forward", "vector-forward")
+
+# The backward-incremental pair (standalone runs): the same pipe-family
+# instance checked backward in incremental mode across the engine
+# ladder, plus the planner-vs-contiguous parallel pair whose
+# attribution rows (predicted/measured skew, utilization) demonstrate
+# what the cost-model scheduler buys.  ``vector-inc`` is the batched
+# retraction kernel this family exists to measure; its record is
+# stamped with ``speedup_vs_arena`` (median ratio against the arena
+# row) and the planner rows with ``skew_vs_contiguous``.
+BACKWARD_PAIR_INSTANCES = ("pipe_5",)
+BACKWARD_PAIR_VARIANTS = ("arena", "vector-inc",
+                          "arena-parallel", "arena-parallel-contiguous")
 
 # The streaming family: deletion-chain traces whose addition volume is
 # ~10x the live-clause cap they are verified under.  ``chain400`` is
@@ -174,16 +203,31 @@ _rebuild_counters: dict[str, dict[str, int]] = {}
 
 
 def run_variant(formula, proof, variant: str, jobs: int, obs=None):
+    import os
+
     engine, mode, order, parallel = VARIANT_SPECS[variant]
-    return verify_proof_v1(formula, proof, engine, order=order,
-                           mode=mode, jobs=jobs if parallel else 1,
-                           obs=obs)
+    planner = VARIANT_PLANNER.get(variant)
+    if planner is None:
+        return verify_proof_v1(formula, proof, engine, order=order,
+                               mode=mode, jobs=jobs if parallel else 1,
+                               obs=obs)
+    previous = os.environ.get("REPRO_SHARD_PLANNER")
+    os.environ["REPRO_SHARD_PLANNER"] = planner
+    try:
+        return verify_proof_v1(formula, proof, engine, order=order,
+                               mode=mode, jobs=jobs if parallel else 1,
+                               obs=obs)
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_SHARD_PLANNER", None)
+        else:
+            os.environ["REPRO_SHARD_PLANNER"] = previous
 
 
 @pytest.mark.parametrize("variant", VARIANTS)
 @pytest.mark.parametrize("name", INCREMENTAL_INSTANCES)
 def test_backward_incremental(benchmark, name, variant):
-    if VARIANT_SPECS[variant][0] == "vector" \
+    if VARIANT_SPECS[variant][0] in _NUMPY_ENGINES \
             and _numpy_version() is None:
         pytest.skip("vector engine needs numpy (repro[fast])")
     data = solved_instance(name)
@@ -233,7 +277,7 @@ def bench_records(instances, jobs: int, repeats: int = 3,
     for name in instances:
         data = solved_instance(name)
         for variant in variants:
-            if VARIANT_SPECS[variant][0] == "vector" \
+            if VARIANT_SPECS[variant][0] in _NUMPY_ENGINES \
                     and _numpy_version() is None:
                 print(f"{name:<10} {variant:<15} skipped: vector "
                       "engine needs numpy (repro[fast])")
@@ -259,9 +303,19 @@ def bench_records(instances, jobs: int, repeats: int = 3,
             # run when sequential).
             attribution = None
             arena_peak = None
-            arena_engine = VARIANT_SPECS[variant][0] in ("arena",
-                                                         "vector")
+            plan_fields = {}
+            arena_engine = VARIANT_SPECS[variant][0] in (
+                "arena", "vector", "vector-inc")
             if used_jobs > 1:
+                from repro.verify.parallel import planned_shards
+
+                plan = planned_shards(
+                    data.formula, data.proof, used_jobs,
+                    mode=VARIANT_SPECS[variant][1],
+                    planner=VARIANT_PLANNER.get(variant))
+                plan_fields = {
+                    "predicted_skew": round(plan.predicted_skew(), 4),
+                    "num_shards": len(plan.shards)}
                 from repro.obs import Tracer
                 from repro.obs.timeline import attribution_summary
 
@@ -302,6 +356,8 @@ def bench_records(instances, jobs: int, repeats: int = 3,
                 "times": [round(t, 6) for t in times],
                 "counters": report.bcp_counters,
                 "stats": stats,
+                "planner": VARIANT_PLANNER.get(variant),
+                **plan_fields,
                 "attribution": attribution,
                 "arena_peak_bytes": arena_peak,
                 **rss.fields(),
@@ -439,6 +495,67 @@ def speedup_lines(records: list[dict]) -> list[str]:
     return lines
 
 
+def backward_pair_lines(records: list[dict]) -> list[str]:
+    """Stamp + summarize the backward-incremental pair records.
+
+    Two claims, both stamped into the records so the trend log keeps
+    them queryable:
+
+    * ``speedup_vs_arena`` on the ``vector-inc`` row — median wall
+      ratio of the batched retraction kernel against the arena
+      baseline on the same instance (sequential incremental backward).
+    * ``skew_vs_contiguous`` on the ``arena-parallel`` (cost planner)
+      row — measured shard-skew ratio of the cost-planned run against
+      the contiguous split's, from the untimed attribution runs
+      (values < 1.0 mean the planner flattened the pool).
+    """
+    by_key: dict[tuple[str, str], dict] = {
+        (r["instance"], r["variant"]): r for r in records
+        if "variant" in r}
+    lines = []
+    for (name, variant), rec in by_key.items():
+        if variant == "vector-inc":
+            base = by_key.get((name, "arena"))
+            if base is None or not rec["verification_time"]:
+                continue
+            ratio = (base["verification_time"]
+                     / rec["verification_time"])
+            rec["speedup_vs_arena"] = round(ratio, 3)
+            lines.append(
+                f"{name}: arena {base['verification_time']:.3f}s / "
+                f"vector-inc {rec['verification_time']:.3f}s "
+                f"= {ratio:.2f}x (incremental backward)")
+        elif variant == "arena-parallel":
+            contiguous = by_key.get((name,
+                                     "arena-parallel-contiguous"))
+            planned_attr = rec.get("attribution") or {}
+            contig_attr = ((contiguous or {}).get("attribution")
+                           or {})
+            planned_skew = planned_attr.get("skew_ratio")
+            contig_skew = contig_attr.get("skew_ratio")
+            if not planned_skew or not contig_skew:
+                continue
+            rec["skew_vs_contiguous"] = round(
+                planned_skew / contig_skew, 3)
+            predicted = rec.get("predicted_skew")
+            contig_predicted = (contiguous or {}).get("predicted_skew")
+            predicted_note = ""
+            if predicted and contig_predicted:
+                rec["predicted_skew_vs_contiguous"] = round(
+                    predicted / contig_predicted, 3)
+                predicted_note = (
+                    f"; predicted skew {predicted:.2f} vs "
+                    f"{contig_predicted:.2f}")
+            lines.append(
+                f"{name}: measured shard skew cost-planned "
+                f"{planned_skew:.2f} vs contiguous {contig_skew:.2f} "
+                f"({rec['skew_vs_contiguous']:.2f}x), utilization "
+                f"{planned_attr.get('utilization'):.2f} vs "
+                f"{contig_attr.get('utilization'):.2f}"
+                + predicted_note)
+    return lines
+
+
 def environment_record() -> dict:
     """The stack a bench invocation ran on — numpy version above all,
     since the vector rows are meaningless without it."""
@@ -568,10 +685,11 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Benchmark rebuild/incremental/parallel backward "
                     "verification and append records to a JSON log.")
-    parser.add_argument("--instances", nargs="+",
+    parser.add_argument("--instances", nargs="*",
                         default=list(INCREMENTAL_INSTANCES),
-                        help="registry instance names "
-                             f"(default: {' '.join(INCREMENTAL_INSTANCES)})")
+                        help="registry instance names for the full "
+                             "variant sweep (pass no names to skip; "
+                             f"default: {' '.join(INCREMENTAL_INSTANCES)})")
     parser.add_argument("--jobs", type=int,
                         default=max(2, default_jobs()),
                         help="worker processes for the parallel variant "
@@ -586,6 +704,13 @@ def main(argv=None) -> int:
                              "vector-forward speedup pair (pass no "
                              "names to skip; default: "
                              f"{' '.join(SPEEDUP_INSTANCES)})")
+    parser.add_argument("--backward-pair-instances", nargs="*",
+                        default=list(BACKWARD_PAIR_INSTANCES),
+                        metavar="NAME",
+                        help="instances for the backward-incremental "
+                             "engine-ladder + planner pair (pass no "
+                             "names to skip; default: "
+                             f"{' '.join(BACKWARD_PAIR_INSTANCES)})")
     parser.add_argument("--streaming-instances", nargs="*",
                         default=list(STREAMING_SPECS),
                         metavar="NAME",
@@ -619,6 +744,13 @@ def main(argv=None) -> int:
                                  variants=SPEEDUP_VARIANTS)
         for line in speedup_lines(records):
             print(f"speedup: {line}")
+    if args.backward_pair_instances:
+        records += bench_records(args.backward_pair_instances,
+                                 max(4, args.jobs),
+                                 repeats=args.repeats,
+                                 variants=BACKWARD_PAIR_VARIANTS)
+        for line in backward_pair_lines(records):
+            print(f"backward-pair: {line}")
     if args.streaming_instances:
         records += streaming_records(args.streaming_instances,
                                      repeats=args.repeats)

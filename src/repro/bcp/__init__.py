@@ -12,11 +12,16 @@ prerequisite (Section 2):
   the zero-copy parallel backend;
 * :class:`VectorPropagator` — frontier-batched counting scheme whose
   hot loop runs as numpy bulk operations over the arena buffers
-  (available only when numpy is installed: ``pip install repro[fast]``).
+  (available only when numpy is installed: ``pip install repro[fast]``);
+* :class:`VectorIncPropagator` — the arena watched engine specialized
+  for incremental (persistent-root-trail) backward verification:
+  batched blocker probes over long watch rows, vectorized watch-row
+  compaction and bulk trail retraction (numpy-only, like ``vector``).
 
 The CLI and the verification drivers select engines by name through
 :data:`ENGINES` / :func:`resolve_engine`.  The pseudo-name ``"auto"``
-resolves to the fastest engine the environment supports: ``vector``
+resolves to the fastest engine the environment supports for the
+workload: ``vector-inc`` for incremental mode / ``vector`` otherwise
 when numpy is importable, else ``arena``.
 """
 
@@ -42,39 +47,52 @@ ENGINES: dict[str, type[PropagatorBase]] = {
 
 try:  # numpy is an optional extra (repro[fast]); base install runs without
     from repro.bcp.vector import VectorPropagator
+    from repro.bcp.vector_inc import VectorIncPropagator
 except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
     VectorPropagator = None
+    VectorIncPropagator = None
 else:
     ENGINES["vector"] = VectorPropagator
+    ENGINES["vector-inc"] = VectorIncPropagator
 
 
 def numpy_available() -> bool:
-    """Whether the numpy-vectorized engine can be used."""
+    """Whether the numpy-vectorized engines can be used."""
     return VectorPropagator is not None
 
 
-def resolve_engine(engine) -> type[PropagatorBase]:
+def resolve_engine(engine, mode: str | None = None,
+                   order: str | None = None) -> type[PropagatorBase]:
     """An engine class from a registry name, a class, or ``None``
     (the default watched engine).
 
-    The pseudo-name ``"auto"`` selects the fastest engine available:
-    ``vector`` if numpy is importable, ``arena`` otherwise — callers
-    that want the decision on record resolve through
+    The pseudo-name ``"auto"`` selects the fastest engine available
+    *for the workload*: with numpy importable, ``vector-inc`` for
+    incremental-mode verification (its batched blocker probe and bulk
+    retraction pay off exactly when a persistent root trail keeps
+    watch rows long) and ``vector`` otherwise; without numpy,
+    ``arena``.  The
+    ``mode``/``order`` hints are optional — callers that know the
+    workload pass them (the verification drivers do), and callers that
+    want the decision on record resolve through
     :func:`repro.verify.verification._resolve_engine_cls`, which emits
-    a ``kernel_selected`` trace event.
+    a ``kernel_selected`` trace event with the reason.
     """
     if engine is None:
         return WatchedPropagator
     if isinstance(engine, str):
         if engine == "auto":
-            return ENGINES["vector"] if numpy_available() \
-                else ArenaPropagator
+            if not numpy_available():
+                return ArenaPropagator
+            if mode == "incremental":
+                return ENGINES["vector-inc"]
+            return ENGINES["vector"]
         try:
             return ENGINES[engine]
         except KeyError:
-            if engine == "vector":
+            if engine in ("vector", "vector-inc"):
                 raise ValueError(
-                    "the vector engine needs numpy (pip install "
+                    f"the {engine} engine needs numpy (pip install "
                     "repro[fast]); use --engine auto to fall back "
                     "automatically") from None
             raise ValueError(
@@ -100,6 +118,7 @@ __all__ = [
     "CountingPropagator",
     "ArenaPropagator",
     "VectorPropagator",
+    "VectorIncPropagator",
     "ClauseArena",
     "PropagationCounters",
     "ENGINES",

@@ -321,6 +321,16 @@ class PropagatorBase:
         ``qhead`` to tell whether the assignment was ever dequeued.
         """
 
+    def note_root_boundary(self) -> None:
+        """Driver hint: the current state is a stable persistent root.
+
+        The incremental checker calls this once per check, after the
+        root trail is synced to the ceiling and before the check's
+        decision level opens.  Engines that maintain root-derived
+        acceleration structures refresh them here; the default is a
+        no-op, and engines must stay correct if it is never called.
+        """
+
     def propagate(self, ceiling: int | None = None) -> int | None:
         """Run BCP to fixpoint; return the conflicting clause id, if any.
 

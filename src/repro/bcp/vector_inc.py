@@ -1,0 +1,362 @@
+"""Vectorized *incremental* BCP kernel (numpy, backward-pass tuned).
+
+:class:`~repro.bcp.vector.VectorPropagator` (PR 6) made forward/rebuild
+verification fast, but on the dominant workload — incremental backward
+verification with a persistent root trail — it shows almost no gain:
+counting-style propagation gathers the *whole* occurrence row of every
+falsified literal, so its per-check traffic is ~avglen/2 of what the
+watched engine touches (measured 16x on pipe_5), and the per-check
+transient trail (~100 literals on pipe_5) is too short to amortize the
+fixed cost of a full frontier batch.
+
+This kernel therefore starts from the other end: it subclasses
+:class:`~repro.bcp.arena.ArenaPropagator` — the watched-with-blockers
+scheme over the flat arena, which *is* the fastest backward engine —
+and vectorizes the two places where the profile says the scalar loop
+spends its time on backward passes:
+
+Batched blocker probe
+---------------------
+On pipe_5 backward verification, 79% of all watch-list visits end at
+the blocker fast path (``values[blocker] == TRUE`` → skip the body),
+and 54% of the visit mass sits in watch rows of 128+ entries.  For a
+row at or above :attr:`probe_min` the kernel checks every blocker in
+one shot — a single fancy gather of an int8 TRUE-mirror of ``values``
+over a zero-copy view of the row — and then runs the ordinary scalar
+body logic only on the survivors.  Because assignments made *during*
+the scan can satisfy later blockers in the same row, each survivor's
+blocker is re-checked scalar-side before its body is visited, which
+keeps clause-visit counts (and therefore ``total_work`` budgets)
+identical to the scalar arena engine.
+
+Batched retraction
+------------------
+Watch rows processed by the probe are promoted from Python lists to
+``array('i')`` rows (numpy can view them zero-copy).  Retired and
+moved entries found during a probed scan are dropped with one boolean
+compress over the row instead of per-entry ``del`` — on long rows the
+per-drop ``memmove`` of list deletion is the single largest cost of a
+naive hybrid.  Trail retraction (``backtrack`` / ``unwind_to``, the
+incremental checker's per-check rewind) clears the TRUE-mirror with
+one vectorized scatter of the retracted suffix instead of per-literal
+stores.
+
+The short-row path is byte-for-byte the arena scan loop, so rows below
+the probe threshold (and every workload that never grows long rows)
+behave exactly like the scalar engine.  The kernel inherits the flat
+arena and therefore the shared-memory transport: spawn/shm parallel
+workers attach the parent's arena and build this engine over it
+zero-copy, exactly like ``arena``.
+
+Verdicts, conflict clause ids, trail contents and propagation
+counters are identical to :class:`~repro.bcp.arena.ArenaPropagator`
+(the parity suite pins this); only the constant factor differs.  Available
+only when numpy is installed (``pip install repro[fast]``), like
+``vector``.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+import numpy as np
+
+from repro.bcp.arena import ArenaPropagator, ClauseArena
+from repro.bcp.engine import FALSE, TRUE, NO_CEILING as _NO_CEILING
+
+
+class VectorIncPropagator(ArenaPropagator):
+    """Arena watched engine with a batched blocker probe on long rows."""
+
+    kernel = "numpy"
+
+    #: Watch rows with at least this many entries are probed in bulk.
+    #: Below it, the numpy fixed cost (~4us per gather) exceeds the
+    #: scalar scan it replaces; the default sits where the pipe_5
+    #: profile puts the crossover.  Tests lower it to force the probe
+    #: path onto small instances.
+    probe_min = 256
+
+    def __init__(self, num_vars: int = 0,
+                 arena: ClauseArena | None = None):
+        # int8 mirror with mirror[enc] == 1 iff values[enc] is TRUE —
+        # the one shape the probe's fancy gather needs.  Sized with
+        # values; maintained by enqueue/backtrack/unwind_to overrides
+        # plus inline stores in the propagate loop.
+        self._true_np = np.zeros(2, dtype=np.int8)
+        super().__init__(num_vars, arena)
+        self._grow_mirror()
+
+    def _grow_mirror(self) -> None:
+        need = 2 * (self.num_vars + 1)
+        if self._true_np.shape[0] < need:
+            grown = np.zeros(need + 64, dtype=np.int8)
+            grown[:self._true_np.shape[0]] = self._true_np
+            self._true_np = grown
+
+    def _on_new_var(self) -> None:
+        super()._on_new_var()
+        self._grow_mirror()
+
+    # -- assignment mirror -------------------------------------------------
+
+    def enqueue(self, enc: int, reason: int | None) -> bool:
+        ok = super().enqueue(enc, reason)
+        if ok:
+            self._true_np[enc] = 1
+        return ok
+
+    def backtrack(self, level: int) -> None:
+        if level >= len(self.trail_lim):
+            return
+        removed = self.trail[self.trail_lim[level]:]
+        super().backtrack(level)
+        if removed:
+            self._true_np[np.array(removed, dtype=np.int64)] = 0
+
+    def unwind_to(self, pos: int) -> None:
+        if pos >= len(self.trail):
+            return
+        removed = self.trail[pos:]
+        super().unwind_to(pos)
+        if removed:
+            self._true_np[np.array(removed, dtype=np.int64)] = 0
+
+    # -- propagation -------------------------------------------------------
+
+    def propagate(self, ceiling: int | None = None) -> int | None:
+        standing = self._standing_conflict(ceiling)
+        if standing is not None:
+            return standing
+        values = self.values
+        self._sync_mirror()
+        pool = self._pool
+        starts = self._starts
+        watch_a = self.watch_a
+        watch_b = self.watch_b
+        watch_cids = self.watch_cids
+        watch_blockers = self.watch_blockers
+        true_np = self._true_np
+        retire = self.retire_ceiling
+        counters = self.counters
+        trail = self.trail
+        levels = self.levels
+        reasons = self.reasons
+        lim = len(self.trail_lim)
+        ceil = _NO_CEILING if ceiling is None else ceiling
+        probe_min = self.probe_min
+        visits = 0
+        body_visits = 0
+        assigns = 0
+        purged = 0
+        qhead = self.qhead
+        try:
+            while qhead < len(trail):
+                enc = trail[qhead]
+                qhead += 1
+                false_lit = enc ^ 1
+                watchlist = watch_cids[false_lit]
+                blockers = watch_blockers[false_lit]
+                end = len(watchlist)
+                if not end:
+                    continue
+                visits += end
+                if end >= probe_min:
+                    # Long row: promote to array('i') (idempotent),
+                    # probe every blocker in one gather, then run the
+                    # arena body logic on the survivors only.
+                    if type(blockers) is list:
+                        blockers = array("i", blockers)
+                        watch_blockers[false_lit] = blockers
+                        watchlist = array("i", watchlist)
+                        watch_cids[false_lit] = watchlist
+                    # Survivors: blocker not TRUE, *or* retired — the
+                    # scalar engine tests retirement before the
+                    # blocker, so retired entries must reach the
+                    # scalar loop (and be purged) even when their
+                    # stale blocker happens to be satisfied.
+                    blk_np = np.frombuffer(blockers, dtype=np.int32)
+                    wl_np = np.frombuffer(watchlist, dtype=np.int32)
+                    surv = np.flatnonzero((true_np[blk_np] != 1)
+                                          | (wl_np >= retire)).tolist()
+                    del blk_np, wl_np
+                    if not surv:
+                        continue
+                    drops: list[int] | None = None
+                    conflict = None
+                    for pos in surv:
+                        cid = watchlist[pos]
+                        if cid >= retire:
+                            purged += 1
+                            if drops is None:
+                                drops = [pos]
+                            else:
+                                drops.append(pos)
+                            continue
+                        # An assignment made earlier in this very scan
+                        # may have satisfied the blocker after the
+                        # probe snapshot; re-check so body-visit
+                        # counts match the scalar engine exactly.
+                        if values[blockers[pos]] == TRUE:
+                            continue
+                        if cid >= ceil:
+                            continue
+                        body_visits += 1
+                        first = watch_a[cid]
+                        if first == false_lit:
+                            first = watch_b[cid]
+                            watch_a[cid] = first
+                            watch_b[cid] = false_lit
+                        first_val = values[first]
+                        if first_val == TRUE:
+                            blockers[pos] = first
+                            continue
+                        k = starts[cid]
+                        stop = starts[cid + 1]
+                        moved = False
+                        if k + 2 < stop:
+                            while k < stop:
+                                other = pool[k]
+                                k += 1
+                                if values[other] != FALSE \
+                                        and other != first \
+                                        and other != false_lit:
+                                    watch_b[cid] = other
+                                    watch_cids[other].append(cid)
+                                    watch_blockers[other].append(first)
+                                    moved = True
+                                    break
+                            if moved:
+                                if drops is None:
+                                    drops = [pos]
+                                else:
+                                    drops.append(pos)
+                                continue
+                        blockers[pos] = first
+                        if first_val == FALSE:
+                            conflict = cid
+                            # The scalar engine stops counting visits
+                            # at the conflicting entry; match it.
+                            visits -= end - pos - 1
+                            break
+                        assigns += 1
+                        values[first] = TRUE
+                        values[first ^ 1] = FALSE
+                        true_np[first] = 1
+                        var = first >> 1
+                        levels[var] = lim
+                        reasons[var] = cid
+                        trail.append(first)
+                    if drops is not None:
+                        # One boolean compress instead of per-entry
+                        # del: list deletion memmoves the row tail for
+                        # every drop, which dominates long-row cost.
+                        keep = np.ones(len(watchlist), dtype=bool)
+                        keep[drops] = False
+                        wl = np.frombuffer(watchlist,
+                                           dtype=np.int32)[keep]
+                        bl = np.frombuffer(blockers,
+                                           dtype=np.int32)[keep]
+                        watchlist = array("i")
+                        watchlist.frombytes(wl.tobytes())
+                        blockers = array("i")
+                        blockers.frombytes(bl.tobytes())
+                        watch_cids[false_lit] = watchlist
+                        watch_blockers[false_lit] = blockers
+                    if conflict is not None:
+                        return conflict
+                    continue
+                # Short row: the arena scan loop, verbatim (deferred
+                # compaction with j as the write cursor).
+                i = 0
+                j = -1
+                while i < end:
+                    cid = watchlist[i]
+                    blocker = blockers[i]
+                    i += 1
+                    if cid >= retire:
+                        purged += 1
+                        if j < 0:
+                            j = i - 1
+                        continue
+                    if values[blocker] == TRUE:
+                        if j >= 0:
+                            watchlist[j] = cid
+                            blockers[j] = blocker
+                            j += 1
+                        continue
+                    if cid >= ceil:
+                        if j >= 0:
+                            watchlist[j] = cid
+                            blockers[j] = blocker
+                            j += 1
+                        continue
+                    body_visits += 1
+                    first = watch_a[cid]
+                    if first == false_lit:
+                        first = watch_b[cid]
+                        watch_a[cid] = first
+                        watch_b[cid] = false_lit
+                    first_val = values[first]
+                    if first_val == TRUE:
+                        if j >= 0:
+                            watchlist[j] = cid
+                            blockers[j] = first
+                            j += 1
+                        else:
+                            blockers[i - 1] = first
+                        continue
+                    k = starts[cid]
+                    stop = starts[cid + 1]
+                    moved = False
+                    if k + 2 < stop:
+                        while k < stop:
+                            other = pool[k]
+                            k += 1
+                            if values[other] != FALSE \
+                                    and other != first \
+                                    and other != false_lit:
+                                watch_b[cid] = other
+                                watch_cids[other].append(cid)
+                                watch_blockers[other].append(first)
+                                moved = True
+                                break
+                        if moved:
+                            if j < 0:
+                                j = i - 1
+                            continue
+                    if j >= 0:
+                        watchlist[j] = cid
+                        blockers[j] = first
+                        j += 1
+                    else:
+                        blockers[i - 1] = first
+                    if first_val == FALSE:
+                        visits -= end - i
+                        if j >= 0:
+                            while i < end:
+                                watchlist[j] = watchlist[i]
+                                blockers[j] = blockers[i]
+                                j += 1
+                                i += 1
+                            del watchlist[j:]
+                            del blockers[j:]
+                        return cid
+                    assigns += 1
+                    values[first] = TRUE
+                    values[first ^ 1] = FALSE
+                    true_np[first] = 1
+                    var = first >> 1
+                    levels[var] = lim
+                    reasons[var] = cid
+                    trail.append(first)
+                if j >= 0:
+                    del watchlist[j:]
+                    del blockers[j:]
+            return None
+        finally:
+            self.qhead = qhead
+            counters.watch_visits += visits
+            counters.clause_visits += body_visits
+            counters.assignments += assigns
+            counters.purged += purged

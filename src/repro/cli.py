@@ -109,16 +109,18 @@ def _build_parser() -> argparse.ArgumentParser:
                                  "(default 1: sequential)")
     verify_cmd.add_argument("--engine", default=None,
                             choices=["watched", "counting", "arena",
-                                     "vector", "auto"],
+                                     "vector", "vector-inc", "auto"],
                             help="BCP engine (default: watched, or "
                                  "counting when --depgraph-out needs "
                                  "deterministic reasons); arena is the "
                                  "flat-pool kernel the shared-memory "
                                  "parallel backend uses, vector its "
-                                 "numpy-vectorized twin (needs the "
-                                 "repro[fast] extra), and auto picks "
-                                 "vector when numpy is importable, "
-                                 "else arena")
+                                 "numpy-vectorized twin and vector-inc "
+                                 "the incremental-backward specialist "
+                                 "(both need the repro[fast] extra); "
+                                 "auto picks per workload: vector-inc "
+                                 "for incremental mode, vector "
+                                 "otherwise, arena without numpy")
     strictness = verify_cmd.add_mutually_exclusive_group()
     strictness.add_argument("--strict", action="store_true",
                             help="require a DIMACS header whose counts "
@@ -144,7 +146,7 @@ def _build_parser() -> argparse.ArgumentParser:
     drup_cmd.add_argument("drup")
     drup_cmd.add_argument("--engine", default=None,
                           choices=["watched", "arena", "vector",
-                                   "auto"],
+                                   "vector-inc", "auto"],
                           help="BCP engine (counting is rejected: it "
                                "cannot honor deletions; auto picks "
                                "vector when numpy is importable, else "
@@ -161,7 +163,7 @@ def _build_parser() -> argparse.ArgumentParser:
     stream_cmd.add_argument("drup")
     stream_cmd.add_argument("--engine", default=None,
                             choices=["watched", "arena", "vector",
-                                     "auto"],
+                                     "vector-inc", "auto"],
                             help="BCP engine (counting is rejected: "
                                  "streaming lives on deletion events)")
     _add_budget_arguments(stream_cmd)
@@ -785,7 +787,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             formula, proof, procedure=args.procedure,
             engine_cls=args.engine,
             order=args.order, mode=args.mode, jobs=args.jobs,
-            budget=_budget_from(args), obs=obs),
+            budget=_budget_from(args), obs=obs, instance=args.cnf),
         formula, proof)
     if report is None:
         return EXIT_INTERRUPT

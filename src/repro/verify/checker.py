@@ -251,6 +251,9 @@ class ProofChecker:
             # at this ceiling trivially conflicts.
             return CheckOutcome(conflict=True,
                                 confl_cid=self._root_conflict)
+        # The root trail is a stable fixpoint for this check; engines
+        # with root-derived acceleration structures refresh them here.
+        engine.note_root_boundary()
         engine.new_level()
         for enc in self._assumption_encs(index):
             enc_neg = enc ^ 1

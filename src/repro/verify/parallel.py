@@ -204,18 +204,50 @@ def clear_faults() -> None:
 
 
 def make_shards(num_indices: int, jobs: int) -> list[tuple[int, int]]:
-    """Split ``range(num_indices)`` into contiguous ``(lo, hi)`` shards.
+    """Split ``range(num_indices)`` into contiguous ``(lo, hi)`` shards
+    of equal count.
 
     More shards than workers (4x) so the pool can balance the uneven
-    per-check cost (high indices propagate over more clauses).
+    per-check cost (high indices propagate over more clauses), clamped
+    so every shard carries at least
+    :data:`~repro.verify.schedule.MIN_CHECKS_PER_SHARD` checks — tiny
+    shards pay per-shard span/IPC overhead for no balancing gain.
+    This is the ``contiguous`` planner's partition; the default
+    ``cost`` planner cuts the same range by *predicted* cost instead
+    (see :mod:`repro.verify.schedule`).
     """
+    from repro.verify.schedule import shard_count
+
     if num_indices <= 0:
         return []
-    num_shards = min(num_indices, max(1, jobs) * 4)
+    num_shards = shard_count(num_indices, jobs)
     bounds = [round(i * num_indices / num_shards)
               for i in range(num_shards + 1)]
     return [(bounds[i], bounds[i + 1]) for i in range(num_shards)
             if bounds[i] < bounds[i + 1]]
+
+
+def planned_shards(formula: CnfFormula, proof: ConflictClauseProof,
+                   jobs: int, mode: str = "incremental",
+                   order: str = "backward",
+                   instance: str | None = None,
+                   planner: str | None = None):
+    """The :class:`~repro.verify.schedule.ShardPlan` a
+    :func:`run_sharded_v1` call with these arguments executes.
+
+    Exposed so tests (fault injection keys faults by shard bounds) and
+    tooling can reproduce the exact partition; the plan is a pure
+    function of its inputs plus the planner choice (argument, then the
+    ``REPRO_SHARD_PLANNER`` override) and any usable calibration
+    record for ``instance``.
+    """
+    from repro.verify.schedule import plan_verification1
+
+    return plan_verification1(
+        formula.num_clauses,
+        [len(proof[i]) for i in range(len(proof))],
+        jobs, mode=mode, order=order, instance=instance,
+        planner=planner)
 
 
 @dataclass
@@ -562,7 +594,9 @@ def run_sharded_v1(formula: CnfFormula, proof: ConflictClauseProof,
                    mode: str, jobs: int,
                    meter: BudgetMeter | None = None,
                    obs=None, builder=None,
-                   start_method: str | None = None) -> ShardRunResult:
+                   start_method: str | None = None,
+                   plan=None, instance: str | None = None,
+                   ) -> ShardRunResult:
     """Check every proof index across a process pool, surviving faults.
 
     Returns a :class:`ShardRunResult` whose ``failed_index`` matches
@@ -582,9 +616,22 @@ def run_sharded_v1(formula: CnfFormula, proof: ConflictClauseProof,
     ``obs`` (and the driver's ``builder``, for slowest-K and progress)
     attach the instrumentation layer; see the module docstring for
     what is collected where.
+
+    ``plan`` is the :class:`~repro.verify.schedule.ShardPlan` to
+    execute; ``None`` plans here (cost planner by default, with
+    best-effort history calibration when ``instance`` names the run's
+    input).  Shards are dispatched in the plan's LPT order — largest
+    predicted cost first — so the pool never starts a long shard
+    last; verdicts and failure indices are plan-independent.
     """
-    shards = make_shards(len(proof), jobs)
+    if plan is None:
+        plan = planned_shards(formula, proof, jobs, mode, order,
+                              instance)
+    shards = list(plan.shards)
     sink = _ObsSink(obs, builder, len(shards))
+    sink.event("shard_plan", **plan.as_event())
+    dispatch_rank = {shard: rank for rank, shard
+                     in enumerate(plan.dispatch_shards())}
     requested = engine_name(engine_cls)
     method, use_shm, worker_cls = select_backend(engine_cls,
                                                  start_method)
@@ -637,7 +684,8 @@ def run_sharded_v1(formula: CnfFormula, proof: ConflictClauseProof,
     context = get_context(method)
     try:
         for attempt in (0, 1):
-            pending = [s for s in shards if s not in results]
+            pending = sorted((s for s in shards if s not in results),
+                             key=lambda s: dispatch_rank.get(s, 0))
             if not pending or _budget_hit(results):
                 break
             if attempt == 1:

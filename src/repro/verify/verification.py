@@ -100,7 +100,8 @@ def _resolve_jobs(jobs: int | None, obs=None) -> int:
     return jobs
 
 
-def _resolve_engine_cls(engine_cls, obs) -> type[PropagatorBase]:
+def _resolve_engine_cls(engine_cls, obs, mode: str | None = None,
+                        order: str | None = None) -> type[PropagatorBase]:
     """Resolve an engine (name, class, or None) to a class.
 
     Default engine: watched normally, counting under capture.  The
@@ -114,31 +115,55 @@ def _resolve_engine_cls(engine_cls, obs) -> type[PropagatorBase]:
     dependency graph is then identical for any check order or sharding
     (the ``--jobs 1`` vs ``--jobs 4`` artifact-identity guarantee).
     An explicit ``engine_cls`` — a :data:`repro.bcp.ENGINES` name
-    (``"watched"``, ``"counting"``, ``"arena"``, ``"vector"``), the
-    pseudo-name ``"auto"`` (vector when numpy is importable, else
-    arena), or a :class:`~repro.bcp.engine.PropagatorBase` subclass —
-    always wins over this default.
+    (``"watched"``, ``"counting"``, ``"arena"``, ``"vector"``,
+    ``"vector-inc"``), the pseudo-name ``"auto"``, or a
+    :class:`~repro.bcp.engine.PropagatorBase` subclass — always wins
+    over this default.
+
+    The ``auto`` ladder is *workload-aware*: the drivers pass their
+    ``mode``/``order`` here so incremental-mode runs get the
+    ``vector-inc`` kernel (batched blocker probes and retraction pay
+    off exactly on a persistent root trail) while rebuild/forward
+    workloads get ``vector``, with ``arena`` as the no-numpy floor.
 
     With instrumentation attached the decision is put on record as a
     ``kernel_selected`` trace event carrying what was requested, which
-    engine won, and whether its hot loop is the numpy or the
-    pure-Python kernel.
+    engine won, whether its hot loop is the numpy or the pure-Python
+    kernel, and the *reason* — the ladder rung (or default rule) that
+    picked it.
     """
     if engine_cls is not None:
         requested = engine_cls if isinstance(engine_cls, str) \
             else getattr(engine_cls, "__name__", repr(engine_cls))
-        resolved = resolve_engine(engine_cls)
+        resolved = resolve_engine(engine_cls, mode=mode, order=order)
+        if isinstance(engine_cls, str) and engine_cls == "auto":
+            from repro.bcp import numpy_available
+
+            if not numpy_available():
+                reason = "auto: numpy unavailable, arena fallback"
+            elif mode == "incremental":
+                reason = ("auto: incremental mode, persistent root "
+                          "trail favors the batched vector-inc kernel")
+            else:
+                reason = "auto: rebuild workload, frontier-batched " \
+                         "vector kernel"
+        else:
+            reason = "explicit request"
     elif obs is not None and obs.wants_depgraph:
         from repro.bcp.counting import CountingPropagator
 
         requested = "default(depgraph)"
         resolved = CountingPropagator
+        reason = ("depgraph capture: counting's fixed occurrence "
+                  "lists make provenance order-independent")
     else:
         requested = "default"
         resolved = WatchedPropagator
+        reason = "default: the paper's watched-literal engine"
     if obs is not None:
         obs.event("kernel_selected", requested=requested,
-                  engine=engine_name(resolved), kernel=resolved.kernel)
+                  engine=engine_name(resolved), kernel=resolved.kernel,
+                  mode=mode, order=order, reason=reason)
     return resolved
 
 
@@ -167,6 +192,7 @@ def verify_proof_v1(
         jobs: int | None = 1,
         budget: CheckBudget | None = None,
         obs=None,
+        instance: str | None = None,
 ) -> VerificationReport:
     """Proof_verification1: check the correctness of *every* clause of F*.
 
@@ -197,11 +223,14 @@ def verify_proof_v1(
     it carries a dependency-graph recorder and no explicit
     ``engine_cls`` is given, the counting engine is selected so the
     captured graph is independent of check order and sharding (see
-    :func:`_resolve_engine_cls`).
+    :func:`_resolve_engine_cls`).  ``instance`` (a name or path for
+    the formula, optional) keys the parallel backend's best-effort
+    shard-plan calibration against the run-history store.
     """
     _check_order(order)
     _check_mode(mode)
-    engine_cls = _resolve_engine_cls(engine_cls, obs)
+    engine_cls = _resolve_engine_cls(engine_cls, obs, mode=mode,
+                                     order=order)
     jobs = _resolve_jobs(jobs, obs)
     meter = budget.start() if budget is not None else None
     if jobs > 1 and len(proof) > 1:
@@ -210,7 +239,7 @@ def verify_proof_v1(
         # the old silent sequential degrade (see select_backend).
         return _verify_proof_v1_parallel(formula, proof, engine_cls,
                                          order, mode, jobs, meter,
-                                         obs)
+                                         obs, instance=instance)
     build = ReportBuilder(
         VerificationReport, obs=obs, total_checks=len(proof),
         procedure="verification1", num_proof_clauses=len(proof),
@@ -276,7 +305,7 @@ def _verify_proof_v1_parallel(
         formula: CnfFormula, proof: ConflictClauseProof,
         engine_cls: type[PropagatorBase], order: str, mode: str,
         jobs: int, meter: BudgetMeter | None,
-        obs=None) -> VerificationReport:
+        obs=None, instance: str | None = None) -> VerificationReport:
     from repro.verify.parallel import run_sharded_v1
 
     jobs = min(jobs, len(proof))
@@ -287,7 +316,8 @@ def _verify_proof_v1_parallel(
     with build.phase("pool", procedure="verification1", mode=mode,
                      order=order, jobs=jobs):
         run = run_sharded_v1(formula, proof, engine_cls, order, mode,
-                             jobs, meter, obs=obs, builder=build)
+                             jobs, meter, obs=obs, builder=build,
+                             instance=instance)
     if obs is not None:
         obs.publish_depgraph_totals()
     if run.budget_reason is not None:
@@ -344,7 +374,8 @@ def verify_proof_v2(
     provenance (see :func:`_resolve_engine_cls`).
     """
     _check_mode(mode)
-    engine_cls = _resolve_engine_cls(engine_cls, obs)
+    engine_cls = _resolve_engine_cls(engine_cls, obs, mode=mode,
+                                     order="backward")
     build = ReportBuilder(
         VerificationReport, obs=obs, total_checks=len(proof),
         procedure="verification2", num_proof_clauses=len(proof),
@@ -457,11 +488,13 @@ def verify_proof(formula: CnfFormula, proof: ConflictClauseProof,
                  jobs: int | None = 1,
                  budget: CheckBudget | None = None,
                  obs=None,
+                 instance: str | None = None,
                  ) -> VerificationReport:
     """Verify a conflict clause proof (``verification2`` by default).
 
     The dispatcher forwards every option the selected procedure
-    understands: ``order`` and ``jobs`` apply to ``verification1`` only
+    understands: ``order``, ``jobs`` and ``instance`` (the shard
+    planner's calibration key) apply to ``verification1`` only
     (``verification2``'s marking pass is inherently backward and
     sequential), ``mode``, ``engine_cls``, ``budget`` and ``obs`` to
     both.
@@ -469,7 +502,7 @@ def verify_proof(formula: CnfFormula, proof: ConflictClauseProof,
     if procedure == "verification1":
         return verify_proof_v1(formula, proof, engine_cls, order=order,
                                mode=mode, jobs=jobs, budget=budget,
-                               obs=obs)
+                               obs=obs, instance=instance)
     if procedure == "verification2":
         if order != "backward":
             raise ValueError(

@@ -1,7 +1,7 @@
 """Engine-parity differential tests.
 
 The BCP engines (watched, counting, arena, and — when numpy is
-installed — vector) are interchangeable by contract: every
+installed — vector and vector-inc) are interchangeable by contract: every
 verification procedure must produce the same verdict,
 the same failed/marked indices, and the same unsat core regardless of
 which engine ran the checks.  These tests pin that contract on the
@@ -114,7 +114,8 @@ class TestSolvedInstance:
         assert verify_proof_v1(report.core.as_formula(), trimmed).ok
 
     @pytest.mark.parametrize("engine", [
-        e for e in ("watched", "arena", "vector") if e in ENGINES])
+        e for e in ("watched", "arena", "vector", "vector-inc")
+        if e in ENGINES])
     def test_forward_drup_verdict(self, solved, engine):
         formula, _, drup = solved
         report = check_drup(formula, drup, engine_cls=engine)
@@ -178,7 +179,7 @@ class TestDeletionParity:
     which removal-capable engine ran, and the counting engine (which
     cannot remove) must be refused identically everywhere."""
 
-    REMOVAL = [e for e in ("watched", "arena", "vector")
+    REMOVAL = [e for e in ("watched", "arena", "vector", "vector-inc")
                if e in ENGINES]
 
     @pytest.fixture(scope="class")
@@ -240,7 +241,7 @@ class TestDeletionParity:
     @pytest.mark.skipif(not fork_available(),
                         reason="needs both fork and spawn")
     @pytest.mark.parametrize("engine", [
-        e for e in ("arena", "vector") if e in ENGINES])
+        e for e in ("arena", "vector", "vector-inc") if e in ENGINES])
     def test_tombstones_cross_fork_and_spawn(self, solved,
                                              monkeypatch, engine):
         """Parallel v1 ships the clause arena over shared memory; a
@@ -274,7 +275,7 @@ class TestStartMethodIdentity:
     @pytest.mark.skipif(not fork_available(),
                         reason="needs both fork and spawn")
     @pytest.mark.parametrize("engine", [
-        e for e in ("arena", "vector") if e in ENGINES])
+        e for e in ("arena", "vector", "vector-inc") if e in ENGINES])
     def test_fork_and_spawn_reports_identical(self, solved,
                                               monkeypatch, engine):
         formula, proof, _ = solved

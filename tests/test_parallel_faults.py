@@ -19,6 +19,7 @@ from repro.verify.parallel import (
     fork_available,
     install_fault,
     make_shards,
+    planned_shards,
     run_sharded_v1,
 )
 from repro.verify.verification import verify_proof_v1
@@ -26,6 +27,12 @@ from repro.verify.verification import verify_proof_v1
 pytestmark = pytest.mark.skipif(
     not fork_available(),
     reason="fault-tolerance tests need the fork start method")
+
+
+def _shards(formula, proof, mode="incremental", jobs=4):
+    """The bounds the run under test will execute (the planner's
+    partition — faults are keyed by exact shard bounds)."""
+    return list(planned_shards(formula, proof, jobs, mode=mode).shards)
 
 
 @pytest.fixture(autouse=True)
@@ -70,7 +77,7 @@ class TestShards:
 class TestWorkerDeath:
     def test_retry_recovers(self, instance):
         formula, proof = instance
-        shards = make_shards(len(proof), 4)
+        shards = _shards(formula, proof)
         install_fault(shards[0], deaths=1)
         report = verify_proof_v1(formula, proof, jobs=4,
                                  mode="incremental")
@@ -81,7 +88,7 @@ class TestWorkerDeath:
 
     def test_repeated_death_degrades_in_process(self, instance):
         formula, proof = instance
-        shards = make_shards(len(proof), 4)
+        shards = _shards(formula, proof)
         install_fault(shards[0], deaths=2)
         report = verify_proof_v1(formula, proof, jobs=4,
                                  mode="incremental")
@@ -93,7 +100,7 @@ class TestWorkerDeath:
         formula, proof = bad_instance
         sequential = verify_proof_v1(formula, proof, jobs=1)
         assert not sequential.ok
-        shards = make_shards(len(proof), 4)
+        shards = _shards(formula, proof, mode="rebuild")
         install_fault(shards[-1], deaths=2)
         parallel_report = verify_proof_v1(formula, proof, jobs=4)
         assert not parallel_report.ok
@@ -175,7 +182,7 @@ class TestParallelBudget:
         """Budget exhaustion and fault recovery compose: the run still
         ends in a well-formed partial report."""
         formula, proof = instance
-        shards = make_shards(len(proof), 4)
+        shards = _shards(formula, proof, mode="rebuild")
         install_fault(shards[0], deaths=1)
         report = verify_proof_v1(formula, proof, jobs=4,
                                  budget=CheckBudget(max_props=50))
@@ -227,7 +234,7 @@ class TestTraceReplayUnderFaults:
 
     def test_retried_shard_yields_single_span(self, instance):
         formula, proof = instance
-        shards = make_shards(len(proof), 4)
+        shards = _shards(formula, proof)
         install_fault(shards[0], deaths=1)
         report, doc = self._timeline(formula, proof)
         assert report.ok
@@ -241,7 +248,7 @@ class TestTraceReplayUnderFaults:
     def test_degraded_shard_attempt_attr_and_single_span(
             self, instance):
         formula, proof = instance
-        shards = make_shards(len(proof), 4)
+        shards = _shards(formula, proof)
         install_fault(shards[0], deaths=2)
         report, doc = self._timeline(formula, proof)
         assert report.ok
@@ -254,7 +261,7 @@ class TestTraceReplayUnderFaults:
 
     def test_clean_run_attempt_zero_everywhere(self, instance):
         formula, proof = instance
-        shards = make_shards(len(proof), 4)
+        shards = _shards(formula, proof)
         report, doc = self._timeline(formula, proof)
         assert report.ok
         self._assert_one_span_per_shard(doc, shards)

@@ -1,0 +1,205 @@
+"""Exactness tests for the batched incremental kernel (vector-inc).
+
+The kernel's contract is *bitwise observational equality* with the
+scalar arena engine: same verdicts, same conflict clause ids, same
+trail contents, and — the strictest form — the same propagation
+counters, entry for entry, because ``total_work`` budgets are summed
+from them.  The probe path only engages on watch rows of
+``probe_min``+ entries, which realistic small test instances never
+grow, so these tests subclass the kernel with ``probe_min`` forced
+down to 1 — every row then takes the batched path and any divergence
+from the arena loop (blocker staleness, retire-before-blocker order,
+compaction, conflict-entry visit accounting) becomes visible on
+pigeonhole-size inputs.
+"""
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.bcp import ENGINES
+from repro.bcp.arena import ArenaPropagator
+from repro.bcp.engine import FALSE, TRUE
+from repro.bcp.vector_inc import VectorIncPropagator
+from repro.core.literals import encode
+from repro.benchgen.registry import pigeonhole
+from repro.proofs.conflict_clause import ConflictClauseProof
+from repro.solver.cdcl import solve
+from repro.verify.verification import verify_proof_v1, verify_proof_v2
+
+
+class ProbeAlways(VectorIncPropagator):
+    """Every watch row takes the batched probe path."""
+
+    probe_min = 1
+
+
+@pytest.fixture(scope="module")
+def solved():
+    formula = pigeonhole(5)
+    result = solve(formula, reduce_base=20, reduce_growth=10)
+    assert result.is_unsat
+    return formula, ConflictClauseProof.from_log(result.log)
+
+
+def _counters(report):
+    return tuple(sorted(report.bcp_counters.items()))
+
+
+class TestProbeExactness:
+    """The probed scan must be indistinguishable from the scalar one —
+    including the counters the probe could most easily skew (a probe
+    that skips retired-but-satisfied entries undercounts ``purged``; a
+    probe that visits past a conflict overcounts ``watch_visits``)."""
+
+    @pytest.mark.parametrize("mode", ["incremental", "rebuild"])
+    @pytest.mark.parametrize("order", ["backward", "forward"])
+    def test_v1_counters_equal_arena(self, solved, mode, order):
+        formula, proof = solved
+        arena = verify_proof_v1(formula, proof, "arena",
+                                order=order, mode=mode)
+        probed = verify_proof_v1(formula, proof, ProbeAlways,
+                                 order=order, mode=mode)
+        assert probed.outcome == arena.outcome
+        assert probed.failed_clause_index == arena.failed_clause_index
+        assert _counters(probed) == _counters(arena)
+
+    def test_default_threshold_also_exact(self, solved):
+        """The shipped probe_min must be exact too — on instances this
+        small it simply never probes, so equality is the scalar path
+        reproducing the arena loop verbatim."""
+        formula, proof = solved
+        arena = verify_proof_v1(formula, proof, "arena",
+                                mode="incremental")
+        kernel = verify_proof_v1(formula, proof, "vector-inc",
+                                 mode="incremental")
+        assert kernel.engine == "vector-inc"
+        assert _counters(kernel) == _counters(arena)
+
+    def test_v2_marks_equal_arena(self, solved):
+        formula, proof = solved
+        arena = verify_proof_v2(formula, proof, "arena",
+                                mode="incremental")
+        probed = verify_proof_v2(formula, proof, ProbeAlways,
+                                 mode="incremental")
+        assert probed.outcome == arena.outcome
+        assert probed.marked_proof_indices \
+            == arena.marked_proof_indices
+
+    def test_bad_proof_same_failure(self, solved):
+        formula, proof = solved
+        fresh = max(formula.num_vars, proof.max_var()) + 1
+        bad = ConflictClauseProof([(fresh,)] + list(proof.clauses))
+        arena = verify_proof_v1(formula, bad, "arena",
+                                mode="incremental")
+        probed = verify_proof_v1(formula, bad, ProbeAlways,
+                                 mode="incremental")
+        assert not probed.ok
+        assert probed.failed_clause_index == arena.failed_clause_index
+        assert _counters(probed) == _counters(arena)
+
+
+class TestRetractionHeavy:
+    """The incremental checker's per-check rewind is the kernel's
+    hot retraction path: drive both engines through identical
+    assume/propagate/unwind cycles directly and compare every
+    observable after every step."""
+
+    def _engines(self, formula):
+        pair = []
+        for cls in (ArenaPropagator, ProbeAlways):
+            engine = cls(formula.num_vars)
+            for clause in formula.clauses:
+                engine.add_clause([encode(lit)
+                                   for lit in clause.literals])
+            pair.append(engine)
+        return pair
+
+    def _assert_mirror(self, kernel):
+        # Mirror invariant: true_np[enc] == 1 iff values[enc] TRUE.
+        values = np.asarray(kernel.values, dtype=np.int8)
+        mirrored = kernel._true_np[:len(values)]
+        assert bool(np.all((mirrored == 1) == (values == TRUE)))
+
+    def test_lockstep_root_unwind_and_backtrack(self, solved):
+        """The incremental checker's cycle: grow the root trail,
+        retract a suffix with unwind_to, assume at a decision level,
+        backtrack to root — both engines in lockstep, trail and mirror
+        compared after every step."""
+        formula, _ = solved
+        arena, kernel = self._engines(formula)
+        lits = [lit for clause in formula.clauses
+                for lit in clause.literals]
+        for round_no in range(12):
+            # Root phase: enqueue at level 0, propagate, then retract
+            # a suffix of the persistent trail (unwind_to never
+            # crosses a decision-level boundary — none are open).
+            mark = len(arena.trail)
+            for offset in range(2):
+                lit = lits[(round_no * 7 + offset * 13) % len(lits)]
+                enc = encode(lit)
+                assert arena.enqueue(enc, None) \
+                    == kernel.enqueue(enc, None)
+            assert arena.propagate() == kernel.propagate()
+            assert list(arena.trail) == list(kernel.trail)
+            keep = min(mark + (round_no % 3), len(arena.trail))
+            arena.unwind_to(keep)
+            kernel.unwind_to(keep)
+            assert list(arena.trail) == list(kernel.trail)
+            self._assert_mirror(kernel)
+            # Assumption phase: a decision level, propagate, backtrack
+            # all the way back to the root.
+            lit = lits[(round_no * 11 + 5) % len(lits)]
+            assert arena.assume(encode(lit)) \
+                == kernel.assume(encode(lit))
+            assert arena.propagate() == kernel.propagate()
+            assert list(arena.trail) == list(kernel.trail)
+            arena.backtrack(0)
+            kernel.backtrack(0)
+            assert list(arena.trail) == list(kernel.trail)
+            self._assert_mirror(kernel)
+
+    def test_backtrack_clears_mirror(self):
+        engine = ProbeAlways(4)
+        engine.add_clause([encode(1), encode(2)])
+        engine.new_level()
+        assert engine.assume(encode(-1))
+        assert engine.propagate() is None
+        assert engine.values[encode(2)] == TRUE
+        assert engine._true_np[encode(2)] == 1
+        engine.backtrack(0)
+        assert engine._true_np[encode(2)] == 0
+        assert engine._true_np[encode(-1)] == 0
+
+    def test_grow_mirror_on_new_var(self):
+        engine = ProbeAlways(1)
+        for var in range(2, 40):
+            engine.add_clause([encode(var - 1), encode(var)])
+        enc = encode(39)
+        assert enc < engine._true_np.shape[0]
+        engine.new_level()
+        assert engine.assume(enc)
+        assert engine._true_np[enc] == 1
+
+
+class TestRegistry:
+    def test_registered(self):
+        assert ENGINES["vector-inc"] is VectorIncPropagator
+        assert VectorIncPropagator.kernel == "numpy"
+
+    def test_auto_prefers_vector_inc_for_incremental(self):
+        from repro.bcp import resolve_engine
+
+        assert resolve_engine("auto", mode="incremental") \
+            is VectorIncPropagator
+        assert resolve_engine("auto", mode="rebuild") \
+            is ENGINES["vector"]
+
+    def test_removal_supported(self):
+        # The incremental checker retires by ceiling, but forward DRUP
+        # checking removes clauses; the kernel inherits the arena's
+        # detach (which must work on promoted array('i') rows too).
+        engine = ProbeAlways(3)
+        cid = engine.add_clause([encode(1), encode(2), encode(3)])
+        engine.remove_clause(cid)
+        assert engine.clause_len(cid) == 0

@@ -268,8 +268,13 @@ class TestSelection:
                   if e["type"] == "event"
                   and e["name"] == "kernel_selected"]
         assert len(events) == 1
-        assert events[0]["attrs"] == {
-            "requested": "auto", "engine": "vector", "kernel": "numpy"}
+        attrs = events[0]["attrs"]
+        assert attrs["requested"] == "auto"
+        assert attrs["engine"] == "vector"
+        assert attrs["kernel"] == "numpy"
+        assert attrs["mode"] == "rebuild"
+        assert attrs["order"] == "backward"
+        assert attrs["reason"].startswith("auto:")
 
     def test_fingerprint_kernel_field(self):
         from repro.obs.insight.history import fingerprint
